@@ -1,0 +1,24 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_design_choices(run_exp):
+    out = run_exp("ablation", "smoke")
+    for popularity in ("uniform", "zipf"):
+        panel = out.data[popularity]
+        # Lazy eviction should not lose to the literal eager replacement.
+        assert (
+            panel["eviction/lazy (default)"]
+            <= panel["eviction/eager (Fig.4 literal)"] + 0.01
+        ), popularity
+        # Value-based queue scheduling at q=25 at least matches FCFS.
+        assert (
+            panel["queue/q=25 value"] <= panel["queue/q=25 fcfs"] + 0.01
+        ), popularity
+        # Aged-value (lockout avoidance) costs almost nothing vs pure value.
+        assert (
+            panel["queue/q=25 aged-value"]
+            <= panel["queue/q=25 value"] + 0.02
+        ), popularity

@@ -1,0 +1,13 @@
+"""Figure 5: history-truncation length has a negligible effect."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_history_truncation(run_exp):
+    out = run_exp("fig5", "smoke")
+    for popularity in ("uniform", "zipf"):
+        ratios = [row["byte_miss_ratio"] for row in out.data[popularity]]
+        spread = max(ratios) - min(ratios)
+        # The paper's finding: truncation effects are negligible.
+        assert spread < 0.08, f"{popularity}: truncation spread {spread:.3f}"

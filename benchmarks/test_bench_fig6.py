@@ -1,0 +1,20 @@
+"""Figure 6: byte miss ratio, small files (1% of cache), both distributions."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_small_files(run_exp):
+    out = run_exp("fig6", "quick")
+    for popularity in ("uniform", "zipf"):
+        rows = out.data[popularity]
+        opt = {r["x"]: r["byte_miss_ratio"] for r in rows if r["policy"] == "optbundle"}
+        land = {r["x"]: r["byte_miss_ratio"] for r in rows if r["policy"] == "landlord"}
+        # OptFileBundle at or below Landlord at every point...
+        assert all(opt[x] <= land[x] + 0.02 for x in opt), popularity
+        # ...and strictly better in aggregate.
+        assert sum(opt.values()) < sum(land.values()), popularity
+    # Zipf well below uniform (the paper's second observation).
+    uni = [r["byte_miss_ratio"] for r in out.data["uniform"] if r["policy"] == "optbundle"]
+    zipf = [r["byte_miss_ratio"] for r in out.data["zipf"] if r["policy"] == "optbundle"]
+    assert sum(zipf) < sum(uni)

@@ -1,0 +1,17 @@
+"""Figure 7: byte miss ratio, large files (10% of cache)."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_large_files(run_exp):
+    out = run_exp("fig7", "quick")
+    for popularity in ("uniform", "zipf"):
+        rows = out.data[popularity]
+        opt = sum(
+            r["byte_miss_ratio"] for r in rows if r["policy"] == "optbundle"
+        )
+        land = sum(
+            r["byte_miss_ratio"] for r in rows if r["policy"] == "landlord"
+        )
+        assert opt < land + 0.02, popularity

@@ -1,0 +1,19 @@
+"""Figure 8: volume of data moved per request vs cache size."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_volume_per_request(run_exp):
+    out = run_exp("fig8", "quick")
+    for popularity in ("uniform", "zipf"):
+        rows = [r for r in out.data[popularity] if r["policy"] == "optbundle"]
+        rows.sort(key=lambda r: r["x"])
+        ys = [r["mean_volume_per_request"] for r in rows]
+        # Volume per request falls as the cache accommodates more requests.
+        assert ys[-1] < ys[0], popularity
+    # OptFileBundle moves less data than Landlord, most pronounced for Zipf.
+    zipf = out.data["zipf"]
+    opt = sum(r["mean_volume_per_request"] for r in zipf if r["policy"] == "optbundle")
+    land = sum(r["mean_volume_per_request"] for r in zipf if r["policy"] == "landlord")
+    assert opt < land

@@ -1,0 +1,15 @@
+"""Figure 9: effect of the admission-queue length (value scheduling)."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_queue_length(run_exp):
+    out = run_exp("fig9", "quick")
+    for popularity in ("uniform", "zipf"):
+        rows = sorted(out.data[popularity], key=lambda r: r["x"])
+        first, last = rows[0]["byte_miss_ratio"], rows[-1]["byte_miss_ratio"]
+        # Queueing never hurts (much); the win concentrates in the Zipf panel.
+        assert last <= first + 0.02, popularity
+    zipf = sorted(out.data["zipf"], key=lambda r: r["x"])
+    assert zipf[-1]["byte_miss_ratio"] <= zipf[0]["byte_miss_ratio"]

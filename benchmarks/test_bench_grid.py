@@ -1,0 +1,17 @@
+"""Extension: timed SRM response time / throughput comparison."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="grid")
+def test_timed_grid(run_exp):
+    out = run_exp("grid", "quick")
+    for popularity in ("uniform", "zipf"):
+        panel = out.data[popularity]
+        assert (
+            panel["optbundle"]["mean_response_time"]
+            <= panel["landlord"]["mean_response_time"]
+        ), popularity
+        assert (
+            panel["optbundle"]["staged_mb"] <= panel["landlord"]["staged_mb"]
+        ), popularity

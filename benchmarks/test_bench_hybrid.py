@@ -1,0 +1,17 @@
+"""Extension: hybrid one-file-at-a-time / bundle execution model."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="hybrid")
+def test_hybrid_execution_model(run_exp):
+    out = run_exp("hybrid", "smoke")
+    for popularity in ("uniform", "zipf"):
+        panel = out.data[popularity]
+        # OptFileBundle never loses to Landlord at any mixing fraction:
+        # bundle-awareness is safe on mixed workloads.
+        for row in panel:
+            assert row["optbundle"] <= row["landlord"] + 0.02, (
+                popularity,
+                row,
+            )

@@ -1,0 +1,11 @@
+"""Extension: replica placement on a two-tier data grid."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="replication")
+def test_replica_placement(run_exp):
+    out = run_exp("replication", "quick")
+    # Informed placements beat random by a wide margin.
+    assert out.data["popularity"] < out.data["random"]
+    assert out.data["bundle-aware"] < out.data["random"]

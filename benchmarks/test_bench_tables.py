@@ -1,0 +1,17 @@
+"""Tables 1-2: the worked example (file vs request-hit probabilities)."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="tables")
+def test_tables_worked_example(run_exp):
+    out = run_exp("tables", "quick")
+    # Table 1: most popular file is f5 with P = 2/3.
+    assert out.data["file_probs"]["f5"] == (2, 3)
+    # Table 2: popularity-based content supports 1/6, optimal 1/2.
+    hit = {tuple(r["content"]): r["hit_prob"] for r in out.data["table2"]}
+    assert hit[("f5", "f6", "f7")] == pytest.approx(1 / 6)
+    assert hit[("f1", "f3", "f5")] == pytest.approx(1 / 2)
+    # OptCacheSelect recovers the optimal content.
+    assert out.data["greedy_files"] == ["f1", "f3", "f5"]
+    assert out.data["greedy_value"] == out.data["exact_value"] == 3.0

@@ -1,0 +1,20 @@
+"""Theorem 4.1: approximation ratios vs the exact optimum."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="thm41")
+def test_theorem41_bounds(run_exp):
+    out = run_exp("thm41", "quick")
+    assert out.data["violations"] == 0
+    # refinement helps; partial enumeration helps more
+    assert (
+        out.data["mean_ratio"]["refined"]
+        >= out.data["mean_ratio"]["plain"] - 1e-9
+    )
+    assert (
+        out.data["mean_ratio"]["enum-k2"]
+        >= out.data["mean_ratio"]["refined"] - 1e-9
+    )
+    # greedy is far better in practice than the worst-case bound
+    assert out.data["min_ratio"]["refined"] > 0.5

@@ -1,0 +1,19 @@
+"""Extension: learning curves (per-window byte miss ratio)."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="warmup")
+def test_learning_curves(run_exp):
+    out = run_exp("warmup", "smoke")
+    for popularity in ("uniform", "zipf"):
+        panel = out.data[popularity]
+        # Second half of the run is better than the cold-start window for
+        # the learning policy.
+        curve = panel["optbundle"]
+        later = sum(curve[len(curve) // 2 :]) / (len(curve) - len(curve) // 2)
+        assert later < curve[0] + 0.02, popularity
+    # Once warmed, OptFileBundle's Zipf curve sits below Landlord's.
+    zipf = out.data["zipf"]
+    half = len(zipf["optbundle"]) // 2
+    assert sum(zipf["optbundle"][half:]) <= sum(zipf["landlord"][half:]) + 0.02

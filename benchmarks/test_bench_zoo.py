@@ -1,0 +1,22 @@
+"""Extension: every policy side by side on one workload point."""
+
+import pytest
+
+
+@pytest.mark.benchmark(group="zoo")
+def test_policy_zoo(run_exp):
+    out = run_exp("zoo", "quick")
+    for popularity in ("uniform", "zipf"):
+        panel = out.data[popularity]
+        # the offline reference dominates every online policy
+        online = [p for p in panel if p != "belady"]
+        assert all(
+            panel["belady"]["byte_miss_ratio"]
+            <= panel[p]["byte_miss_ratio"] + 1e-9
+            for p in online
+        ), popularity
+        # optbundle has the best request-hit ratio among online policies
+        best_hit = max(panel[p]["request_hit_ratio"] for p in online)
+        assert panel["optbundle"]["request_hit_ratio"] == pytest.approx(
+            best_hit
+        ), popularity

@@ -1,0 +1,10 @@
+"""Legacy-editable-install shim.
+
+The offline environment lacks the `wheel` package, so pip's PEP 660
+editable path (which needs bdist_wheel) fails; this file lets
+`pip install -e . --no-build-isolation` fall back to setup.py develop.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — Optimal File-Bundle Caching Algorithms for Data-Grids (SC'04).
+
+A faithful, laptop-scale reproduction of Otoo, Rotem & Romosan's
+file-bundle caching system: the ``OptCacheSelect``/``OptFileBundle``
+algorithms, a replacement-policy suite, synthetic data-grid workloads, a
+trace-driven cache simulator and a timed SRM/MSS substrate.
+
+Most users need only the re-exports below; the subpackages are:
+
+* :mod:`repro.core` — the paper's algorithms and theory;
+* :mod:`repro.cache` — cache state and replacement policies;
+* :mod:`repro.workload` — workload generation, traces, analytics;
+* :mod:`repro.sim` — the simulator, metrics, queueing, sweeps;
+* :mod:`repro.grid` — timed data-grid substrate (MSS, links, SRM, sites);
+* :mod:`repro.experiments` — per-figure reproduction drivers;
+* :mod:`repro.cli` — the ``repro-fbc`` command-line interface.
+"""
+
+from repro.core import (
+    FBCInstance,
+    FileBundle,
+    OptFileBundlePlanner,
+    opt_cache_select,
+    opt_cache_select_enum,
+    solve_exact,
+)
+from repro.cache import CacheState, make_policy, POLICY_REGISTRY
+from repro.sim import SimulationConfig, simulate_trace
+from repro.workload import Trace, WorkloadSpec, generate_trace
+from repro.experiments import EXPERIMENTS, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FBCInstance",
+    "FileBundle",
+    "OptFileBundlePlanner",
+    "opt_cache_select",
+    "opt_cache_select_enum",
+    "solve_exact",
+    "CacheState",
+    "make_policy",
+    "POLICY_REGISTRY",
+    "SimulationConfig",
+    "simulate_trace",
+    "Trace",
+    "WorkloadSpec",
+    "generate_trace",
+    "EXPERIMENTS",
+    "run_experiment",
+    "__version__",
+]

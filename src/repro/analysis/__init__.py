@@ -1,0 +1,7 @@
+"""Result presentation: ASCII charts and experiment reports."""
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.compare import PairedComparison, compare_paired
+from repro.analysis.report import ExperimentOutput
+
+__all__ = ["render_chart", "ExperimentOutput", "PairedComparison", "compare_paired"]

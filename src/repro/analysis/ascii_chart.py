@@ -1,0 +1,75 @@
+"""Terminal line charts for experiment series.
+
+The benchmark harness prints the series behind each figure; a coarse ASCII
+rendering makes trends (who wins, where curves cross) visible directly in
+CI logs without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["render_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series as an ASCII scatter/line chart.
+
+    Each series gets a marker character; the legend maps markers back to
+    names.  Axis ranges span all series; y is formatted with 3 significant
+    digits at the top and bottom gridline.
+    """
+    if not series:
+        raise ConfigError("no series to render")
+    if width < 10 or height < 4:
+        raise ConfigError("chart must be at least 10x4")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ConfigError("series contain no points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    legend: list[str] = []
+    for k, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in pts:
+            place(x, y, marker)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<12.4g}" + " " * max(0, width - 24) + f"{x_hi:>12.4g}"
+    )
+    lines.append("  " + ("" if not y_label else f"y: {y_label}   ") + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Uniform container for experiment outputs.
+
+Each experiment driver (:mod:`repro.experiments`) returns an
+:class:`ExperimentOutput`: identification, the rendered tables/charts a
+human reads, and the raw rows tests and benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentOutput"]
+
+
+@dataclass(frozen=True)
+class ExperimentOutput:
+    """One experiment's results, printable and machine-checkable."""
+
+    exp_id: str
+    title: str
+    description: str
+    sections: tuple[tuple[str, str], ...]  # (caption, rendered text) pairs
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"== {self.exp_id}: {self.title} ==", self.description, ""]
+        for caption, text in self.sections:
+            parts.append(f"-- {caption} --")
+            parts.append(text)
+            parts.append("")
+        return "\n".join(parts)

@@ -1,0 +1,54 @@
+"""Disk-cache substrate: cache state and the replacement-policy suite.
+
+The simulator owns a :class:`~repro.cache.state.CacheState`; policies make
+eviction decisions through the common
+:class:`~repro.cache.policy.ReplacementPolicy` interface so that all
+algorithms are measured under identical byte accounting.
+
+Policies
+--------
+* :class:`~repro.cache.optbundle_policy.OptFileBundlePolicy` — the paper's
+  bundle-aware algorithm (wraps :class:`repro.core.OptFileBundlePlanner`).
+* :class:`~repro.cache.landlord.LandlordPolicy` — the paper's baseline
+  (Algorithm 3; classic Landlord with cost = file size, credits in [0,1]).
+* :class:`~repro.cache.lru.LRUPolicy`, :class:`~repro.cache.lfu.LFUPolicy`,
+  :class:`~repro.cache.fifo.FIFOPolicy`,
+  :class:`~repro.cache.random_policy.RandomPolicy`,
+  :class:`~repro.cache.size_based.LargestFirstPolicy`,
+  :class:`~repro.cache.gdsf.GDSFPolicy` — classic per-file baselines.
+* :class:`~repro.cache.belady.BeladyPolicy` — offline farthest-next-use
+  reference bound (needs the future trace).
+"""
+
+from repro.cache.state import CacheState
+from repro.cache.policy import PolicyDecision, ReplacementPolicy, PerFilePolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.lruk import LRUKPolicy
+from repro.cache.lfu import LFUPolicy
+from repro.cache.fifo import FIFOPolicy
+from repro.cache.random_policy import RandomPolicy
+from repro.cache.size_based import LargestFirstPolicy
+from repro.cache.gdsf import GDSFPolicy
+from repro.cache.landlord import LandlordPolicy
+from repro.cache.belady import BeladyPolicy
+from repro.cache.optbundle_policy import OptFileBundlePolicy
+from repro.cache.registry import POLICY_REGISTRY, make_policy
+
+__all__ = [
+    "CacheState",
+    "PolicyDecision",
+    "ReplacementPolicy",
+    "PerFilePolicy",
+    "LRUPolicy",
+    "LRUKPolicy",
+    "LFUPolicy",
+    "FIFOPolicy",
+    "RandomPolicy",
+    "LargestFirstPolicy",
+    "GDSFPolicy",
+    "LandlordPolicy",
+    "BeladyPolicy",
+    "OptFileBundlePolicy",
+    "POLICY_REGISTRY",
+    "make_policy",
+]

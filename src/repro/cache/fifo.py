@@ -1,0 +1,37 @@
+"""First-In-First-Out replacement: evict the file loaded longest ago."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.policy import PerFilePolicy
+from repro.types import FileId
+
+__all__ = ["FIFOPolicy"]
+
+
+class FIFOPolicy(PerFilePolicy):
+    """Evict in load order, ignoring hits."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: OrderedDict[FileId, None] = OrderedDict()
+
+    def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
+        for fid in self._order:
+            if fid not in exclude:
+                return fid
+        return None
+
+    def _note_evicted(self, file_id: FileId) -> None:
+        self._order.pop(file_id, None)
+
+    def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
+        if was_loaded:  # hits do not refresh FIFO position
+            self._order[file_id] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._order.clear()

@@ -1,0 +1,56 @@
+"""Least-Frequently-Used replacement with a lazy min-heap.
+
+Frequency counts persist across evictions ("perfect LFU"), matching the
+popularity-based strategies the paper argues against: the most *popular*
+files are retained regardless of which combinations occur together.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cache.policy import PerFilePolicy
+from repro.types import FileId
+
+__all__ = ["LFUPolicy"]
+
+
+class LFUPolicy(PerFilePolicy):
+    """Evict the least frequently accessed file (ties: least recent)."""
+
+    name = "lfu"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._freq: dict[FileId, int] = {}
+        # lazy heap of (freq_at_push, tiebreak, fid); stale entries skipped
+        self._heap: list[tuple[int, int, FileId]] = []
+        self._tiebreak = itertools.count()
+
+    def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
+        cache = self.cache
+        deferred: list[tuple[int, int, FileId]] = []
+        victim: FileId | None = None
+        while self._heap:
+            freq, tb, fid = heapq.heappop(self._heap)
+            if fid not in cache or self._freq.get(fid) != freq:
+                continue  # stale entry
+            if fid in exclude:
+                deferred.append((freq, tb, fid))
+                continue
+            victim = fid
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return victim
+
+    def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
+        freq = self._freq.get(file_id, 0) + 1
+        self._freq[file_id] = freq
+        heapq.heappush(self._heap, (freq, next(self._tiebreak), file_id))
+
+    def reset(self) -> None:
+        super().reset()
+        self._freq.clear()
+        self._heap.clear()

@@ -1,0 +1,42 @@
+"""Least-Recently-Used replacement, bundle-adapted.
+
+Servicing a job touches every file of its bundle; the victim is the
+resident file whose last touch is oldest among files not in the current
+bundle.  Classic single-file LRU is the special case of singleton bundles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cache.policy import PerFilePolicy
+from repro.types import FileId
+
+__all__ = ["LRUPolicy"]
+
+
+class LRUPolicy(PerFilePolicy):
+    """Evict the least recently used file."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._order: OrderedDict[FileId, None] = OrderedDict()
+
+    def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
+        for fid in self._order:
+            if fid not in exclude:
+                return fid
+        return None
+
+    def _note_evicted(self, file_id: FileId) -> None:
+        self._order.pop(file_id, None)
+
+    def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
+        self._order.pop(file_id, None)
+        self._order[file_id] = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._order.clear()

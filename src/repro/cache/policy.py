@@ -1,0 +1,160 @@
+"""The replacement-policy interface shared by all algorithms.
+
+Contract
+--------
+The simulator drives a policy like this for every job::
+
+    policy.bind(cache, sizes)            # once
+    ...
+    decision = policy.on_request(bundle) # policy evicts via the cache here
+    # simulator verifies space, loads bundle's missing files + decision.prefetch
+    policy.on_serviced(bundle, loaded, hit)
+
+``on_request`` must leave enough free space for the bundle's missing files
+plus any prefetch it asks for; it must never evict a file of the bundle
+itself.  The simulator — not the policy — performs the loads, so byte
+accounting is identical for every algorithm.
+
+:class:`PerFilePolicy` factors the eviction loop common to the classical
+per-file algorithms (LRU, LFU, FIFO, …): subclasses only implement victim
+choice and bookkeeping hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cache.state import CacheState
+from repro.core.bundle import FileBundle
+from repro.errors import PolicyError
+from repro.types import FileId, SizeBytes
+
+__all__ = ["PolicyDecision", "ReplacementPolicy", "PerFilePolicy"]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What a policy decided for one request.
+
+    ``prefetch`` lists non-requested files the policy wants loaded as well
+    (used by OptFileBundle under full-history truncation); ``evicted``
+    reports the files the policy removed while making room.
+    """
+
+    prefetch: frozenset[FileId] = frozenset()
+    evicted: frozenset[FileId] = frozenset()
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract base class of all cache replacement policies."""
+
+    #: short machine name used by the registry / CLI / result tables
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._cache: CacheState | None = None
+        self._sizes: Mapping[FileId, SizeBytes] | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def bind(self, cache: CacheState, sizes: Mapping[FileId, SizeBytes]) -> None:
+        """Attach the policy to a cache and a file-size oracle (once)."""
+        if self._cache is not None:
+            raise PolicyError(f"policy {self.name!r} is already bound")
+        self._cache = cache
+        self._sizes = sizes
+
+    @property
+    def cache(self) -> CacheState:
+        if self._cache is None:
+            raise PolicyError(f"policy {self.name!r} is not bound to a cache")
+        return self._cache
+
+    @property
+    def sizes(self) -> Mapping[FileId, SizeBytes]:
+        if self._sizes is None:
+            raise PolicyError(f"policy {self.name!r} is not bound to a cache")
+        return self._sizes
+
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def on_request(self, bundle: FileBundle) -> PolicyDecision:
+        """Make room for the bundle's missing files (evicting via the cache)."""
+
+    def on_serviced(
+        self, bundle: FileBundle, loaded: frozenset[FileId], hit: bool
+    ) -> None:
+        """Notification that the request was serviced and files loaded."""
+
+    def score(self, bundle: FileBundle) -> float | None:
+        """Optional queue-scheduling priority of a bundle (higher first).
+
+        Policies without a natural notion of request value return ``None``
+        and the admission queue falls back to its non-policy disciplines.
+        """
+        return None
+
+    def reset(self) -> None:
+        """Detach from the cache so the policy object can be re-bound."""
+        self._cache = None
+        self._sizes = None
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+
+    def _needed_bytes(self, bundle: FileBundle) -> SizeBytes:
+        missing = self.cache.missing(bundle)
+        return sum(self.sizes[f] for f in missing)
+
+
+class PerFilePolicy(ReplacementPolicy):
+    """Base class for classical per-file policies.
+
+    Implements ``on_request`` as: evict victims (never files of the current
+    bundle) until the missing files fit.  Subclasses implement
+    :meth:`_pick_victim` and may override the bookkeeping hooks
+    :meth:`_note_evicted` / :meth:`_note_access`.
+    """
+
+    def on_request(self, bundle: FileBundle) -> PolicyDecision:
+        cache = self.cache
+        needed = self._needed_bytes(bundle)
+        evicted: set[FileId] = set()
+        pinned = cache.pinned_files()
+        while cache.free < needed:
+            exclude = bundle.files | pinned if pinned else bundle.files
+            victim = self._pick_victim(exclude)
+            if victim is None:
+                raise PolicyError(
+                    f"{self.name}: no evictable victim but {needed - cache.free} "
+                    "bytes still needed"
+                )
+            if victim in bundle:
+                raise PolicyError(
+                    f"{self.name}: attempted to evict requested file {victim!r}"
+                )
+            cache.evict(victim)
+            evicted.add(victim)
+            self._note_evicted(victim)
+        return PolicyDecision(evicted=frozenset(evicted))
+
+    def on_serviced(
+        self, bundle: FileBundle, loaded: frozenset[FileId], hit: bool
+    ) -> None:
+        for f in bundle:
+            self._note_access(f, f in loaded)
+
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
+        """Choose a resident file outside ``exclude`` to evict (or None)."""
+
+    def _note_evicted(self, file_id: FileId) -> None:
+        """Bookkeeping hook: a victim left the cache."""
+
+    def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
+        """Bookkeeping hook: a requested file was accessed (hit or load)."""

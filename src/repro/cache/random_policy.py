@@ -1,0 +1,26 @@
+"""Random replacement — the memoryless reference baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.policy import PerFilePolicy
+from repro.types import FileId
+
+__all__ = ["RandomPolicy"]
+
+
+class RandomPolicy(PerFilePolicy):
+    """Evict a uniformly random resident file outside the current bundle."""
+
+    name = "random"
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
+        candidates = [f for f in self.cache.residents() if f not in exclude]
+        if not candidates:
+            return None
+        return candidates[int(self._rng.integers(len(candidates)))]

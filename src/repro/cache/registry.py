@@ -1,0 +1,63 @@
+"""Name → policy factory registry used by experiments and the CLI."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cache.belady import BeladyPolicy
+from repro.cache.fifo import FIFOPolicy
+from repro.cache.gdsf import GDSFPolicy
+from repro.cache.landlord import LandlordPolicy
+from repro.cache.lfu import LFUPolicy
+from repro.cache.lru import LRUPolicy
+from repro.cache.lruk import LRUKPolicy
+from repro.cache.optbundle_policy import OptFileBundlePolicy
+from repro.cache.policy import ReplacementPolicy
+from repro.cache.random_policy import RandomPolicy
+from repro.cache.size_based import LargestFirstPolicy
+from repro.core.bundle import FileBundle
+from repro.errors import ConfigError
+
+__all__ = ["POLICY_REGISTRY", "make_policy"]
+
+POLICY_REGISTRY: dict[str, type[ReplacementPolicy]] = {
+    LRUPolicy.name: LRUPolicy,
+    LRUKPolicy.name: LRUKPolicy,
+    LFUPolicy.name: LFUPolicy,
+    FIFOPolicy.name: FIFOPolicy,
+    RandomPolicy.name: RandomPolicy,
+    LargestFirstPolicy.name: LargestFirstPolicy,
+    GDSFPolicy.name: GDSFPolicy,
+    LandlordPolicy.name: LandlordPolicy,
+    BeladyPolicy.name: BeladyPolicy,
+    OptFileBundlePolicy.name: OptFileBundlePolicy,
+}
+
+
+def make_policy(
+    name: str,
+    *,
+    future: Sequence[FileBundle] | None = None,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+) -> ReplacementPolicy:
+    """Instantiate a policy by registry name.
+
+    ``future`` is required for (and only consumed by) ``belady``; ``rng``
+    seeds ``random``.  Remaining keyword arguments are passed through to the
+    policy constructor (e.g. ``truncation=`` for ``optbundle``).
+    """
+    try:
+        cls = POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise ConfigError(f"unknown policy {name!r}; known: {known}") from None
+    if cls is BeladyPolicy:
+        if future is None:
+            raise ConfigError("belady policy requires future=<bundle sequence>")
+        return BeladyPolicy(future, **kwargs)
+    if cls is RandomPolicy:
+        return RandomPolicy(rng=rng, **kwargs)
+    return cls(**kwargs)

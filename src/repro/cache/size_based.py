@@ -1,0 +1,47 @@
+"""Largest-file-first replacement.
+
+Evicting the biggest file frees the most space per eviction; a classic
+web-caching baseline (SIZE policy) that maximizes the *number* of resident
+files at the expense of byte hit ratio.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.cache.policy import PerFilePolicy
+from repro.types import FileId
+
+__all__ = ["LargestFirstPolicy"]
+
+
+class LargestFirstPolicy(PerFilePolicy):
+    """Evict the largest resident file (ties broken by id)."""
+
+    name = "size"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # lazy max-heap by (−size, fid)
+        self._heap: list[tuple[int, FileId]] = []
+
+    def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
+        cache = self.cache
+        deferred: list[tuple[int, FileId]] = []
+        victim: FileId | None = None
+        while self._heap:
+            neg_size, fid = heapq.heappop(self._heap)
+            if fid not in cache:
+                continue
+            if fid in exclude:
+                deferred.append((neg_size, fid))
+                continue
+            victim = fid
+            break
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        return victim
+
+    def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
+        if was_loaded:
+            heapq.heappush(self._heap, (-self.sizes[file_id], file_id))

@@ -1,0 +1,270 @@
+"""Command-line interface: ``repro-fbc`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+* ``list``      — list experiments and policies.
+* ``run``       — run a paper experiment at a chosen scale.
+* ``simulate``  — one-off simulation of a synthetic workload.
+* ``generate``  — write a synthetic trace to a JSONL file.
+* ``replay``    — replay a JSONL trace under one or more policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cache.registry import POLICY_REGISTRY
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.utils.tables import render_table
+from repro.utils.units import format_size, parse_size
+from repro.workload.generator import WorkloadSpec, generate_trace
+from repro.workload.trace import Trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fbc",
+        description="File-bundle caching for data grids (SC'04 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and policies")
+
+    p_run = sub.add_parser("run", help="run a paper experiment")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument(
+        "--scale", default="quick", choices=("smoke", "quick", "paper")
+    )
+
+    p_sim = sub.add_parser("simulate", help="simulate a synthetic workload")
+    p_sim.add_argument("--cache-size", default="1GB")
+    p_sim.add_argument(
+        "--policy", action="append", choices=sorted(POLICY_REGISTRY), default=None
+    )
+    p_sim.add_argument("--jobs", type=int, default=2000)
+    p_sim.add_argument("--files", type=int, default=300)
+    p_sim.add_argument("--request-types", type=int, default=300)
+    p_sim.add_argument("--popularity", default="zipf", choices=("uniform", "zipf"))
+    p_sim.add_argument("--zipf-alpha", type=float, default=1.0)
+    p_sim.add_argument("--max-file-frac", type=float, default=0.01)
+    p_sim.add_argument("--max-bundle-frac", type=float, default=0.125)
+    p_sim.add_argument("--queue-length", type=int, default=1)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_gen = sub.add_parser("generate", help="write a synthetic trace (JSONL)")
+    p_gen.add_argument("output")
+    p_gen.add_argument("--cache-size", default="1GB")
+    p_gen.add_argument("--jobs", type=int, default=2000)
+    p_gen.add_argument("--files", type=int, default=300)
+    p_gen.add_argument("--request-types", type=int, default=300)
+    p_gen.add_argument("--popularity", default="zipf", choices=("uniform", "zipf"))
+    p_gen.add_argument("--zipf-alpha", type=float, default=1.0)
+    p_gen.add_argument("--max-file-frac", type=float, default=0.01)
+    p_gen.add_argument("--max-bundle-frac", type=float, default=0.125)
+    p_gen.add_argument("--arrival-rate", type=float, default=None)
+    p_gen.add_argument("--seed", type=int, default=0)
+
+    p_rep = sub.add_parser("replay", help="replay a JSONL trace")
+    p_rep.add_argument("trace")
+    p_rep.add_argument("--cache-size", default="1GB")
+    p_rep.add_argument(
+        "--policy", action="append", choices=sorted(POLICY_REGISTRY), default=None
+    )
+    p_rep.add_argument("--queue-length", type=int, default=1)
+
+    p_timed = sub.add_parser(
+        "timed", help="timed SRM simulation (response time / throughput)"
+    )
+    p_timed.add_argument("--cache-size", default="1GB")
+    p_timed.add_argument(
+        "--policy", action="append", choices=sorted(POLICY_REGISTRY), default=None
+    )
+    p_timed.add_argument("--jobs", type=int, default=500)
+    p_timed.add_argument("--files", type=int, default=300)
+    p_timed.add_argument("--request-types", type=int, default=200)
+    p_timed.add_argument("--popularity", default="zipf", choices=("uniform", "zipf"))
+    p_timed.add_argument("--zipf-alpha", type=float, default=1.0)
+    p_timed.add_argument("--max-file-frac", type=float, default=0.05)
+    p_timed.add_argument("--max-bundle-frac", type=float, default=0.2)
+    p_timed.add_argument("--arrival-rate", type=float, default=0.05)
+    p_timed.add_argument("--service-slots", type=int, default=1)
+    p_timed.add_argument("--seed", type=int, default=0)
+
+    p_prof = sub.add_parser("profile", help="profile a JSONL trace")
+    p_prof.add_argument("trace")
+
+    p_cmp = sub.add_parser(
+        "compare", help="paired statistical comparison of two policies"
+    )
+    p_cmp.add_argument("policy_a", choices=sorted(POLICY_REGISTRY))
+    p_cmp.add_argument("policy_b", choices=sorted(POLICY_REGISTRY))
+    p_cmp.add_argument("--cache-size", default="1GB")
+    p_cmp.add_argument("--jobs", type=int, default=1000)
+    p_cmp.add_argument("--files", type=int, default=300)
+    p_cmp.add_argument("--request-types", type=int, default=300)
+    p_cmp.add_argument("--popularity", default="zipf", choices=("uniform", "zipf"))
+    p_cmp.add_argument("--zipf-alpha", type=float, default=1.0)
+    p_cmp.add_argument("--max-file-frac", type=float, default=0.01)
+    p_cmp.add_argument("--max-bundle-frac", type=float, default=0.125)
+    p_cmp.add_argument("--seeds", type=int, default=8)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(
+        cache_size=parse_size(args.cache_size),
+        n_files=args.files,
+        n_request_types=args.request_types,
+        n_jobs=args.jobs,
+        popularity=args.popularity,
+        zipf_alpha=args.zipf_alpha,
+        max_file_fraction=args.max_file_frac,
+        max_bundle_fraction=args.max_bundle_frac,
+        arrival_rate=getattr(args, "arrival_rate", None),
+        seed=args.seed,
+    )
+
+
+def _report(trace: Trace, cache_size: int, policies, queue_length: int) -> str:
+    rows = []
+    for policy in policies:
+        result = simulate_trace(
+            trace,
+            SimulationConfig(
+                cache_size=cache_size,
+                policy=policy,
+                queue_length=queue_length,
+            ),
+        )
+        m = result.metrics
+        rows.append(
+            [
+                policy,
+                m.byte_miss_ratio,
+                m.request_hit_ratio,
+                m.mean_volume_per_request / (1024 * 1024),
+                result.cache_evictions,
+            ]
+        )
+    rows.sort(key=lambda r: r[1])
+    return render_table(
+        ["policy", "byte_miss_ratio", "request_hit_ratio", "MB/request", "evictions"],
+        rows,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            print("experiments:")
+            for name in sorted(EXPERIMENTS):
+                print(f"  {name}")
+            print("policies:")
+            for name in sorted(POLICY_REGISTRY):
+                print(f"  {name}")
+        elif args.command == "run":
+            print(run_experiment(args.experiment, args.scale).render())
+        elif args.command == "simulate":
+            trace = generate_trace(_spec_from_args(args))
+            policies = args.policy or ["optbundle", "landlord"]
+            print(
+                f"workload: {len(trace)} jobs, {len(trace.catalog)} files "
+                f"({format_size(trace.catalog.total_bytes())}), cache "
+                f"{format_size(parse_size(args.cache_size))}"
+            )
+            print(
+                _report(
+                    trace, parse_size(args.cache_size), policies, args.queue_length
+                )
+            )
+        elif args.command == "generate":
+            trace = generate_trace(_spec_from_args(args))
+            trace.dump(args.output)
+            print(
+                f"wrote {len(trace)} jobs / {len(trace.catalog)} files to "
+                f"{args.output}"
+            )
+        elif args.command == "replay":
+            trace = Trace.load(args.trace)
+            policies = args.policy or ["optbundle", "landlord"]
+            print(
+                _report(
+                    trace, parse_size(args.cache_size), policies, args.queue_length
+                )
+            )
+        elif args.command == "timed":
+            from repro.grid.srm import SRMConfig, run_timed_simulation
+
+            trace = generate_trace(_spec_from_args(args))
+            rows = []
+            for policy in args.policy or ["optbundle", "landlord", "lru"]:
+                r = run_timed_simulation(
+                    trace,
+                    SRMConfig(
+                        cache_size=parse_size(args.cache_size),
+                        policy=policy,
+                        service_slots=args.service_slots,
+                    ),
+                )
+                rows.append(
+                    [
+                        policy,
+                        r.mean_response_time,
+                        r.throughput * 3600,
+                        r.bytes_staged / (1024 * 1024),
+                        r.request_hit_ratio,
+                    ]
+                )
+            rows.sort(key=lambda row: row[1])
+            print(
+                render_table(
+                    ["policy", "resp [s]", "jobs/h", "staged MB", "hit ratio"],
+                    rows,
+                )
+            )
+        elif args.command == "profile":
+            from repro.workload.analytics import hot_set_drift, profile_trace
+
+            trace = Trace.load(args.trace)
+            print(profile_trace(trace).render())
+            drift = hot_set_drift(trace)
+            if drift:
+                mean_drift = sum(drift) / len(drift)
+                print(f"hot-set stability (windowed Jaccard): {mean_drift:.3f}")
+        elif args.command == "compare":
+            from repro.analysis.compare import compare_paired
+
+            a_vals, b_vals = [], []
+            for seed in range(args.seed, args.seed + args.seeds):
+                spec = _spec_from_args(args).with_seed(seed)
+                trace = generate_trace(spec)
+                for policy, sink in (
+                    (args.policy_a, a_vals),
+                    (args.policy_b, b_vals),
+                ):
+                    result = simulate_trace(
+                        trace,
+                        SimulationConfig(
+                            cache_size=parse_size(args.cache_size), policy=policy
+                        ),
+                    )
+                    sink.append(result.byte_miss_ratio)
+            comparison = compare_paired(a_vals, b_vals)
+            print("byte miss ratio, paired across seeds:")
+            print(comparison.summary(args.policy_a, args.policy_b))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Core file-bundle caching algorithms from the paper.
+
+Contents
+--------
+* :mod:`repro.core.bundle` — the :class:`FileBundle` value type.
+* :mod:`repro.core.request` — request arrivals / streams.
+* :mod:`repro.core.history` — the ``L(R)`` request-history structure with
+  truncation policies and an incremental cache-support index.
+* :mod:`repro.core.optcacheselect` — the greedy ``OptCacheSelect`` heuristic
+  (Algorithm 1), plain and with the paper's "recompute" refinement.
+* :mod:`repro.core.kenum` — the partial-enumeration variant that improves the
+  approximation factor to ``1 - e^{-1/d}``.
+* :mod:`repro.core.optfilebundle` — the online ``OptFileBundle`` replacement
+  planner (Algorithm 2).
+* :mod:`repro.core.exact` — exact FBC solvers for bound verification.
+* :mod:`repro.core.bounds` — approximation-guarantee formulas.
+* :mod:`repro.core.reduction` — the Dense-k-Subgraph ↔ FBC reduction.
+"""
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.core.history import HistoryEntry, RequestHistory, TruncationMode
+from repro.core.optcacheselect import CacheSelection, FBCInstance, opt_cache_select
+from repro.core.kenum import opt_cache_select_enum
+from repro.core.optfilebundle import LoadPlan, OptFileBundlePlanner
+from repro.core.exact import solve_exact, solve_knapsack_dp
+from repro.core.bounds import greedy_guarantee, enum_guarantee, max_file_degree
+from repro.core.lpbound import certified_ratio, lp_upper_bound
+from repro.core.reduction import dks_to_fbc, fbc_files_to_dks_vertices
+
+__all__ = [
+    "FileBundle",
+    "Request",
+    "RequestStream",
+    "HistoryEntry",
+    "RequestHistory",
+    "TruncationMode",
+    "CacheSelection",
+    "FBCInstance",
+    "opt_cache_select",
+    "opt_cache_select_enum",
+    "LoadPlan",
+    "OptFileBundlePlanner",
+    "solve_exact",
+    "solve_knapsack_dp",
+    "greedy_guarantee",
+    "enum_guarantee",
+    "max_file_degree",
+    "lp_upper_bound",
+    "certified_ratio",
+    "dks_to_fbc",
+    "fbc_files_to_dks_vertices",
+]

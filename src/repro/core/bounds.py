@@ -1,0 +1,51 @@
+"""Approximation-guarantee formulas from Theorem 4.1 and Section 4.
+
+* plain greedy with Step 3 safeguard: ``½ (1 − e^{−1/d})`` of optimal;
+* partial enumeration (k ≥ 2):        ``(1 − e^{−1/d})`` of optimal;
+
+where ``d`` is the maximum number of requests that share one file.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.core.bundle import FileBundle
+from repro.errors import ConfigError
+
+__all__ = ["greedy_guarantee", "enum_guarantee", "max_file_degree"]
+
+
+def enum_guarantee(d: int) -> float:
+    """``1 − e^{−1/d}``: guarantee of the partial-enumeration variant.
+
+    ``d = 0`` (no shared files recorded, i.e. an empty instance) returns
+    1.0 — an empty optimum is matched exactly.
+    """
+    if d < 0:
+        raise ConfigError(f"degree must be non-negative, got {d}")
+    if d == 0:
+        return 1.0
+    return 1.0 - math.exp(-1.0 / d)
+
+
+def greedy_guarantee(d: int) -> float:
+    """``½ (1 − e^{−1/d})``: Theorem 4.1 guarantee of plain OptCacheSelect."""
+    if d == 0:
+        return 1.0
+    return 0.5 * enum_guarantee(d)
+
+
+def max_file_degree(bundles: Iterable[FileBundle]) -> int:
+    """``d``: the maximum number of bundles sharing any one file.
+
+    >>> from repro.core.bundle import FileBundle as B
+    >>> max_file_degree([B(["a", "b"]), B(["b"]), B(["c"])])
+    2
+    """
+    counts: dict[str, int] = {}
+    for bundle in bundles:
+        for f in bundle:
+            counts[f] = counts.get(f, 0) + 1
+    return max(counts.values(), default=0)

@@ -1,0 +1,157 @@
+"""Exact solvers for the File-Bundle Caching problem (bound verification).
+
+The FBC problem is NP-hard (Section 4: reduction from Dense-k-Subgraph), so
+exact solutions are only tractable for small instances.  Two solvers are
+provided:
+
+* :func:`solve_exact` — depth-first branch-and-bound over request subsets
+  with a remaining-value bound; exact for a few dozen candidates.
+* :func:`solve_knapsack_dp` — dynamic program for the special case where no
+  two requests share a file, in which FBC *is* the 0/1 knapsack problem.
+
+These power the Theorem 4.1 verification tests and the ``thm41`` benchmark:
+``greedy_value ≥ ½(1 − e^{−1/d}) · exact_value`` on random instances.
+"""
+
+from __future__ import annotations
+
+from repro.core.optcacheselect import CacheSelection, FBCInstance, _empty_selection
+from repro.errors import SolverError
+from repro.types import FileId
+
+__all__ = ["solve_exact", "solve_knapsack_dp", "MAX_EXACT_CANDIDATES"]
+
+MAX_EXACT_CANDIDATES = 30
+"""Hard limit on instance size accepted by :func:`solve_exact`."""
+
+
+def _selection_from_indices(inst: FBCInstance, indices: list[int]) -> CacheSelection:
+    files: set[FileId] = set()
+    for i in indices:
+        files.update(inst.bundles[i].files)
+    return CacheSelection(
+        selected=tuple(indices),
+        bundles=tuple(inst.bundles[i] for i in indices),
+        files=frozenset(files),
+        total_value=sum(inst.values[i] for i in indices),
+        used_bytes=sum(inst.sizes[f] for f in files),
+    )
+
+
+def solve_exact(inst: FBCInstance) -> CacheSelection:
+    """Optimal FBC solution by branch-and-bound (small instances only).
+
+    Candidates are explored in decreasing-value order; a branch is pruned
+    when even taking every remaining request could not beat the incumbent.
+    Raises :class:`~repro.errors.SolverError` beyond
+    :data:`MAX_EXACT_CANDIDATES` candidates.
+    """
+    n = len(inst)
+    if n == 0 or inst.budget <= 0:
+        return _empty_selection()
+    if n > MAX_EXACT_CANDIDATES:
+        raise SolverError(
+            f"exact solver limited to {MAX_EXACT_CANDIDATES} candidates, got {n}"
+        )
+
+    order = sorted(range(n), key=lambda i: -inst.values[i])
+    values = [inst.values[i] for i in order]
+    bundles = [inst.bundles[i] for i in order]
+    suffix_value = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_value[i] = suffix_value[i + 1] + values[i]
+
+    sizes = inst.sizes
+    budget = inst.budget
+    best_value = -1.0
+    best_set: list[int] = []
+
+    chosen: list[int] = []
+    chosen_files: dict[FileId, int] = {}  # reference counts for backtracking
+    used = 0
+
+    def marginal(i: int) -> int:
+        return sum(sizes[f] for f in bundles[i] if f not in chosen_files)
+
+    def dfs(i: int, value: float) -> None:
+        nonlocal best_value, best_set, used
+        if value > best_value:
+            best_value = value
+            best_set = chosen.copy()
+        if i == n or value + suffix_value[i] <= best_value:
+            return
+        # Branch 1: take candidate i if it fits.
+        extra = marginal(i)
+        if used + extra <= budget:
+            chosen.append(i)
+            used += extra
+            for f in bundles[i]:
+                chosen_files[f] = chosen_files.get(f, 0) + 1
+            dfs(i + 1, value + values[i])
+            for f in bundles[i]:
+                if chosen_files[f] == 1:
+                    del chosen_files[f]
+                else:
+                    chosen_files[f] -= 1
+            used -= extra
+            chosen.pop()
+        # Branch 2: skip candidate i.
+        dfs(i + 1, value)
+
+    dfs(0, 0.0)
+    return _selection_from_indices(inst, [order[i] for i in best_set])
+
+
+def solve_knapsack_dp(inst: FBCInstance, *, scale: int = 1) -> CacheSelection:
+    """Exact solver for the file-disjoint special case via knapsack DP.
+
+    When no file is shared between two candidate requests, FBC reduces to
+    0/1 knapsack with item weight = bundle size (Section 4).  Raises
+    :class:`~repro.errors.SolverError` if any file is shared.  ``scale``
+    divides all byte sizes (rounding weights *up*, budget *down*, so the
+    returned solution is always feasible) to bound the DP table for large
+    budgets.
+    """
+    seen: set[FileId] = set()
+    for bundle in inst.bundles:
+        for f in bundle:
+            if f in seen:
+                raise SolverError(
+                    f"file {f!r} is shared between requests; "
+                    "knapsack DP only applies to disjoint instances"
+                )
+            seen.add(f)
+    if scale <= 0:
+        raise SolverError(f"scale must be positive, got {scale}")
+
+    n = len(inst)
+    if n == 0 or inst.budget <= 0:
+        return _empty_selection()
+
+    weights = [
+        -(-inst.bundles[i].size_under(inst.sizes) // scale) for i in range(n)
+    ]
+    capacity = inst.budget // scale
+
+    # dp[w] = best value using capacity w; keep[i][w] records the take bit.
+    dp = [0.0] * (capacity + 1)
+    take = [[False] * (capacity + 1) for _ in range(n)]
+    for i in range(n):
+        w_i, v_i = weights[i], inst.values[i]
+        if w_i > capacity:
+            continue
+        row = take[i]
+        for w in range(capacity, w_i - 1, -1):
+            candidate = dp[w - w_i] + v_i
+            if candidate > dp[w]:
+                dp[w] = candidate
+                row[w] = True
+
+    chosen: list[int] = []
+    w = capacity
+    for i in range(n - 1, -1, -1):
+        if take[i][w]:
+            chosen.append(i)
+            w -= weights[i]
+    chosen.reverse()
+    return _selection_from_indices(inst, chosen)

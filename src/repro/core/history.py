@@ -1,0 +1,265 @@
+"""The request-history data structure ``L(R)`` (Section 3 of the paper).
+
+``L(R)`` stores, for every request type (bundle) ever serviced, its value
+``v(r)`` — by default an occurrence counter — together with its file set.
+From it the algorithms derive the *degree* ``d(f)`` of each file (the number
+of distinct request types that use it) and the *adjusted* sizes and values
+driving ``OptCacheSelect``.
+
+Truncation (Section 5.2, "Request History Length")
+--------------------------------------------------
+Maintaining and re-ranking the full history on every arrival is expensive,
+so the paper studies truncations and settles on considering only *requests
+supported by the cache* as selection candidates, "while obtaining the
+request popularity and the degree of file sharing from the global history".
+This module therefore always keeps global counters (cheap dictionaries) and
+lets the candidate set be restricted three ways:
+
+* ``TruncationMode.FULL`` — every request type ever seen is a candidate;
+* ``TruncationMode.WINDOW`` — only types seen in the last *W* arrivals;
+* ``TruncationMode.CACHE_SUPPORTED`` — only types whose files are all
+  resident (given the resident set the caller maintains through
+  :meth:`RequestHistory.on_file_loaded` / :meth:`on_file_evicted`); an
+  incremental missing-file counter makes this O(degree) per cache change
+  instead of O(history) per arrival.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.bundle import FileBundle
+from repro.errors import ConfigError
+from repro.types import FileId
+
+__all__ = ["TruncationMode", "HistoryEntry", "RequestHistory"]
+
+
+class TruncationMode(enum.Enum):
+    """Which request types are offered to ``OptCacheSelect`` as candidates."""
+
+    FULL = "full"
+    WINDOW = "window"
+    CACHE_SUPPORTED = "cache"
+
+
+@dataclass(slots=True)
+class HistoryEntry:
+    """Per-request-type record held in ``L(R)``.
+
+    ``value`` is ``v(r)``: the paper's occurrence counter, optionally
+    priority-weighted and/or exponentially decayed (extensions).
+    """
+
+    bundle: FileBundle
+    value: float = 0.0
+    count: int = 0
+    first_seen: int = -1
+    last_seen: int = -1
+    _last_decay_tick: int = field(default=0, repr=False)
+
+
+class RequestHistory:
+    """Incrementally maintained ``L(R)`` with candidate truncation.
+
+    Parameters
+    ----------
+    mode:
+        Candidate truncation policy (default: ``CACHE_SUPPORTED``, the
+        configuration the paper uses for all experiments after Fig. 5).
+    window:
+        Arrival-window length, required iff ``mode`` is ``WINDOW``.
+    decay:
+        Optional per-arrival multiplicative value decay in ``(0, 1]``;
+        ``1.0`` (default) reproduces the paper's pure counter.  Decay is an
+        extension used by the value-function ablation.
+    """
+
+    def __init__(
+        self,
+        mode: TruncationMode = TruncationMode.CACHE_SUPPORTED,
+        *,
+        window: int | None = None,
+        decay: float = 1.0,
+    ):
+        if mode is TruncationMode.WINDOW:
+            if window is None or window <= 0:
+                raise ConfigError("WINDOW truncation requires a positive window")
+        elif window is not None:
+            raise ConfigError("window is only meaningful with TruncationMode.WINDOW")
+        if not (0.0 < decay <= 1.0):
+            raise ConfigError(f"decay must be in (0, 1], got {decay}")
+        self._mode = mode
+        self._window = window
+        self._decay = decay
+        self._tick = 0  # number of arrivals recorded
+
+        self._entries: dict[FileBundle, HistoryEntry] = {}
+        self._degree: dict[FileId, int] = {}
+        # file -> bundles (entry keys) that contain it; drives support updates
+        self._by_file: dict[FileId, list[FileBundle]] = {}
+
+        # CACHE_SUPPORTED bookkeeping
+        self._resident: set[FileId] = set()
+        self._missing: dict[FileBundle, int] = {}
+
+        # WINDOW bookkeeping
+        self._window_arrivals: deque[FileBundle] = deque()
+        self._window_counts: dict[FileBundle, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording arrivals
+
+    def record(self, bundle: FileBundle, *, weight: float = 1.0) -> HistoryEntry:
+        """Record one arrival of ``bundle`` with importance ``weight``.
+
+        Creates the entry (updating file degrees) on first sight; otherwise
+        bumps the counter/value.  Returns the up-to-date entry.
+        """
+        if weight <= 0:
+            raise ConfigError(f"weight must be positive, got {weight}")
+        self._tick += 1
+        entry = self._entries.get(bundle)
+        if entry is None:
+            entry = HistoryEntry(bundle=bundle, first_seen=self._tick)
+            entry._last_decay_tick = self._tick
+            self._entries[bundle] = entry
+            for f in bundle:
+                self._degree[f] = self._degree.get(f, 0) + 1
+                self._by_file.setdefault(f, []).append(bundle)
+            self._missing[bundle] = sum(1 for f in bundle if f not in self._resident)
+        self._apply_decay(entry)
+        entry.value += weight
+        entry.count += 1
+        entry.last_seen = self._tick
+
+        if self._mode is TruncationMode.WINDOW:
+            self._window_arrivals.append(bundle)
+            self._window_counts[bundle] = self._window_counts.get(bundle, 0) + 1
+            assert self._window is not None
+            while len(self._window_arrivals) > self._window:
+                old = self._window_arrivals.popleft()
+                remaining = self._window_counts[old] - 1
+                if remaining:
+                    self._window_counts[old] = remaining
+                else:
+                    del self._window_counts[old]
+        return entry
+
+    def _apply_decay(self, entry: HistoryEntry) -> None:
+        if self._decay >= 1.0:
+            return
+        elapsed = self._tick - entry._last_decay_tick
+        if elapsed > 0:
+            entry.value *= self._decay**elapsed
+        entry._last_decay_tick = self._tick
+
+    # ------------------------------------------------------------------ #
+    # resident-set notifications (CACHE_SUPPORTED truncation)
+
+    def on_file_loaded(self, file_id: FileId) -> None:
+        """Tell the history a file became resident in the cache."""
+        if file_id in self._resident:
+            return
+        self._resident.add(file_id)
+        for bundle in self._by_file.get(file_id, ()):
+            self._missing[bundle] -= 1
+
+    def on_file_evicted(self, file_id: FileId) -> None:
+        """Tell the history a file left the cache."""
+        if file_id not in self._resident:
+            return
+        self._resident.discard(file_id)
+        for bundle in self._by_file.get(file_id, ()):
+            self._missing[bundle] += 1
+
+    def sync_resident(self, resident: Iterable[FileId]) -> None:
+        """Replace the resident view wholesale (used at (re)initialisation)."""
+        target = set(resident)
+        for f in list(self._resident - target):
+            self.on_file_evicted(f)
+        for f in target - self._resident:
+            self.on_file_loaded(f)
+
+    # ------------------------------------------------------------------ #
+    # queries
+
+    @property
+    def mode(self) -> TruncationMode:
+        return self._mode
+
+    @property
+    def arrivals(self) -> int:
+        """Total number of arrivals recorded."""
+        return self._tick
+
+    def __len__(self) -> int:
+        """Number of distinct request types in the global history."""
+        return len(self._entries)
+
+    def __contains__(self, bundle: FileBundle) -> bool:
+        return bundle in self._entries
+
+    def entry(self, bundle: FileBundle) -> HistoryEntry:
+        return self._entries[bundle]
+
+    def value_of(self, bundle: FileBundle) -> float:
+        """Current (decayed) value ``v(r)``; 0.0 for unseen bundles."""
+        entry = self._entries.get(bundle)
+        if entry is None:
+            return 0.0
+        self._apply_decay(entry)
+        return entry.value
+
+    def degree(self, file_id: FileId) -> int:
+        """``d(f)``: number of distinct request types using ``file_id``."""
+        return self._degree.get(file_id, 0)
+
+    def degrees(self) -> dict[FileId, int]:
+        """A copy of the full degree mapping."""
+        return dict(self._degree)
+
+    def max_degree(self) -> int:
+        """``d``: the largest file degree in the history (0 when empty)."""
+        return max(self._degree.values(), default=0)
+
+    def entries(self) -> list[HistoryEntry]:
+        """All entries of the global history (no truncation)."""
+        return list(self._entries.values())
+
+    def candidates(self) -> list[HistoryEntry]:
+        """Entries eligible for ``OptCacheSelect`` under the truncation mode.
+
+        For ``CACHE_SUPPORTED``, these are exactly the request types whose
+        files are all currently resident according to the notifications the
+        caller delivered.
+        """
+        if self._mode is TruncationMode.FULL:
+            out = self._entries.values()
+        elif self._mode is TruncationMode.WINDOW:
+            out = (self._entries[b] for b in self._window_counts)
+        else:
+            out = (
+                entry
+                for bundle, entry in self._entries.items()
+                if self._missing[bundle] == 0
+            )
+        result = list(out)
+        if self._decay < 1.0:
+            for entry in result:
+                self._apply_decay(entry)
+        return result
+
+    def supported(self, bundle: FileBundle) -> bool:
+        """Whether every file of a known bundle is currently resident."""
+        missing = self._missing.get(bundle)
+        if missing is None:
+            return bundle.issubset(self._resident)
+        return missing == 0
+
+    def resident_view(self) -> frozenset[FileId]:
+        """The resident set as last synchronised (debug/verification aid)."""
+        return frozenset(self._resident)

@@ -1,0 +1,84 @@
+"""Dense-k-Subgraph ↔ File-Bundle Caching reduction (Section 4).
+
+The paper proves FBC NP-hard by reduction from the Dense-k-Subgraph (DKS)
+problem: every vertex becomes a unit-size file, every edge ``(x, y)`` a
+request for the two files ``f(x), f(y)`` of value 1, and the cache budget is
+``k``.  A cache content then corresponds to a choice of ``k`` vertices, and
+the supported requests are exactly the edges inside the induced subgraph.
+
+This module implements the reduction in both directions so that any FBC
+solver doubles as a DKS heuristic (with the same bound from optimality, as
+the paper observes).  Graphs are plain edge lists, so ``networkx`` graphs
+can be passed via ``G.edges()``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.bundle import FileBundle
+from repro.core.optcacheselect import CacheSelection, FBCInstance
+from repro.errors import ConfigError
+
+__all__ = ["dks_to_fbc", "fbc_files_to_dks_vertices", "count_induced_edges"]
+
+
+def _vertex_file(v: Hashable) -> str:
+    return f"v:{v}"
+
+
+def dks_to_fbc(edges: Iterable[tuple[Hashable, Hashable]], k: int) -> FBCInstance:
+    """Encode a DKS instance (graph, k) as an FBC instance.
+
+    Vertices become unit-size files; each edge becomes a value-1 request for
+    its two endpoint files; the budget is ``k`` bytes.  Self-loops are
+    rejected (a DKS instance is a simple graph); parallel edges collapse
+    into one request of value 1, matching the induced-edge count semantics.
+    """
+    if k < 0:
+        raise ConfigError(f"k must be non-negative, got {k}")
+    bundles: list[FileBundle] = []
+    seen: set[frozenset[str]] = set()
+    files: set[str] = set()
+    for x, y in edges:
+        if x == y:
+            raise ConfigError(f"self-loop on vertex {x!r}: DKS requires a simple graph")
+        fx, fy = _vertex_file(x), _vertex_file(y)
+        files.update((fx, fy))
+        key = frozenset((fx, fy))
+        if key in seen:
+            continue
+        seen.add(key)
+        bundles.append(FileBundle(key))
+    return FBCInstance(
+        bundles=tuple(bundles),
+        values=tuple(1.0 for _ in bundles),
+        sizes={f: 1 for f in files},
+        budget=k,
+    )
+
+
+def fbc_files_to_dks_vertices(files: Iterable[str]) -> set[str]:
+    """Decode cache-resident files of a reduced instance back to vertices."""
+    out: set[str] = set()
+    for f in files:
+        if not f.startswith("v:"):
+            raise ConfigError(f"file {f!r} is not a vertex encoding")
+        out.add(f[2:])
+    return out
+
+
+def count_induced_edges(
+    edges: Iterable[tuple[Hashable, Hashable]], vertices: Sequence[Hashable] | set
+) -> int:
+    """Number of distinct edges with both endpoints in ``vertices``."""
+    vset = {str(v) for v in vertices}
+    seen: set[frozenset[str]] = set()
+    count = 0
+    for x, y in edges:
+        if str(x) in vset and str(y) in vset:
+            key = frozenset((str(x), str(y)))
+            if key not in seen:
+                seen.add(key)
+                count += 1
+    return count

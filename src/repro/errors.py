@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "CacheCapacityError",
+    "UnknownFileError",
+    "DuplicateFileError",
+    "PolicyError",
+    "WorkloadError",
+    "TraceFormatError",
+    "SimulationError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid parameter or configuration value was supplied."""
+
+
+class CacheCapacityError(ReproError):
+    """An operation would exceed the cache capacity.
+
+    Raised e.g. when a file (or bundle) larger than the whole cache is
+    loaded, or when a policy returns a load plan that does not fit.
+    """
+
+    def __init__(self, needed: int, available: int, message: str | None = None):
+        self.needed = int(needed)
+        self.available = int(available)
+        if message is None:
+            message = (
+                f"operation needs {self.needed} bytes but only "
+                f"{self.available} bytes are available"
+            )
+        super().__init__(message)
+
+
+class UnknownFileError(ReproError, KeyError):
+    """A file id was referenced that is not known to the container."""
+
+
+class DuplicateFileError(ReproError, ValueError):
+    """A file id was inserted into a container that already holds it."""
+
+
+class PolicyError(ReproError):
+    """A replacement policy violated its contract."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """Workload generation was asked for an impossible configuration."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A serialized trace could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class SolverError(ReproError):
+    """An exact solver failed (e.g. instance too large for brute force)."""

@@ -1,0 +1,27 @@
+"""Per-figure/table experiment drivers reproducing the paper's evaluation.
+
+Every table and figure of the paper has a driver here returning an
+:class:`~repro.analysis.report.ExperimentOutput`; the ``benchmarks/``
+harness and the CLI (``repro-fbc run <exp>``) both go through these.
+
+================  =====================================================
+``table1``        File request probabilities of the worked example
+``table2``        Request-hit probabilities; popularity ≠ request-hits
+``fig5``          Effect of history-truncation length (≈ none)
+``fig6``          Byte miss ratio, small files (1% of cache), both dists
+``fig7``          Byte miss ratio, large files (10% of cache)
+``fig8``          Data volume per request vs cache size
+``fig9``          Effect of admission-queue length
+``thm41``         Greedy vs exact: Theorem 4.1 approximation bounds
+``ablation``      Design-choice ablations (refine, safeguard, eviction,
+                  value decay, queue disciplines) — extensions
+``zoo``           All policies side by side on one workload — extension
+``grid``          Timed SRM response-time/throughput study — extension
+``hybrid``        Mixed one-file/bundle execution (paper future work)
+``replication``   Replica placement on a two-tier grid — extension
+================  =====================================================
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

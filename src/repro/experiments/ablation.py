@@ -1,0 +1,112 @@
+"""Ablation studies of OptFileBundle's design choices (extensions).
+
+DESIGN.md calls out five knobs; each gets a row group here, measured on
+one mid-range workload point per distribution:
+
+* ``refine``    — recompute-and-resort inside OptCacheSelect vs one sort;
+* ``safeguard`` — Algorithm 1 Step 3 single-request comparison on/off;
+* ``eviction``  — lazy (evict only for space) vs eager (Fig. 4 literal);
+* ``decay``     — exponential value decay of the history counters;
+* ``queue``     — FCFS / SJF / highest-value / aged-value at q = 25.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentOutput
+from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale
+from repro.sim.queueing import QueueDiscipline
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import render_table
+
+__all__ = ["run_ablation", "ABLATION_VARIANTS"]
+
+CACHE_IN_REQUESTS = 8
+MAX_FILE_FRACTION = 0.01
+
+#: group -> variant name -> (policy kwargs, config kwargs)
+ABLATION_VARIANTS: dict[str, dict[str, tuple[dict, dict]]] = {
+    "refine": {
+        "refine=on (paper note)": ({"refine": True}, {}),
+        "refine=off (literal Alg.1)": ({"refine": False}, {}),
+    },
+    "safeguard": {
+        "step3=on": ({"safeguard": True}, {}),
+        "step3=off": ({"safeguard": False}, {}),
+    },
+    "eviction": {
+        "lazy (default)": ({"eager_evict": False}, {}),
+        "eager (Fig.4 literal)": ({"eager_evict": True}, {}),
+    },
+    "ranking": {
+        "v/s'(adjusted, paper)": ({"degree_blind": False}, {}),
+        "v/s (degree-blind)": ({"degree_blind": True}, {}),
+    },
+    "decay": {
+        "decay=1.0 (counter)": ({"decay": 1.0}, {}),
+        "decay=0.999": ({"decay": 0.999}, {}),
+        "decay=0.99": ({"decay": 0.99}, {}),
+    },
+    "queue": {
+        "q=25 fcfs": ({}, {"queue_length": 25, "discipline": QueueDiscipline.FCFS}),
+        "q=25 sjf": ({}, {"queue_length": 25, "discipline": QueueDiscipline.SJF}),
+        "q=25 value": ({}, {"queue_length": 25, "discipline": QueueDiscipline.VALUE}),
+        "q=25 aged-value": (
+            {},
+            {"queue_length": 25, "discipline": QueueDiscipline.AGED_VALUE},
+        ),
+    },
+}
+
+
+def run_ablation(scale: str = "quick") -> ExperimentOutput:
+    scale = get_scale(scale)
+    sections: list[tuple[str, str]] = []
+    data: dict = {}
+    for popularity in ("uniform", "zipf"):
+        traces = {
+            seed: bundle_trace(
+                scale,
+                popularity=popularity,
+                cache_in_requests=CACHE_IN_REQUESTS,
+                max_file_fraction=MAX_FILE_FRACTION,
+                seed=seed,
+            )
+            for seed in scale.seeds
+        }
+        rows = []
+        panel: dict = {}
+        for group, variants in ABLATION_VARIANTS.items():
+            for name, (policy_kwargs, config_kwargs) in variants.items():
+                results = [
+                    simulate_trace(
+                        traces[seed],
+                        SimulationConfig(
+                            cache_size=CACHE_SIZE,
+                            policy="optbundle",
+                            policy_kwargs=policy_kwargs,
+                            **config_kwargs,
+                        ),
+                    )
+                    for seed in scale.seeds
+                ]
+                mean, ci = mean_confidence_interval(
+                    [r.byte_miss_ratio for r in results]
+                )
+                rows.append([group, name, mean, ci])
+                panel[f"{group}/{name}"] = mean
+        sections.append(
+            (
+                f"{popularity} request distribution",
+                render_table(["group", "variant", "byte_miss_ratio", "±95%"], rows),
+            )
+        )
+        data[popularity] = panel
+    return ExperimentOutput(
+        exp_id="ablation",
+        title="Design-choice ablations of OptFileBundle",
+        description="Byte miss ratio deltas of each design knob at one "
+        f"mid-range point (cache ≈ {CACHE_IN_REQUESTS} requests).",
+        sections=tuple(sections),
+        data=data,
+    )

@@ -1,0 +1,114 @@
+"""Shared sweep machinery for Figures 6, 7 and 8.
+
+All three figures sweep the cache-size-in-requests ratio for both request
+popularity distributions and compare OptFileBundle against Landlord; they
+differ only in the file-size regime (1% vs 10% of cache) and the reported
+metric (byte miss ratio vs data volume per request).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.report import ExperimentOutput
+from repro.experiments.common import CACHE_SIZE, Scale, bundle_trace, get_scale
+from repro.sim.runner import SweepResult, sweep
+from repro.sim.simulator import SimulationConfig
+from repro.types import MB
+
+__all__ = ["byte_miss_sweep", "sweep_experiment", "CACHE_POINTS"]
+
+#: Cache-size-in-requests x-axis, truncated per scale.
+CACHE_POINTS: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+
+DEFAULT_POLICIES = ("optbundle", "landlord")
+
+
+def byte_miss_sweep(
+    scale: Scale,
+    *,
+    popularity: str,
+    max_file_fraction: float,
+    policies=DEFAULT_POLICIES,
+    points: "tuple[int, ...] | None" = None,
+) -> SweepResult:
+    """One panel: sweep cache-in-requests for one popularity distribution."""
+    points = (points if points is not None else CACHE_POINTS)[: scale.points]
+
+    def make_trace(point, seed):
+        return bundle_trace(
+            scale,
+            popularity=popularity,
+            cache_in_requests=point,
+            max_file_fraction=max_file_fraction,
+            seed=seed,
+        )
+
+    def make_config(point):
+        return SimulationConfig(cache_size=CACHE_SIZE, warmup=0)
+
+    return sweep(
+        points,
+        policies,
+        make_trace,
+        make_config,
+        seeds=scale.seeds,
+        x_label="cache size [#requests]",
+    )
+
+
+def sweep_experiment(
+    exp_id: str,
+    title: str,
+    description: str,
+    scale: "str | Scale",
+    *,
+    max_file_fraction: float,
+    metric: str = "byte_miss_ratio",
+    metric_label: str = "byte miss ratio",
+    volume_in_mb: bool = False,
+    policies=DEFAULT_POLICIES,
+    points: "tuple[int, ...] | None" = None,
+) -> ExperimentOutput:
+    """Run both panels (uniform, Zipf) and package the output."""
+    scale = get_scale(scale)
+    sections: list[tuple[str, str]] = []
+    data: dict = {}
+    for panel, popularity in (("a", "uniform"), ("b", "zipf")):
+        result = byte_miss_sweep(
+            scale,
+            popularity=popularity,
+            max_file_fraction=max_file_fraction,
+            policies=policies,
+            points=points,
+        )
+        rows = result.rows
+        if volume_in_mb:
+            rows = tuple(
+                {
+                    **r,
+                    metric: r[metric] / MB,
+                    f"{metric}_ci": r[f"{metric}_ci"] / MB,
+                }
+                for r in rows
+            )
+            result = SweepResult(x_label=result.x_label, rows=rows)
+        sections.append(
+            (
+                f"({panel}) {popularity} request distribution [{metric_label}]",
+                result.render(y=metric),
+            )
+        )
+        chart = render_chart(
+            {p: result.series(p, y=metric) for p in result.policies()},
+            title=f"{exp_id}({panel}) {popularity}",
+            y_label=metric_label,
+        )
+        sections.append((f"({panel}) chart", chart))
+        data[popularity] = [dict(r) for r in rows]
+    return ExperimentOutput(
+        exp_id=exp_id,
+        title=title,
+        description=description,
+        sections=tuple(sections),
+        data=data,
+    )

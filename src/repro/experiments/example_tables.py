@@ -1,0 +1,150 @@
+"""Tables 1 and 2: the worked example of Section 3 (Fig. 3).
+
+Six requests over seven unit-size files, cache of three files, all
+requests equally likely.  Table 1 lists per-file request probabilities;
+Table 2 shows that the three most *popular* files (f5, f6, f7) support only
+one request while the optimal content (f1, f3, f5) supports three — the
+popularity fallacy motivating bundle-aware caching.  The driver also runs
+``OptCacheSelect`` and the exact solver to confirm both recover the
+optimal content.
+
+Note: the paper's Table 1 lists f4 with probability 1/3 despite "No of
+Requests = 1"; that is a typo in the original (1 of 6 requests is 1/6),
+which this reproduction corrects.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.report import ExperimentOutput
+from repro.core.bundle import FileBundle
+from repro.core.exact import solve_exact
+from repro.core.optcacheselect import FBCInstance, opt_cache_select
+from repro.utils.tables import render_table
+
+__all__ = [
+    "EXAMPLE_BUNDLES",
+    "EXAMPLE_SIZES",
+    "EXAMPLE_CACHE_FILES",
+    "file_request_probabilities",
+    "request_hit_probability",
+    "run_tables",
+]
+
+#: The request set reconstructed from Fig. 3 / Tables 1–2 (r1..r6).
+EXAMPLE_BUNDLES: tuple[FileBundle, ...] = (
+    FileBundle(["f1", "f3", "f5"]),  # r1
+    FileBundle(["f2", "f6", "f7"]),  # r2
+    FileBundle(["f1", "f5"]),        # r3
+    FileBundle(["f4", "f6", "f7"]),  # r4
+    FileBundle(["f3", "f5"]),        # r5
+    FileBundle(["f5", "f6", "f7"]),  # r6
+)
+
+EXAMPLE_SIZES: dict[str, int] = {f"f{i}": 1 for i in range(1, 8)}
+
+EXAMPLE_CACHE_FILES = 3
+
+#: The cache contents examined by Table 2.
+TABLE2_CONTENTS: tuple[tuple[str, ...], ...] = (
+    ("f5", "f6", "f7"),
+    ("f1", "f3", "f5"),
+    ("f1", "f5", "f6"),
+    ("f3", "f5", "f6"),
+    ("f1", "f2", "f3"),
+)
+
+
+def file_request_probabilities(
+    bundles: tuple[FileBundle, ...] = EXAMPLE_BUNDLES,
+) -> dict[str, Fraction]:
+    """P(file needed by a uniformly random request) — Table 1."""
+    n = len(bundles)
+    counts: dict[str, int] = {}
+    for b in bundles:
+        for f in b:
+            counts[f] = counts.get(f, 0) + 1
+    return {f: Fraction(c, n) for f, c in sorted(counts.items())}
+
+
+def request_hit_probability(
+    cache_files: tuple[str, ...],
+    bundles: tuple[FileBundle, ...] = EXAMPLE_BUNDLES,
+) -> tuple[Fraction, list[int]]:
+    """Hit probability of a cache content and the supported request indices."""
+    resident = set(cache_files)
+    supported = [i for i, b in enumerate(bundles) if b.issubset(resident)]
+    return Fraction(len(supported), len(bundles)), supported
+
+
+def run_tables(scale: str = "quick") -> ExperimentOutput:
+    """Reproduce Tables 1 and 2 and verify OptCacheSelect's choice."""
+    del scale  # the worked example has a single, fixed size
+
+    probs = file_request_probabilities()
+    table1_rows = [
+        [f, int(p * len(EXAMPLE_BUNDLES)), f"{p.numerator}/{p.denominator}"]
+        for f, p in probs.items()
+    ]
+    table1 = render_table(["File", "No of Requests", "P(file requested)"], table1_rows)
+
+    table2_rows = []
+    for content in TABLE2_CONTENTS:
+        p, supported = request_hit_probability(content)
+        table2_rows.append(
+            [
+                ",".join(content),
+                ",".join(f"r{i+1}" for i in supported) or "-",
+                f"{p.numerator}/{p.denominator}",
+            ]
+        )
+    table2 = render_table(
+        ["Cache contents", "Requests supported", "Request-hit probability"],
+        table2_rows,
+    )
+
+    inst = FBCInstance(
+        bundles=EXAMPLE_BUNDLES,
+        values=tuple(1.0 for _ in EXAMPLE_BUNDLES),
+        sizes=EXAMPLE_SIZES,
+        budget=EXAMPLE_CACHE_FILES,
+    )
+    greedy = opt_cache_select(inst)
+    exact = solve_exact(inst)
+    verdict = render_table(
+        ["Solver", "Cache content", "Requests supported"],
+        [
+            ["OptCacheSelect", ",".join(sorted(greedy.files)), greedy.total_value],
+            ["Exact (B&B)", ",".join(sorted(exact.files)), exact.total_value],
+        ],
+        floatfmt=".0f",
+    )
+
+    return ExperimentOutput(
+        exp_id="table1+table2",
+        title="Worked example: popularity vs request-hits (Tables 1-2, Fig. 3)",
+        description=(
+            "The three most popular files (f5,f6,f7) support 1 of 6 requests; "
+            "the optimal content (f1,f3,f5) supports 3 of 6. OptCacheSelect "
+            "recovers the optimal content."
+        ),
+        sections=(
+            ("Table 1: file request probabilities", table1),
+            ("Table 2: request-hit probabilities", table2),
+            ("Algorithm verification", verdict),
+        ),
+        data={
+            "file_probs": {f: (p.numerator, p.denominator) for f, p in probs.items()},
+            "table2": [
+                {
+                    "content": list(c),
+                    "hit_prob": float(request_hit_probability(c)[0]),
+                }
+                for c in TABLE2_CONTENTS
+            ],
+            "greedy_files": sorted(greedy.files),
+            "greedy_value": greedy.total_value,
+            "exact_value": exact.total_value,
+        },
+    )

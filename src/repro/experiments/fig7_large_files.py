@@ -1,0 +1,29 @@
+"""Figure 7: byte miss ratio with *large* files (max 10% of cache size).
+
+Expected shape (paper): OptFileBundle still wins, but by less than in the
+small-file regime of Figure 6 — with a handful of big files per bundle the
+combinatorial advantage of bundle-aware selection shrinks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentOutput
+from repro.experiments.byte_miss_sweeps import sweep_experiment
+
+__all__ = ["run_fig7", "MAX_FILE_FRACTION"]
+
+MAX_FILE_FRACTION = 0.10
+
+
+def run_fig7(scale: str = "quick") -> ExperimentOutput:
+    return sweep_experiment(
+        "fig7",
+        "Byte miss-rate for large files (<= 10% of cache)",
+        "As Figure 6 but with files up to 10% of the cache size; the "
+        "OptFileBundle advantage narrows relative to Figure 6.",
+        scale,
+        max_file_fraction=MAX_FILE_FRACTION,
+        # With files up to 10% of the cache, bundles of > cache/12 bytes
+        # stop being bundles at all — the x-range is inherently shorter.
+        points=(2, 3, 4, 6, 8, 12),
+    )

@@ -1,0 +1,27 @@
+"""Figure 8: data volume moved into the cache per request vs cache size.
+
+Expected shape (paper): as the cache accommodates more requests, the
+average volume moved per request falls for both algorithms; OptFileBundle
+moves less data everywhere, and the gap is more pronounced under Zipf.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentOutput
+from repro.experiments.byte_miss_sweeps import sweep_experiment
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(scale: str = "quick") -> ExperimentOutput:
+    return sweep_experiment(
+        "fig8",
+        "Effect of varying the cache size (volume per request)",
+        "Average MB moved into the cache per request as the cache grows "
+        "(in number of requests it accommodates); small-file regime.",
+        scale,
+        max_file_fraction=0.01,
+        metric="mean_volume_per_request",
+        metric_label="MB moved / request",
+        volume_in_mb=True,
+    )

@@ -1,0 +1,87 @@
+"""Policy zoo (extension): every implemented policy on one workload.
+
+The paper compares against Landlord only; this driver adds the classic
+per-file baselines (LRU/LFU/FIFO/Random/SIZE/GDSF) and the offline
+farthest-next-use reference so OptFileBundle's position in the wider
+landscape is visible.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentOutput
+from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import render_table
+
+__all__ = ["run_zoo", "ZOO_POLICIES"]
+
+ZOO_POLICIES = (
+    "optbundle",
+    "landlord",
+    "lru",
+    "lruk",
+    "lfu",
+    "fifo",
+    "random",
+    "size",
+    "gdsf",
+    "belady",
+)
+
+CACHE_IN_REQUESTS = 8
+MAX_FILE_FRACTION = 0.01
+
+
+def run_zoo(scale: str = "quick") -> ExperimentOutput:
+    scale = get_scale(scale)
+    sections: list[tuple[str, str]] = []
+    data: dict = {}
+    for popularity in ("uniform", "zipf"):
+        traces = {
+            seed: bundle_trace(
+                scale,
+                popularity=popularity,
+                cache_in_requests=CACHE_IN_REQUESTS,
+                max_file_fraction=MAX_FILE_FRACTION,
+                seed=seed,
+            )
+            for seed in scale.seeds
+        }
+        rows = []
+        panel: dict = {}
+        for policy in ZOO_POLICIES:
+            results = [
+                simulate_trace(
+                    traces[seed],
+                    SimulationConfig(cache_size=CACHE_SIZE, policy=policy),
+                )
+                for seed in scale.seeds
+            ]
+            bmr, bmr_ci = mean_confidence_interval(
+                [r.byte_miss_ratio for r in results]
+            )
+            hit, hit_ci = mean_confidence_interval(
+                [r.request_hit_ratio for r in results]
+            )
+            rows.append([policy, bmr, bmr_ci, hit, hit_ci])
+            panel[policy] = {"byte_miss_ratio": bmr, "request_hit_ratio": hit}
+        rows.sort(key=lambda r: r[1])
+        sections.append(
+            (
+                f"{popularity} request distribution",
+                render_table(
+                    ["policy", "byte_miss_ratio", "±", "request_hit_ratio", "±"],
+                    rows,
+                ),
+            )
+        )
+        data[popularity] = panel
+    return ExperimentOutput(
+        exp_id="zoo",
+        title="All replacement policies side by side (extension)",
+        description="Byte miss and request-hit ratios at one mid-range point; "
+        "belady is an offline reference with full future knowledge.",
+        sections=tuple(sections),
+        data=data,
+    )

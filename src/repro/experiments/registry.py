@@ -1,0 +1,50 @@
+"""Experiment registry: id → driver."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.report import ExperimentOutput
+from repro.errors import ConfigError
+from repro.experiments.ablation import run_ablation
+from repro.experiments.example_tables import run_tables
+from repro.experiments.fig5_history import run_fig5
+from repro.experiments.fig6_small_files import run_fig6
+from repro.experiments.fig7_large_files import run_fig7
+from repro.experiments.fig8_cache_size import run_fig8
+from repro.experiments.fig9_queue_length import run_fig9
+from repro.experiments.grid_timed import run_grid
+from repro.experiments.hybrid import run_hybrid
+from repro.experiments.replication import run_replication
+from repro.experiments.warmup import run_warmup
+from repro.experiments.policy_zoo import run_zoo
+from repro.experiments.theory_bounds import run_thm41
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[[str], ExperimentOutput]] = {
+    "tables": run_tables,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "thm41": run_thm41,
+    "ablation": run_ablation,
+    "zoo": run_zoo,
+    "grid": run_grid,
+    "hybrid": run_hybrid,
+    "replication": run_replication,
+    "warmup": run_warmup,
+}
+
+
+def run_experiment(exp_id: str, scale: str = "quick") -> ExperimentOutput:
+    """Run one experiment by id at the given scale."""
+    try:
+        driver = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return driver(scale)

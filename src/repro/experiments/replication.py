@@ -1,0 +1,122 @@
+"""Replica-placement study (extension of the paper's Section 1 list of
+grid techniques: "usage of strategic data replication").
+
+A two-tier grid — slow tape archive holding everything, fast disk mirror
+with a bounded budget — is driven by the timed SRM simulation under three
+placements of the mirror budget: random, per-file popularity, and
+bundle-aware (OptCacheSelect over observed bundle counts).  Observed
+shape: both informed placements beat random by a wide margin.  Which of
+the two wins interacts with the cache in front of them — the bundle-aware
+*cache* already absorbs the hottest bundles, so mirroring those same
+bundles is partially redundant, while per-file popularity placement also
+covers the mid-popular files behind the cache's working set.  The driver
+reports all three so the interaction is visible.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentOutput
+from repro.experiments.common import CACHE_SIZE, get_scale
+from repro.grid.network import NetworkLink
+from repro.grid.replication import (
+    build_two_tier_catalog,
+    place_bundle_aware,
+    place_by_popularity,
+    place_random,
+)
+from repro.grid.site import DataGridSite
+from repro.grid.srm import SRMConfig, StorageResourceManager
+from repro.sim.engine import EventEngine
+from repro.types import MB
+from repro.utils.rng import derive_rng
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import render_table
+from repro.workload.generator import WorkloadSpec, generate_trace
+
+__all__ = ["run_replication", "PLACEMENTS"]
+
+PLACEMENTS = ("random", "popularity", "bundle-aware")
+
+
+def _mirrored(placement: str, trace, budget, seed):
+    if placement == "random":
+        return place_random(trace, budget, derive_rng(seed, "placement"))
+    if placement == "popularity":
+        return place_by_popularity(trace, budget)
+    return place_bundle_aware(trace, budget)
+
+
+def _run_once(trace, placement: str, seed: int) -> float:
+    budget = trace.catalog.total_bytes() // 5  # mirror 20% of the data
+    mirrored = _mirrored(placement, trace, budget, seed)
+    engine = EventEngine()
+    archive = DataGridSite.build(
+        engine,
+        "archive",
+        n_drives=4,
+        mount_latency=25.0,
+        drive_bandwidth=40 * MB,
+        link=NetworkLink(bandwidth=50 * MB, latency=0.08),
+    )
+    mirror = DataGridSite.build(
+        engine,
+        "mirror",
+        n_drives=8,
+        mount_latency=0.5,
+        drive_bandwidth=120 * MB,
+        link=NetworkLink(bandwidth=200 * MB, latency=0.02),
+    )
+    replicas = build_two_tier_catalog(trace, archive, mirror, mirrored)
+    srm = StorageResourceManager(
+        engine,
+        trace.catalog.as_dict(),
+        SRMConfig(cache_size=CACHE_SIZE // 4, policy="optbundle"),
+        replicas=replicas,
+    )
+    for request in trace:
+        engine.schedule_at(request.arrival_time, lambda r=request: srm.submit(r))
+    engine.run()
+    return srm.response_times.mean if srm.response_times.count else 0.0
+
+
+def run_replication(scale: str = "quick") -> ExperimentOutput:
+    scale = get_scale(scale)
+    n_jobs = max(scale.n_jobs // 10, 100)
+    rows = []
+    data: dict = {}
+    for placement in PLACEMENTS:
+        per_seed = []
+        for seed in scale.seeds:
+            trace = generate_trace(
+                WorkloadSpec(
+                    cache_size=CACHE_SIZE // 4,
+                    n_files=scale.n_files,
+                    n_request_types=scale.n_request_types // 2,
+                    n_jobs=n_jobs,
+                    popularity="zipf",
+                    max_file_fraction=0.05,
+                    max_bundle_fraction=0.2,
+                    arrival_rate=0.05,
+                    seed=seed,
+                )
+            )
+            per_seed.append(_run_once(trace, placement, seed))
+        mean, ci = mean_confidence_interval(per_seed)
+        rows.append([placement, mean, ci])
+        data[placement] = mean
+    return ExperimentOutput(
+        exp_id="replication",
+        title="Replica placement on a two-tier grid (extension)",
+        description=(
+            "Mean job response time with 20% of the data mirrored on a fast "
+            "site under three placement strategies; bundle-aware placement "
+            "extends the paper's request-hit argument to replication."
+        ),
+        sections=(
+            (
+                "zipf request distribution, OptFileBundle cache",
+                render_table(["placement", "mean response [s]", "±95%"], rows),
+            ),
+        ),
+        data=data,
+    )

@@ -1,0 +1,36 @@
+"""Data-grid substrate: mass storage, network links, SRMs and sites.
+
+The paper's Section 2 context — a Storage Resource Manager fronting a Mass
+Storage System over a wide-area network — modelled with enough fidelity to
+measure *timed* quantities (response time, throughput) that the untimed
+byte-miss simulator cannot: retrieving a missing file costs a tape-mount
+plus transfer time, and jobs queue while their bundle is staged.  This
+realises the paper's stated future work ("extend this work to include ...
+the transfer times of files into the cache").
+"""
+
+from repro.grid.network import NetworkLink
+from repro.grid.mss import MassStorageSystem
+from repro.grid.srm import SRMConfig, SRMResult, StorageResourceManager, run_timed_simulation
+from repro.grid.site import DataGridSite, ReplicaCatalog
+from repro.grid.replication import (
+    build_two_tier_catalog,
+    place_bundle_aware,
+    place_by_popularity,
+    place_random,
+)
+
+__all__ = [
+    "NetworkLink",
+    "MassStorageSystem",
+    "SRMConfig",
+    "SRMResult",
+    "StorageResourceManager",
+    "run_timed_simulation",
+    "DataGridSite",
+    "ReplicaCatalog",
+    "build_two_tier_catalog",
+    "place_bundle_aware",
+    "place_by_popularity",
+    "place_random",
+]

@@ -1,0 +1,92 @@
+"""Mass Storage System model: tape-backed retrieval with limited drives.
+
+An MSS serves file retrievals through a fixed number of drives.  Each
+retrieval costs a mount latency plus size-proportional read time; requests
+beyond the drive count queue FCFS.  This reproduces the dominant costs an
+SRM masks from its clients (Section 1): high fixed per-file latency and
+serialised deep-storage bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.sim.engine import EventEngine
+from repro.types import MB, FileId, SizeBytes
+
+__all__ = ["MassStorageSystem"]
+
+RetrievalCallback = Callable[[FileId], None]
+
+
+class MassStorageSystem:
+    """FCFS multi-drive mass storage attached to an event engine."""
+
+    def __init__(
+        self,
+        engine: EventEngine,
+        *,
+        n_drives: int = 4,
+        mount_latency: float = 20.0,
+        drive_bandwidth: float = 60 * MB,
+        name: str = "mss",
+    ):
+        if n_drives <= 0:
+            raise ConfigError(f"n_drives must be positive, got {n_drives}")
+        if mount_latency < 0:
+            raise ConfigError(f"mount_latency must be non-negative, got {mount_latency}")
+        if drive_bandwidth <= 0:
+            raise ConfigError(f"drive_bandwidth must be positive, got {drive_bandwidth}")
+        self.engine = engine
+        self.n_drives = n_drives
+        self.mount_latency = mount_latency
+        self.drive_bandwidth = drive_bandwidth
+        self.name = name
+        self._busy = 0
+        self._pending: deque[tuple[FileId, SizeBytes, RetrievalCallback]] = deque()
+        self.retrievals = 0
+        self.bytes_retrieved: SizeBytes = 0
+        self.total_busy_time = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def retrieval_time(self, size: SizeBytes) -> float:
+        """Drive-occupancy seconds for one file of ``size`` bytes."""
+        return self.mount_latency + size / self.drive_bandwidth
+
+    @property
+    def busy_drives(self) -> int:
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)
+
+    def retrieve(
+        self, file_id: FileId, size: SizeBytes, callback: RetrievalCallback
+    ) -> None:
+        """Request a file; ``callback(file_id)`` fires when it is read."""
+        if size <= 0:
+            raise ConfigError(f"file size must be positive, got {size}")
+        self._pending.append((file_id, size, callback))
+        self._dispatch()
+
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self) -> None:
+        while self._busy < self.n_drives and self._pending:
+            file_id, size, callback = self._pending.popleft()
+            self._busy += 1
+            service = self.retrieval_time(size)
+            self.retrievals += 1
+            self.bytes_retrieved += size
+            self.total_busy_time += service
+
+            def _done(fid: FileId = file_id, cb: RetrievalCallback = callback) -> None:
+                self._busy -= 1
+                cb(fid)
+                self._dispatch()
+
+            self.engine.schedule(service, _done)

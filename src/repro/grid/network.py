@@ -1,0 +1,45 @@
+"""Wide-area network link model.
+
+A link is characterised by a fixed round-trip latency and a sustained
+bandwidth; a transfer of ``n`` bytes costs ``latency + n / bandwidth``
+seconds.  This first-order model captures what matters for staging
+gigabyte files across a WAN: per-file fixed cost plus size-proportional
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.types import MB, SizeBytes
+
+__all__ = ["NetworkLink"]
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link.
+
+    Attributes
+    ----------
+    bandwidth:
+        Sustained throughput in bytes/second.
+    latency:
+        Fixed per-transfer setup cost in seconds (connection + RTTs).
+    """
+
+    bandwidth: float = 100 * MB
+    latency: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ConfigError(f"latency must be non-negative, got {self.latency}")
+
+    def transfer_time(self, nbytes: SizeBytes) -> float:
+        """Seconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ConfigError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency + nbytes / self.bandwidth

@@ -1,0 +1,114 @@
+"""Replica-placement strategies for multi-site data grids.
+
+The paper's introduction lists "strategic data replication" among the
+techniques for efficient grid data access; this module provides three
+placements of a bounded mirror budget onto a fast replica site:
+
+* :func:`place_random` — mirror a uniform random selection of files;
+* :func:`place_by_popularity` — mirror the most-referenced files first
+  (the per-file analogue of popularity caching);
+* :func:`place_bundle_aware` — mirror the file set maximising supported
+  *request value* by running :func:`repro.core.optcacheselect
+  .opt_cache_select` over the observed bundle counts with the mirror
+  budget as capacity — the same popularity-vs-request-hit argument the
+  paper makes for caches, applied to replication.
+
+Each returns the set of file ids to mirror; wire them into a
+:class:`~repro.grid.site.ReplicaCatalog` to drive timed simulations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.optcacheselect import FBCInstance, opt_cache_select
+from repro.errors import ConfigError
+from repro.grid.site import DataGridSite, ReplicaCatalog
+from repro.types import FileId, SizeBytes
+from repro.workload.trace import Trace
+
+__all__ = [
+    "place_random",
+    "place_by_popularity",
+    "place_bundle_aware",
+    "build_two_tier_catalog",
+]
+
+
+def _check_budget(budget: SizeBytes) -> None:
+    if budget < 0:
+        raise ConfigError(f"mirror budget must be non-negative, got {budget}")
+
+
+def place_random(
+    trace: Trace, budget: SizeBytes, rng: np.random.Generator
+) -> set[FileId]:
+    """Mirror uniformly random files until the budget is exhausted."""
+    _check_budget(budget)
+    sizes = trace.catalog.as_dict()
+    chosen: set[FileId] = set()
+    used = 0
+    for idx in rng.permutation(len(sizes)):
+        fid = trace.catalog.ids()[int(idx)]
+        if used + sizes[fid] <= budget:
+            chosen.add(fid)
+            used += sizes[fid]
+    return chosen
+
+
+def place_by_popularity(trace: Trace, budget: SizeBytes) -> set[FileId]:
+    """Mirror the most-requested files first (ties: smaller files first)."""
+    _check_budget(budget)
+    sizes = trace.catalog.as_dict()
+    counts: Counter[FileId] = Counter()
+    for request in trace:
+        counts.update(request.bundle.files)
+    chosen: set[FileId] = set()
+    used = 0
+    for fid, _count in sorted(
+        counts.items(), key=lambda kv: (-kv[1], sizes[kv[0]], kv[0])
+    ):
+        if used + sizes[fid] <= budget:
+            chosen.add(fid)
+            used += sizes[fid]
+    return chosen
+
+
+def place_bundle_aware(trace: Trace, budget: SizeBytes) -> set[FileId]:
+    """Mirror the file set supporting the highest total request value.
+
+    Runs OptCacheSelect over the trace's bundle occurrence counts with the
+    mirror budget as the knapsack capacity: whole *bundles* get mirrored,
+    so hot request types are served entirely from the fast tier.
+    """
+    _check_budget(budget)
+    counts = Counter(r.bundle for r in trace)
+    if not counts:
+        return set()
+    bundles = tuple(counts)
+    inst = FBCInstance(
+        bundles=bundles,
+        values=tuple(float(counts[b]) for b in bundles),
+        sizes=trace.catalog.as_dict(),
+        budget=budget,
+    )
+    return set(opt_cache_select(inst).files)
+
+
+def build_two_tier_catalog(
+    trace: Trace,
+    archive: DataGridSite,
+    mirror: DataGridSite,
+    mirrored_files: set[FileId],
+) -> ReplicaCatalog:
+    """A catalog with every file on the archive and a subset mirrored."""
+    catalog = ReplicaCatalog()
+    catalog.add_site(archive)
+    catalog.add_site(mirror)
+    for fid in trace.catalog.ids():
+        catalog.add_replica(fid, archive.name)
+        if fid in mirrored_files:
+            catalog.add_replica(fid, mirror.name)
+    return catalog

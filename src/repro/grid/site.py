@@ -1,0 +1,107 @@
+"""Multi-site data grid: replica locations and source selection.
+
+Files in a data grid are replicated across sites (Section 2); when an SRM
+must stage a missing file it picks the cheapest source — the site whose
+storage and link deliver the file soonest under the first-order cost model
+``mount + size/drive_bw + link_latency + size/link_bw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, UnknownFileError
+from repro.grid.mss import MassStorageSystem
+from repro.grid.network import NetworkLink
+from repro.sim.engine import EventEngine
+from repro.types import FileId, SizeBytes
+
+__all__ = ["DataGridSite", "ReplicaCatalog"]
+
+
+@dataclass
+class DataGridSite:
+    """A storage site: an MSS plus the WAN link towards the SRM host."""
+
+    name: str
+    mss: MassStorageSystem
+    link: NetworkLink
+
+    def estimated_fetch_time(self, size: SizeBytes) -> float:
+        """First-order staging estimate ignoring queueing at the drives."""
+        return self.mss.retrieval_time(size) + self.link.transfer_time(size)
+
+    @staticmethod
+    def build(
+        engine: EventEngine,
+        name: str,
+        *,
+        n_drives: int = 4,
+        mount_latency: float = 20.0,
+        drive_bandwidth: float = 60 * 1024 * 1024,
+        link: NetworkLink | None = None,
+    ) -> "DataGridSite":
+        return DataGridSite(
+            name=name,
+            mss=MassStorageSystem(
+                engine,
+                n_drives=n_drives,
+                mount_latency=mount_latency,
+                drive_bandwidth=drive_bandwidth,
+                name=name,
+            ),
+            link=link if link is not None else NetworkLink(),
+        )
+
+
+class ReplicaCatalog:
+    """Which sites hold a replica of which file."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, DataGridSite] = {}
+        self._replicas: dict[FileId, list[str]] = {}
+
+    def add_site(self, site: DataGridSite) -> None:
+        if site.name in self._sites:
+            raise ConfigError(f"site {site.name!r} already registered")
+        self._sites[site.name] = site
+
+    def sites(self) -> list[DataGridSite]:
+        return list(self._sites.values())
+
+    def site(self, name: str) -> DataGridSite:
+        try:
+            return self._sites[name]
+        except KeyError:
+            raise ConfigError(f"unknown site {name!r}") from None
+
+    def add_replica(self, file_id: FileId, site_name: str) -> None:
+        if site_name not in self._sites:
+            raise ConfigError(f"unknown site {site_name!r}")
+        locations = self._replicas.setdefault(file_id, [])
+        if site_name not in locations:
+            locations.append(site_name)
+
+    def locations(self, file_id: FileId) -> list[str]:
+        return list(self._replicas.get(file_id, ()))
+
+    def best_source(self, file_id: FileId, size: SizeBytes) -> DataGridSite:
+        """The site expected to deliver the file soonest.
+
+        Queueing-aware: the estimate adds the work currently queued before
+        the file at each site (queued retrievals over available drives).
+        """
+        names = self._replicas.get(file_id)
+        if not names:
+            raise UnknownFileError(f"no replica registered for file {file_id!r}")
+        best_site: DataGridSite | None = None
+        best_cost = float("inf")
+        for name in names:
+            site = self._sites[name]
+            backlog = site.mss.queued / site.mss.n_drives * site.mss.mount_latency
+            cost = site.estimated_fetch_time(size) + backlog
+            if cost < best_cost:
+                best_cost = cost
+                best_site = site
+        assert best_site is not None
+        return best_site

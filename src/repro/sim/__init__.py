@@ -1,0 +1,35 @@
+"""Trace-driven cache simulation (the paper's ``cacheSim``, in Python).
+
+* :mod:`repro.sim.metrics` — hit/miss, byte hit/miss ratios, volumes.
+* :mod:`repro.sim.queueing` — admission queue with FCFS / SJF /
+  highest-relative-value / aged-value disciplines (Fig. 9).
+* :mod:`repro.sim.simulator` — the per-job service loop with uniform byte
+  accounting across policies.
+* :mod:`repro.sim.events`, :mod:`repro.sim.engine` — a minimal discrete-
+  event engine for the timed data-grid experiments (throughput, response
+  time).
+* :mod:`repro.sim.runner` — parameter sweeps with seed replication.
+"""
+
+from repro.sim.metrics import MetricsCollector, MetricsSnapshot
+from repro.sim.queueing import AdmissionQueue, QueueDiscipline
+from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_trace
+from repro.sim.engine import EventEngine
+from repro.sim.runner import SweepResult, run_replications, sweep
+from repro.sim.timeseries import WindowPoint, byte_miss_timeseries
+
+__all__ = [
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "AdmissionQueue",
+    "QueueDiscipline",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_trace",
+    "EventEngine",
+    "SweepResult",
+    "run_replications",
+    "sweep",
+    "WindowPoint",
+    "byte_miss_timeseries",
+]

@@ -1,0 +1,92 @@
+"""A minimal discrete-event simulation engine.
+
+The untimed byte-miss experiments replay traces directly; the timed
+data-grid experiments (:mod:`repro.grid`) need simulated clock time for
+transfer latencies, queueing delay and throughput.  ``simpy`` is not
+available offline, so this module provides the small deterministic core
+needed: a time-ordered event heap with FIFO tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventEngine"]
+
+Action = Callable[[], None]
+
+
+class EventEngine:
+    """Heap-based discrete-event loop.
+
+    Events scheduled for the same instant run in scheduling order
+    (deterministic FIFO tie-break), so simulations are exactly replayable.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Action]] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, action: Action) -> None:
+        """Run ``action`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, when: float, action: Action) -> None:
+        """Run ``action`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={when} < now={self._now})"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), action))
+
+    def step(self) -> bool:
+        """Execute the next event; returns False when none remain."""
+        if not self._heap:
+            return False
+        when, _seq, action = heapq.heappop(self._heap)
+        self._now = when
+        self._processed += 1
+        action()
+        return True
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
+        """Run events until the heap empties, ``until`` time, or a budget.
+
+        With ``until``, events strictly after that time stay pending and
+        the clock advances to exactly ``until``.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until

@@ -1,0 +1,160 @@
+"""Caching performance metrics (Section 1.2 of the paper).
+
+For a workload of jobs each requesting a bundle:
+
+* **request-hit ratio** — fraction of jobs whose whole bundle was resident;
+* **byte miss ratio** — bytes moved into the cache divided by bytes
+  requested (the paper's primary metric; prefetched bytes count as moved);
+* **byte hit ratio** — ``1 − byte miss ratio`` of the demand traffic;
+* **volume per request** — average bytes moved into the cache per job,
+  the quantity plotted in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.types import SizeBytes
+from repro.utils.stats import RunningStats
+
+__all__ = ["MetricsCollector", "MetricsSnapshot"]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable summary of one simulation run."""
+
+    jobs: int
+    request_hits: int
+    unserviceable: int
+    bytes_requested: SizeBytes
+    bytes_demand_loaded: SizeBytes
+    bytes_prefetched: SizeBytes
+    mean_volume_per_request: float
+    max_volume_per_request: float
+
+    @property
+    def request_hit_ratio(self) -> float:
+        return self.request_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def request_miss_ratio(self) -> float:
+        return 1.0 - self.request_hit_ratio
+
+    @property
+    def bytes_loaded(self) -> SizeBytes:
+        """All bytes moved into the cache (demand misses + prefetch)."""
+        return self.bytes_demand_loaded + self.bytes_prefetched
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        """Demanded bytes not found resident over bytes requested.
+
+        This is the paper's Section 1.2 definition: the miss ratio of the
+        *requested* files only.  Prefetched bytes are deliberately not
+        misses (they are speculative transfers, tracked separately by
+        :attr:`byte_movement_ratio`).
+        """
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_demand_loaded / self.bytes_requested
+
+    @property
+    def byte_movement_ratio(self) -> float:
+        """All bytes moved into the cache (incl. prefetch) over requested."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return self.bytes_loaded / self.bytes_requested
+
+    @property
+    def byte_hit_ratio(self) -> float:
+        """Fraction of *demanded* bytes found resident."""
+        if self.bytes_requested == 0:
+            return 1.0
+        return 1.0 - self.bytes_demand_loaded / self.bytes_requested
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "request_hits": self.request_hits,
+            "unserviceable": self.unserviceable,
+            "request_hit_ratio": self.request_hit_ratio,
+            "bytes_requested": self.bytes_requested,
+            "bytes_demand_loaded": self.bytes_demand_loaded,
+            "bytes_prefetched": self.bytes_prefetched,
+            "byte_miss_ratio": self.byte_miss_ratio,
+            "byte_movement_ratio": self.byte_movement_ratio,
+            "byte_hit_ratio": self.byte_hit_ratio,
+            "mean_volume_per_request": self.mean_volume_per_request,
+            "max_volume_per_request": self.max_volume_per_request,
+        }
+
+
+class MetricsCollector:
+    """Accumulates per-job observations during a simulation run.
+
+    ``warmup`` jobs are recorded for cache state but excluded from the
+    reported metrics, so steady-state ratios are not polluted by the
+    initially empty cache (the paper's long runs make warm-up negligible;
+    short test runs benefit from excluding it explicitly).
+    """
+
+    def __init__(self, warmup: int = 0):
+        if warmup < 0:
+            raise SimulationError(f"warmup must be non-negative, got {warmup}")
+        self._warmup = warmup
+        self._seen = 0
+        self._jobs = 0
+        self._hits = 0
+        self._unserviceable = 0
+        self._bytes_requested = 0
+        self._bytes_demand = 0
+        self._bytes_prefetch = 0
+        self._volume = RunningStats()
+
+    @property
+    def warmup(self) -> int:
+        return self._warmup
+
+    def record_job(
+        self,
+        *,
+        requested_bytes: SizeBytes,
+        demand_loaded_bytes: SizeBytes,
+        prefetched_bytes: SizeBytes = 0,
+        hit: bool,
+    ) -> None:
+        """Record one serviced job."""
+        if requested_bytes < 0 or demand_loaded_bytes < 0 or prefetched_bytes < 0:
+            raise SimulationError("byte counts must be non-negative")
+        if hit and demand_loaded_bytes:
+            raise SimulationError("a request-hit cannot have demand-loaded bytes")
+        self._seen += 1
+        if self._seen <= self._warmup:
+            return
+        self._jobs += 1
+        self._hits += int(hit)
+        self._bytes_requested += requested_bytes
+        self._bytes_demand += demand_loaded_bytes
+        self._bytes_prefetch += prefetched_bytes
+        self._volume.push(float(demand_loaded_bytes + prefetched_bytes))
+
+    def record_unserviceable(self) -> None:
+        """A job whose bundle cannot fit the cache at all."""
+        self._seen += 1
+        if self._seen <= self._warmup:
+            return
+        self._unserviceable += 1
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            jobs=self._jobs,
+            request_hits=self._hits,
+            unserviceable=self._unserviceable,
+            bytes_requested=self._bytes_requested,
+            bytes_demand_loaded=self._bytes_demand,
+            bytes_prefetched=self._bytes_prefetch,
+            mean_volume_per_request=self._volume.mean if self._volume.count else 0.0,
+            max_volume_per_request=self._volume.max if self._volume.count else 0.0,
+        )

@@ -1,0 +1,125 @@
+"""Experiment running: seed replication and parameter sweeps.
+
+The paper's figures are parameter sweeps (cache size, file-size fraction,
+queue length) with each point averaged over runs.  :func:`sweep` runs a
+grid of points × seeds, aggregates the byte-miss ratio (mean ± 95% CI) per
+point, and returns a :class:`SweepResult` whose rows print as the same
+series the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigError
+from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_trace
+from repro.utils.stats import mean_confidence_interval
+from repro.utils.tables import render_table
+from repro.workload.trace import Trace
+
+__all__ = ["SweepResult", "run_replications", "sweep"]
+
+TraceFactory = Callable[[Any, int], Trace]
+ConfigFactory = Callable[[Any], SimulationConfig]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregated sweep output: one row per (point, policy)."""
+
+    x_label: str
+    rows: tuple[dict[str, Any], ...]
+
+    def series(self, policy: str, y: str = "byte_miss_ratio") -> list[tuple[Any, float]]:
+        """(x, y) pairs of one policy's curve."""
+        return [(r["x"], r[y]) for r in self.rows if r["policy"] == policy]
+
+    def policies(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.rows:
+            if r["policy"] not in seen:
+                seen.append(r["policy"])
+        return seen
+
+    def render(self, *, y: str = "byte_miss_ratio", title: str | None = None) -> str:
+        """ASCII table: x down the side, one column per policy."""
+        xs: list[Any] = []
+        for r in self.rows:
+            if r["x"] not in xs:
+                xs.append(r["x"])
+        policies = self.policies()
+        lookup = {(r["x"], r["policy"]): r for r in self.rows}
+        headers = [self.x_label] + [
+            h for p in policies for h in (p, f"{p}±")
+        ]
+        table_rows = []
+        for x in xs:
+            row: list[Any] = [x]
+            for p in policies:
+                r = lookup.get((x, p))
+                if r is None:
+                    row.extend(["-", "-"])
+                else:
+                    row.extend([r[y], r.get(f"{y}_ci", 0.0)])
+            table_rows.append(row)
+        return render_table(headers, table_rows, title=title)
+
+
+def run_replications(
+    make_trace: Callable[[int], Trace],
+    config: SimulationConfig,
+    seeds: Sequence[int],
+) -> list[SimulationResult]:
+    """Run the same configuration over several seeds."""
+    if not seeds:
+        raise ConfigError("at least one seed is required")
+    return [simulate_trace(make_trace(seed), config) for seed in seeds]
+
+
+def sweep(
+    points: Sequence[Any],
+    policies: Sequence[str],
+    make_trace: TraceFactory,
+    make_config: ConfigFactory,
+    *,
+    seeds: Sequence[int] = (0,),
+    x_label: str = "x",
+    policy_kwargs: dict[str, dict[str, Any]] | None = None,
+    metrics: Sequence[str] = ("byte_miss_ratio", "request_hit_ratio", "mean_volume_per_request"),
+) -> SweepResult:
+    """Run ``points × policies × seeds`` simulations and aggregate.
+
+    ``make_trace(point, seed)`` builds the workload; ``make_config(point)``
+    the base configuration, whose policy/name is overridden per policy.
+    Per-policy extra constructor arguments go in ``policy_kwargs``.
+    """
+    if not points or not policies:
+        raise ConfigError("points and policies must be non-empty")
+    rows: list[dict[str, Any]] = []
+    extra = policy_kwargs or {}
+    for point in points:
+        base = make_config(point)
+        traces = {seed: make_trace(point, seed) for seed in seeds}
+        for policy in policies:
+            kwargs = dict(base.policy_kwargs)
+            kwargs.update(extra.get(policy, {}))
+            config = SimulationConfig(
+                cache_size=base.cache_size,
+                policy=policy,
+                policy_kwargs=kwargs,
+                queue_length=base.queue_length,
+                discipline=base.discipline,
+                queue_mode=base.queue_mode,
+                warmup=base.warmup,
+                check_invariants=base.check_invariants,
+            )
+            results = [simulate_trace(traces[seed], config) for seed in seeds]
+            row: dict[str, Any] = {"x": point, "policy": policy, "seeds": len(seeds)}
+            for metric in metrics:
+                values = [getattr(r.metrics, metric) for r in results]
+                mean, ci = mean_confidence_interval(values)
+                row[metric] = mean
+                row[f"{metric}_ci"] = ci
+            rows.append(row)
+    return SweepResult(x_label=x_label, rows=tuple(rows))

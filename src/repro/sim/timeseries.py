@@ -1,0 +1,103 @@
+"""Windowed time series of caching metrics (learning curves).
+
+OptFileBundle learns the request population as the history ``L(R)`` fills;
+per-window byte miss ratios make that warm-up visible and show when a run
+has reached steady state — information a single end-of-run ratio hides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.policy import ReplacementPolicy
+from repro.cache.registry import make_policy
+from repro.cache.state import CacheState
+from repro.errors import ConfigError
+from repro.sim.simulator import SimulationConfig
+from repro.types import SizeBytes
+from repro.workload.trace import Trace
+
+__all__ = ["WindowPoint", "byte_miss_timeseries"]
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """Aggregated metrics of one window of jobs."""
+
+    window_index: int
+    jobs: int
+    byte_miss_ratio: float
+    request_hit_ratio: float
+
+
+def byte_miss_timeseries(
+    trace: Trace,
+    config: SimulationConfig,
+    *,
+    window: int = 200,
+    policy: ReplacementPolicy | None = None,
+) -> list[WindowPoint]:
+    """Replay a trace, reporting per-window byte miss / request-hit ratios.
+
+    Uses the same service loop semantics as
+    :func:`repro.sim.simulator.simulate_trace` (FCFS only — learning curves
+    with queueing would conflate scheduling reordering with learning).
+    """
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window}")
+    if config.queue_length != 1:
+        raise ConfigError("byte_miss_timeseries supports queue_length=1 only")
+
+    sizes = trace.catalog.as_dict()
+    cache = CacheState(config.cache_size)
+    if policy is None:
+        policy = make_policy(
+            config.policy, future=trace.bundles(), **config.policy_kwargs
+        )
+    policy.bind(cache, sizes)
+
+    points: list[WindowPoint] = []
+    w_jobs = w_hits = 0
+    w_requested: SizeBytes = 0
+    w_loaded: SizeBytes = 0
+
+    def flush(index: int) -> None:
+        nonlocal w_jobs, w_hits, w_requested, w_loaded
+        if w_jobs == 0:
+            return
+        points.append(
+            WindowPoint(
+                window_index=index,
+                jobs=w_jobs,
+                byte_miss_ratio=(w_loaded / w_requested) if w_requested else 0.0,
+                request_hit_ratio=w_hits / w_jobs,
+            )
+        )
+        w_jobs = w_hits = 0
+        w_requested = 0
+        w_loaded = 0
+
+    for i, request in enumerate(trace):
+        bundle = request.bundle
+        requested = bundle.size_under(sizes)
+        if requested > cache.capacity:
+            continue
+        missing = cache.missing(bundle)
+        decision = policy.on_request(bundle)
+        loaded = set(missing)
+        for f in decision.prefetch:
+            if f not in cache and f not in loaded:
+                loaded.add(f)
+        for f in loaded:
+            cache.load(f, sizes[f])
+        hit = not missing
+        policy.on_serviced(bundle, frozenset(loaded), hit)
+
+        w_jobs += 1
+        w_hits += int(hit)
+        w_requested += requested
+        w_loaded += sum(sizes[f] for f in missing)
+        if w_jobs == window:
+            flush(len(points))
+    flush(len(points))
+    return points

@@ -1,0 +1,130 @@
+"""Shared primitive types and unit constants.
+
+The library identifies files by opaque string ids (``FileId``) and measures
+all sizes in integer bytes (``SizeBytes``).  Keeping sizes integral avoids
+floating-point drift in occupancy accounting over millions of simulated
+operations — equality checks like ``used == sum(sizes)`` stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+__all__ = [
+    "FileId",
+    "SizeBytes",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "FileInfo",
+    "FileCatalog",
+    "total_size",
+]
+
+FileId = str
+SizeBytes = int
+
+KB: SizeBytes = 1024
+MB: SizeBytes = 1024 * KB
+GB: SizeBytes = 1024 * MB
+TB: SizeBytes = 1024 * GB
+
+
+@dataclass(frozen=True, slots=True)
+class FileInfo:
+    """Immutable description of one grid file.
+
+    Attributes
+    ----------
+    file_id:
+        Opaque identifier, unique within a catalog.
+    size:
+        File size in bytes; must be positive.
+    """
+
+    file_id: FileId
+    size: SizeBytes
+
+    def __post_init__(self) -> None:
+        if not self.file_id:
+            raise ValueError("file_id must be a non-empty string")
+        if self.size <= 0:
+            raise ValueError(f"file size must be positive, got {self.size}")
+
+
+class FileCatalog:
+    """Mapping from file ids to sizes for a fixed file population.
+
+    A catalog is the authoritative source of file sizes shared by workload
+    generators, caches and policies.  It is insert-only: files never change
+    size or disappear, mirroring the write-once data sets of the paper's
+    scientific setting.
+    """
+
+    __slots__ = ("_sizes",)
+
+    def __init__(self, files: Iterable[FileInfo] | Mapping[FileId, SizeBytes] = ()):
+        self._sizes: dict[FileId, SizeBytes] = {}
+        if isinstance(files, Mapping):
+            for fid, size in files.items():
+                self.add(FileInfo(fid, size))
+        else:
+            for info in files:
+                self.add(info)
+
+    def add(self, info: FileInfo) -> None:
+        """Register a file; raises on duplicate ids with conflicting sizes."""
+        existing = self._sizes.get(info.file_id)
+        if existing is not None:
+            if existing != info.size:
+                raise ValueError(
+                    f"file {info.file_id!r} already registered with size "
+                    f"{existing}, conflicting size {info.size}"
+                )
+            return
+        self._sizes[info.file_id] = info.size
+
+    def size_of(self, file_id: FileId) -> SizeBytes:
+        """Size of one file in bytes; raises ``KeyError`` if unknown."""
+        return self._sizes[file_id]
+
+    def get(self, file_id: FileId, default: SizeBytes | None = None) -> SizeBytes | None:
+        return self._sizes.get(file_id, default)
+
+    def __contains__(self, file_id: object) -> bool:
+        return file_id in self._sizes
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __iter__(self):
+        return iter(self._sizes)
+
+    def items(self):
+        return self._sizes.items()
+
+    def ids(self) -> list[FileId]:
+        return list(self._sizes)
+
+    def total_bytes(self) -> SizeBytes:
+        """Total size of every file in the catalog."""
+        return sum(self._sizes.values())
+
+    def bundle_size(self, file_ids: Iterable[FileId]) -> SizeBytes:
+        """Total size of a set of files (each counted once)."""
+        sizes = self._sizes
+        return sum(sizes[f] for f in set(file_ids))
+
+    def as_dict(self) -> dict[FileId, SizeBytes]:
+        """A copy of the id → size mapping."""
+        return dict(self._sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FileCatalog(n={len(self._sizes)}, bytes={self.total_bytes()})"
+
+
+def total_size(sizes: Mapping[FileId, SizeBytes], file_ids: Iterable[FileId]) -> SizeBytes:
+    """Sum sizes of the distinct ``file_ids`` under the ``sizes`` mapping."""
+    return sum(sizes[f] for f in set(file_ids))

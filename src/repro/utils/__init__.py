@@ -1,0 +1,17 @@
+"""Small shared utilities: units, RNG management, statistics, tables."""
+
+from repro.utils.units import format_size, parse_size
+from repro.utils.rng import RngFactory, derive_rng
+from repro.utils.stats import RunningStats, mean_confidence_interval, summarize
+from repro.utils.tables import render_table
+
+__all__ = [
+    "format_size",
+    "parse_size",
+    "RngFactory",
+    "derive_rng",
+    "RunningStats",
+    "mean_confidence_interval",
+    "summarize",
+    "render_table",
+]

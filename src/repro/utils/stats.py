@@ -1,0 +1,155 @@
+"""Streaming statistics helpers used by metrics collection and benches."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStats", "mean_confidence_interval", "summarize", "Summary"]
+
+
+class RunningStats:
+    """Numerically stable streaming mean/variance (Welford's algorithm).
+
+    Suitable for accumulating per-request metrics over long simulations
+    without storing every observation.
+    """
+
+    __slots__ = ("_n", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def push(self, x: float) -> None:
+        """Add one observation."""
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+        self._total += x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.push(x)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 for a single observation."""
+        if self._n == 0:
+            raise ValueError("no observations")
+        if self._n == 1:
+            return 0.0
+        return self._m2 / (self._n - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        if self._n == 0:
+            raise ValueError("no observations")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (parallel Welford merge)."""
+        merged = RunningStats()
+        n = self._n + other._n
+        if n == 0:
+            return merged
+        delta = other._mean - self._mean
+        merged._n = n
+        merged._mean = self._mean + delta * (other._n / n)
+        merged._m2 = self._m2 + other._m2 + delta * delta * self._n * other._n / n
+        merged._min = min(self._min, other._min)
+        merged._max = max(self._max, other._max)
+        merged._total = self._total + other._total
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self._n == 0:
+            return "RunningStats(empty)"
+        return f"RunningStats(n={self._n}, mean={self._mean:.6g}, sd={self.stdev:.6g})"
+
+
+# Two-sided critical values of Student's t at 95% confidence, indexed by
+# degrees of freedom; the normal value 1.96 is used beyond the table.
+_T_TABLE = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 12: 2.179, 15: 2.131, 20: 2.086,
+    25: 2.060, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980,
+}
+
+
+def _t_critical(dof: int) -> float:
+    if dof <= 0:
+        raise ValueError("need at least 2 observations for an interval")
+    best = 1.96
+    for k in sorted(_T_TABLE):
+        if dof <= k:
+            return _T_TABLE[k]
+    return best
+
+
+def mean_confidence_interval(xs: Sequence[float]) -> tuple[float, float]:
+    """Sample mean and 95% confidence half-width of ``xs``.
+
+    Returns ``(mean, half_width)``; half-width is 0 for a single value.
+    """
+    n = len(xs)
+    if n == 0:
+        raise ValueError("no observations")
+    stats = RunningStats()
+    stats.extend(xs)
+    if n == 1:
+        return stats.mean, 0.0
+    half = _t_critical(n - 1) * stats.stdev / math.sqrt(n)
+    return stats.mean, half
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    min: float
+    max: float
+
+
+def summarize(xs: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    stats = RunningStats()
+    stats.extend(xs)
+    return Summary(stats.count, stats.mean, stats.stdev, stats.min, stats.max)

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module renders them as aligned ASCII tables so the
+output is directly comparable across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table"]
+
+
+def _cell(value: Any, floatfmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric columns are right-aligned, text columns left-aligned.  ``rows``
+    may be ragged only in the sense of shorter rows, which are padded with
+    empty cells.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a |      b
+    --+-------
+    1 | 2.5000
+    """
+    ncols = len(headers)
+    text_rows: list[list[str]] = []
+    for row in rows:
+        cells = [_cell(v, floatfmt) for v in row]
+        cells += [""] * (ncols - len(cells))
+        text_rows.append(cells[:ncols])
+
+    numeric = [True] * ncols
+    for row in rows:
+        for i, v in enumerate(row[:ncols]):
+            if not isinstance(v, (int, float)):
+                numeric[i] = False
+
+    widths = [len(h) for h in headers]
+    for cells in text_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(cells) for cells in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Parsing and formatting of byte sizes.
+
+Experiment configs express cache and file sizes as human strings
+(``"500MB"``, ``"2 GiB"``); internally everything is integer bytes.
+Binary units (powers of 1024) are used throughout — ``MB`` here means MiB,
+matching the constants in :mod:`repro.types`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigError
+from repro.types import GB, KB, MB, TB, SizeBytes
+
+__all__ = ["parse_size", "format_size"]
+
+_UNITS: dict[str, int] = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "kib": KB,
+    "m": MB,
+    "mb": MB,
+    "mib": MB,
+    "g": GB,
+    "gb": GB,
+    "gib": GB,
+    "t": TB,
+    "tb": TB,
+    "tib": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> SizeBytes:
+    """Parse a human-readable size into integer bytes.
+
+    Accepts plain numbers (taken as bytes) or a number followed by a unit
+    suffix from {B, KB, MB, GB, TB} (case-insensitive, ``KiB`` style also
+    accepted).  Fractional values are rounded to the nearest byte.
+
+    >>> parse_size("1MB")
+    1048576
+    >>> parse_size("1.5 KB")
+    1536
+    """
+    if isinstance(text, (int, float)):
+        if text <= 0:
+            raise ConfigError(f"size must be positive, got {text}")
+        return int(round(text))
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ConfigError(f"cannot parse size {text!r}")
+    value = float(match.group(1))
+    unit = match.group(2).lower()
+    if unit not in _UNITS:
+        raise ConfigError(f"unknown size unit {match.group(2)!r} in {text!r}")
+    size = int(round(value * _UNITS[unit]))
+    if size <= 0:
+        raise ConfigError(f"size must be positive, got {text!r}")
+    return size
+
+
+def format_size(size: SizeBytes, precision: int = 1) -> str:
+    """Format bytes for display with the largest unit that keeps value ≥ 1.
+
+    >>> format_size(1536)
+    '1.5KB'
+    """
+    if size < 0:
+        raise ConfigError(f"size must be non-negative, got {size}")
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if size >= factor:
+            return f"{size / factor:.{precision}f}{unit}"
+    return f"{size}B"

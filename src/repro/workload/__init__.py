@@ -1,0 +1,82 @@
+"""Synthetic workload generation (Section 5.1–5.2 of the paper).
+
+No public file-bundle traces exist (the paper itself notes this), so
+workloads are generated synthetically with the paper's stated parameters:
+
+* a pool of files with sizes drawn between 1 MB and a percentage of the
+  cache size (:mod:`repro.workload.filepool`);
+* a pool of request types, each a random set of files whose total size is
+  below the cache size (:mod:`repro.workload.requestpool`);
+* a job stream drawing request types under uniform or Zipf popularity
+  (:mod:`repro.workload.distributions`, :mod:`repro.workload.generator`);
+* domain-flavoured generators for the paper's three motivating
+  applications (:mod:`repro.workload.scenarios`);
+* trace (de)serialization (:mod:`repro.workload.trace`).
+"""
+
+from repro.workload.distributions import (
+    PopularitySampler,
+    UniformSampler,
+    ZipfSampler,
+    make_sampler,
+    zipf_weights,
+)
+from repro.workload.filepool import FileSizeSpec, generate_catalog
+from repro.workload.requestpool import generate_request_pool
+from repro.workload.trace import Trace
+from repro.workload.generator import (
+    WorkloadSpec,
+    generate_trace,
+    average_request_size,
+    cache_size_in_requests,
+)
+from repro.workload.transforms import (
+    concatenate,
+    explode_to_single_file_jobs,
+    filter_trace,
+    hybrid_trace,
+    interleave,
+    truncate,
+)
+from repro.workload.analytics import (
+    TraceProfile,
+    gini,
+    hot_set_drift,
+    popularity_concentration,
+    profile_trace,
+)
+from repro.workload.scenarios import (
+    henp_trace,
+    climate_trace,
+    bitmap_index_trace,
+)
+
+__all__ = [
+    "PopularitySampler",
+    "UniformSampler",
+    "ZipfSampler",
+    "make_sampler",
+    "zipf_weights",
+    "FileSizeSpec",
+    "generate_catalog",
+    "generate_request_pool",
+    "Trace",
+    "WorkloadSpec",
+    "generate_trace",
+    "average_request_size",
+    "cache_size_in_requests",
+    "concatenate",
+    "explode_to_single_file_jobs",
+    "filter_trace",
+    "hybrid_trace",
+    "interleave",
+    "truncate",
+    "TraceProfile",
+    "gini",
+    "hot_set_drift",
+    "popularity_concentration",
+    "profile_trace",
+    "henp_trace",
+    "climate_trace",
+    "bitmap_index_trace",
+]

@@ -1,0 +1,143 @@
+"""Workload/trace analytics: the quantities that predict caching behaviour.
+
+The paper's Section 5.2 discusses the workload knobs (request size,
+popularity, sharing degree); this module measures them on any trace —
+synthetic or recorded — so users can characterise their own workloads
+before choosing parameters:
+
+* bundle-size distribution (files and bytes per request);
+* file sharing degrees ``d(f)`` and the Theorem 4.1 ``d``;
+* popularity concentration (top-k share, Gini coefficient);
+* temporal drift of the hot set (windowed Jaccard similarity).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.stats import Summary, summarize
+from repro.workload.trace import Trace
+
+__all__ = [
+    "TraceProfile",
+    "profile_trace",
+    "popularity_concentration",
+    "gini",
+    "hot_set_drift",
+]
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary statistics of one trace."""
+
+    jobs: int
+    distinct_types: int
+    n_files: int
+    catalog_bytes: int
+    bundle_files: Summary
+    bundle_bytes: Summary
+    max_degree: int
+    mean_degree: float
+    top1_share: float
+    top10_share: float
+    gini_popularity: float
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"jobs={self.jobs}  types={self.distinct_types}  "
+                f"files={self.n_files}  catalog={self.catalog_bytes}B",
+                f"bundle files: mean={self.bundle_files.mean:.2f} "
+                f"min={self.bundle_files.min:.0f} max={self.bundle_files.max:.0f}",
+                f"bundle bytes: mean={self.bundle_bytes.mean:.0f} "
+                f"max={self.bundle_bytes.max:.0f}",
+                f"file degree: max={self.max_degree} mean={self.mean_degree:.2f}",
+                f"popularity: top1={self.top1_share:.3f} "
+                f"top10={self.top10_share:.3f} gini={self.gini_popularity:.3f}",
+            ]
+        )
+
+
+def gini(values) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = skewed)."""
+    xs = np.sort(np.asarray(list(values), dtype=np.float64))
+    if xs.size == 0:
+        raise ConfigError("gini of an empty sample")
+    if np.any(xs < 0):
+        raise ConfigError("gini requires non-negative values")
+    total = xs.sum()
+    if total == 0:
+        return 0.0
+    n = xs.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * xs).sum() / (n * total)) - (n + 1) / n)
+
+
+def popularity_concentration(trace: Trace, k: int = 10) -> tuple[float, float]:
+    """(top-1 share, top-k share) of request-type popularity."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    counts = Counter(r.bundle for r in trace)
+    if not counts:
+        raise ConfigError("trace has no jobs")
+    total = sum(counts.values())
+    ordered = sorted(counts.values(), reverse=True)
+    return ordered[0] / total, sum(ordered[:k]) / total
+
+
+def profile_trace(trace: Trace) -> TraceProfile:
+    """Compute the full :class:`TraceProfile` of a trace."""
+    if len(trace) == 0:
+        raise ConfigError("cannot profile an empty trace")
+    sizes = trace.catalog.as_dict()
+    types = trace.stream.distinct_bundles()
+    degrees: Counter[str] = Counter()
+    for b in types:
+        degrees.update(b.files)
+    top1, top10 = popularity_concentration(trace)
+    counts = Counter(r.bundle for r in trace)
+    return TraceProfile(
+        jobs=len(trace),
+        distinct_types=len(types),
+        n_files=len(trace.catalog),
+        catalog_bytes=trace.catalog.total_bytes(),
+        bundle_files=summarize([float(len(r.bundle)) for r in trace]),
+        bundle_bytes=summarize(
+            [float(r.bundle.size_under(sizes)) for r in trace]
+        ),
+        max_degree=max(degrees.values(), default=0),
+        mean_degree=(
+            sum(degrees.values()) / len(degrees) if degrees else 0.0
+        ),
+        top1_share=top1,
+        top10_share=top10,
+        gini_popularity=gini(counts.values()),
+    )
+
+
+def hot_set_drift(trace: Trace, *, window: int = 500, top: int = 20) -> list[float]:
+    """Jaccard similarity of consecutive windows' top-``top`` request types.
+
+    Values near 1 mean a stable hot set (caching pays off); values near 0
+    mean the popular bundles churn between windows.
+    """
+    if window < 1 or top < 1:
+        raise ConfigError("window and top must be >= 1")
+    bundles = trace.bundles()
+    hot_sets = []
+    for start in range(0, len(bundles), window):
+        chunk = bundles[start : start + window]
+        if len(chunk) < max(2, window // 4):
+            break
+        counts = Counter(chunk)
+        hot_sets.append({b for b, _ in counts.most_common(top)})
+    sims = []
+    for a, b in zip(hot_sets, hot_sets[1:]):
+        union = a | b
+        sims.append(len(a & b) / len(union) if union else 1.0)
+    return sims

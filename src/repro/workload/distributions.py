@@ -1,0 +1,104 @@
+"""Request-popularity distributions: uniform and Zipf (Section 5.2).
+
+The paper examines "the two extreme distributions: a purely random
+distribution, and a Zipf distribution" where the *i*-th most popular
+request type is drawn with probability proportional to ``1/i`` — i.e.
+Zipf with exponent 1; the exponent is configurable here.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "zipf_weights",
+    "PopularitySampler",
+    "UniformSampler",
+    "ZipfSampler",
+    "make_sampler",
+]
+
+
+def zipf_weights(n: int, alpha: float = 1.0) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_i ∝ 1/i^alpha`` for ranks 1..n."""
+    if n <= 0:
+        raise ConfigError(f"n must be positive, got {n}")
+    if alpha < 0:
+        raise ConfigError(f"alpha must be non-negative, got {alpha}")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+class PopularitySampler(abc.ABC):
+    """Samples request-type indices ``0..n-1`` by popularity rank.
+
+    Rank 0 is the most popular type.  Generators shuffle pool order
+    themselves if rank should not correlate with generation order.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ConfigError(f"pool size must be positive, got {n}")
+        self.n = n
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` indices i.i.d. from the popularity distribution."""
+
+    @abc.abstractmethod
+    def probabilities(self) -> np.ndarray:
+        """The probability of each index (length ``n``, sums to 1)."""
+
+
+class UniformSampler(PopularitySampler):
+    """Every request type equally likely (the paper's "random" workload)."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise ConfigError(f"size must be non-negative, got {size}")
+        return rng.integers(0, self.n, size=size)
+
+    def probabilities(self) -> np.ndarray:
+        return np.full(self.n, 1.0 / self.n)
+
+    def __repr__(self) -> str:
+        return f"UniformSampler(n={self.n})"
+
+
+class ZipfSampler(PopularitySampler):
+    """Zipf popularity: ``P(rank i) ∝ 1/i^alpha`` (paper: alpha = 1).
+
+    Sampling uses inverse-CDF lookup on the precomputed cumulative weights,
+    which is O(log n) per draw and exact.
+    """
+
+    def __init__(self, n: int, alpha: float = 1.0):
+        super().__init__(n)
+        self.alpha = alpha
+        self._cdf = np.cumsum(zipf_weights(n, alpha))
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        if size < 0:
+            raise ConfigError(f"size must be non-negative, got {size}")
+        u = rng.random(size)
+        return np.searchsorted(self._cdf, u, side="right").clip(0, self.n - 1)
+
+    def probabilities(self) -> np.ndarray:
+        return zipf_weights(self.n, self.alpha)
+
+    def __repr__(self) -> str:
+        return f"ZipfSampler(n={self.n}, alpha={self.alpha})"
+
+
+def make_sampler(kind: str, n: int, *, alpha: float = 1.0) -> PopularitySampler:
+    """Factory: ``kind`` in {"uniform", "zipf"}."""
+    if kind == "uniform":
+        return UniformSampler(n)
+    if kind == "zipf":
+        return ZipfSampler(n, alpha)
+    raise ConfigError(f"unknown popularity distribution {kind!r}")

@@ -1,0 +1,114 @@
+"""File-population generation (Section 5.1).
+
+The paper generates file sizes "randomly between a minimum size of 1MB and
+a maximum size expressed as a percentage of defined cache size that varied
+from 1% to 10%".  :class:`FileSizeSpec` supports that uniform model plus
+log-normal, (bounded) Pareto and fixed-size alternatives used by the
+extension studies — heavy-tailed sizes are common in real archives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.types import MB, FileCatalog, FileInfo, SizeBytes
+
+__all__ = ["FileSizeSpec", "generate_catalog", "file_id"]
+
+_DISTRIBUTIONS = ("uniform", "lognormal", "pareto", "fixed")
+
+
+def file_id(index: int) -> str:
+    """Canonical file id for the ``index``-th generated file."""
+    return f"f{index:06d}"
+
+
+@dataclass(frozen=True)
+class FileSizeSpec:
+    """How to draw file sizes.
+
+    Attributes
+    ----------
+    distribution:
+        One of ``uniform`` (paper default), ``lognormal``, ``pareto``,
+        ``fixed``.
+    min_size / max_size:
+        Bounds in bytes.  All draws are clipped into ``[min_size,
+        max_size]``; for ``fixed`` every file is exactly ``min_size``.
+    sigma:
+        Log-normal shape (log-space standard deviation).
+    pareto_shape:
+        Pareto tail index; smaller = heavier tail.
+    """
+
+    distribution: str = "uniform"
+    min_size: SizeBytes = MB
+    max_size: SizeBytes = 100 * MB
+    sigma: float = 1.0
+    pareto_shape: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.distribution not in _DISTRIBUTIONS:
+            raise ConfigError(
+                f"unknown size distribution {self.distribution!r}; "
+                f"known: {', '.join(_DISTRIBUTIONS)}"
+            )
+        if self.min_size <= 0:
+            raise ConfigError(f"min_size must be positive, got {self.min_size}")
+        if self.max_size < self.min_size:
+            raise ConfigError(
+                f"max_size ({self.max_size}) must be >= min_size ({self.min_size})"
+            )
+        if self.sigma <= 0:
+            raise ConfigError(f"sigma must be positive, got {self.sigma}")
+        if self.pareto_shape <= 0:
+            raise ConfigError(f"pareto_shape must be positive, got {self.pareto_shape}")
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` integer sizes in ``[min_size, max_size]``."""
+        if n < 0:
+            raise ConfigError(f"n must be non-negative, got {n}")
+        lo, hi = float(self.min_size), float(self.max_size)
+        if self.distribution == "fixed":
+            sizes = np.full(n, lo)
+        elif self.distribution == "uniform":
+            sizes = rng.uniform(lo, hi, size=n)
+        elif self.distribution == "lognormal":
+            # median at the geometric middle of the range
+            mu = 0.5 * (np.log(lo) + np.log(hi))
+            sizes = rng.lognormal(mean=mu, sigma=self.sigma, size=n)
+        else:  # pareto
+            sizes = lo * (1.0 + rng.pareto(self.pareto_shape, size=n))
+        return np.clip(np.round(sizes), lo, hi).astype(np.int64)
+
+    @staticmethod
+    def paper(cache_size: SizeBytes, max_fraction: float) -> "FileSizeSpec":
+        """The paper's model: uniform in [1MB, max_fraction * cache_size].
+
+        ``max_fraction`` is the "1% to 10% of cache size" knob of Figures
+        6–7.  If the fraction puts the maximum below 1MB the range collapses
+        to the 1MB minimum.
+        """
+        if not (0.0 < max_fraction <= 1.0):
+            raise ConfigError(
+                f"max_fraction must be in (0, 1], got {max_fraction}"
+            )
+        max_size = max(int(cache_size * max_fraction), MB)
+        return FileSizeSpec(distribution="uniform", min_size=MB, max_size=max_size)
+
+
+def generate_catalog(
+    n_files: int,
+    spec: FileSizeSpec,
+    rng: np.random.Generator,
+) -> FileCatalog:
+    """Generate ``n_files`` files with sizes drawn from ``spec``."""
+    if n_files <= 0:
+        raise ConfigError(f"n_files must be positive, got {n_files}")
+    sizes = spec.draw(rng, n_files)
+    return FileCatalog(
+        FileInfo(file_id(i), int(sizes[i])) for i in range(n_files)
+    )

@@ -1,0 +1,172 @@
+"""End-to-end workload generation from a declarative spec (Section 5.1–5.2).
+
+:class:`WorkloadSpec` captures the paper's simulation parameters — cache
+size, file-size range as a fraction of the cache, request-pool shape, job
+count and popularity distribution — and :func:`generate_trace` turns one
+into a reproducible :class:`~repro.workload.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.types import FileCatalog, SizeBytes
+from repro.utils.rng import RngFactory
+from repro.workload.distributions import make_sampler
+from repro.workload.filepool import FileSizeSpec, generate_catalog
+from repro.workload.requestpool import generate_request_pool
+from repro.workload.trace import Trace
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_trace",
+    "average_request_size",
+    "cache_size_in_requests",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a synthetic workload.
+
+    Attributes
+    ----------
+    cache_size:
+        Target cache size ``s(C)`` in bytes; file and bundle budgets are
+        expressed relative to it, as in the paper.
+    n_files:
+        Size of the file population.
+    n_request_types:
+        Size of the request pool from which jobs draw.
+    n_jobs:
+        Number of job arrivals in the trace (paper: typically 10 000).
+    popularity / zipf_alpha:
+        ``"uniform"`` or ``"zipf"`` with exponent ``zipf_alpha``.
+    files_per_request:
+        Inclusive (min, max) file-count target per request type.
+    max_file_fraction:
+        Max file size as a fraction of the cache (paper: 1%–10%).
+    max_bundle_fraction:
+        Max total bundle size as a fraction of the cache (paper: < 1).
+    size_spec:
+        Optional explicit :class:`FileSizeSpec` overriding the paper model.
+    arrival_rate:
+        Optional Poisson arrival rate (jobs/second) stamping arrival times
+        for the timed grid simulations; untimed traces use time 0.
+    seed:
+        Master seed; every internal stream derives from it.
+    """
+
+    cache_size: SizeBytes
+    n_files: int = 400
+    n_request_types: int = 400
+    n_jobs: int = 10_000
+    popularity: str = "uniform"
+    zipf_alpha: float = 1.0
+    files_per_request: tuple[int, int] = (1, 10)
+    max_file_fraction: float = 0.01
+    max_bundle_fraction: float = 0.95
+    size_spec: FileSizeSpec | None = None
+    arrival_rate: float | None = None
+    distinct_requests: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cache_size <= 0:
+            raise ConfigError(f"cache_size must be positive, got {self.cache_size}")
+        if self.n_files <= 0 or self.n_request_types <= 0 or self.n_jobs < 0:
+            raise ConfigError("n_files/n_request_types must be positive, n_jobs >= 0")
+        if not (0.0 < self.max_bundle_fraction <= 1.0):
+            raise ConfigError(
+                f"max_bundle_fraction must be in (0, 1], got {self.max_bundle_fraction}"
+            )
+        if self.arrival_rate is not None and self.arrival_rate <= 0:
+            raise ConfigError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if self.popularity not in ("uniform", "zipf"):
+            raise ConfigError(f"unknown popularity {self.popularity!r}")
+
+    def effective_size_spec(self) -> FileSizeSpec:
+        if self.size_spec is not None:
+            return self.size_spec
+        return FileSizeSpec.paper(self.cache_size, self.max_file_fraction)
+
+    def with_seed(self, seed: int) -> "WorkloadSpec":
+        """The same workload shape under a different random seed."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> dict:
+        """JSON-friendly summary stored in the trace metadata."""
+        spec = self.effective_size_spec()
+        return {
+            "cache_size": self.cache_size,
+            "n_files": self.n_files,
+            "n_request_types": self.n_request_types,
+            "n_jobs": self.n_jobs,
+            "popularity": self.popularity,
+            "zipf_alpha": self.zipf_alpha,
+            "files_per_request": list(self.files_per_request),
+            "size_distribution": spec.distribution,
+            "min_file_size": spec.min_size,
+            "max_file_size": spec.max_size,
+            "max_bundle_fraction": self.max_bundle_fraction,
+            "arrival_rate": self.arrival_rate,
+            "seed": self.seed,
+        }
+
+
+def generate_trace(spec: WorkloadSpec) -> Trace:
+    """Generate the catalog, request pool and job stream for a spec."""
+    rngs = RngFactory(spec.seed)
+    catalog = generate_catalog(
+        spec.n_files, spec.effective_size_spec(), rngs.rng("file-sizes")
+    )
+    pool = generate_request_pool(
+        catalog,
+        spec.n_request_types,
+        rngs.rng("request-pool"),
+        max_bundle_bytes=int(spec.cache_size * spec.max_bundle_fraction),
+        files_per_request=spec.files_per_request,
+        distinct=spec.distinct_requests,
+    )
+    sampler = make_sampler(spec.popularity, len(pool), alpha=spec.zipf_alpha)
+    indices = sampler.sample(rngs.rng("popularity"), spec.n_jobs)
+
+    if spec.arrival_rate is not None:
+        gaps = rngs.rng("arrivals").exponential(
+            1.0 / spec.arrival_rate, size=spec.n_jobs
+        )
+        times = gaps.cumsum()
+    else:
+        times = None
+
+    stream = RequestStream(
+        Request(
+            request_id=i,
+            bundle=pool[int(idx)],
+            arrival_time=float(times[i]) if times is not None else 0.0,
+        )
+        for i, idx in enumerate(indices)
+    )
+    return Trace(catalog, stream, meta=spec.describe())
+
+
+def average_request_size(trace: Trace) -> float:
+    """Mean bundle size in bytes over the trace's *distinct* request types."""
+    sizes = trace.catalog.as_dict()
+    types = trace.stream.distinct_bundles()
+    if not types:
+        raise ConfigError("trace has no requests")
+    return sum(b.size_under(sizes) for b in types) / len(types)
+
+
+def cache_size_in_requests(trace: Trace, cache_size: SizeBytes) -> float:
+    """Cache size expressed in average requests it can hold (Section 5).
+
+    The paper reports cache sizes "by the number of requests that can be
+    accommodated in the cache" — this is that conversion.
+    """
+    return cache_size / average_request_size(trace)

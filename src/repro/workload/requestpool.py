@@ -1,0 +1,108 @@
+"""Request-pool generation (Section 5.1).
+
+"The set of files requested by each job was chosen randomly from the list
+of available files such that the total size of the files requested was
+smaller than the available cache size."  A request *pool* is the fixed
+population of request types from which the job stream then draws with
+uniform or Zipf popularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bundle import FileBundle
+from repro.errors import WorkloadError
+from repro.types import FileCatalog, SizeBytes
+
+__all__ = ["generate_request_pool"]
+
+_MAX_ATTEMPT_FACTOR = 50
+
+
+def _draw_bundle(
+    catalog_ids: list[str],
+    sizes: dict[str, int],
+    rng: np.random.Generator,
+    n_target: int,
+    max_bytes: SizeBytes,
+) -> FileBundle | None:
+    """One bundle attempt: up to ``n_target`` files within ``max_bytes``."""
+    order = rng.permutation(len(catalog_ids))
+    chosen: list[str] = []
+    total = 0
+    for idx in order:
+        fid = catalog_ids[idx]
+        size = sizes[fid]
+        if total + size > max_bytes:
+            continue
+        chosen.append(fid)
+        total += size
+        if len(chosen) == n_target:
+            break
+    if not chosen:
+        return None
+    return FileBundle(chosen)
+
+
+def generate_request_pool(
+    catalog: FileCatalog,
+    n_requests: int,
+    rng: np.random.Generator,
+    *,
+    max_bundle_bytes: SizeBytes,
+    files_per_request: tuple[int, int] = (1, 10),
+    distinct: bool = True,
+) -> list[FileBundle]:
+    """Generate a pool of ``n_requests`` request types.
+
+    Each type targets a file count drawn uniformly from
+    ``files_per_request`` and accumulates uniformly random files while the
+    total stays below ``max_bundle_bytes`` (the paper uses the cache size).
+
+    With ``distinct=True`` duplicate bundles are redrawn, so popularity is
+    imposed purely by the sampler, not accidentally by pool collisions.
+    Raises :class:`~repro.errors.WorkloadError` when the configuration
+    cannot produce enough (distinct) bundles.
+    """
+    lo, hi = files_per_request
+    if n_requests <= 0:
+        raise WorkloadError(f"n_requests must be positive, got {n_requests}")
+    if lo < 1 or hi < lo:
+        raise WorkloadError(
+            f"files_per_request must satisfy 1 <= lo <= hi, got ({lo}, {hi})"
+        )
+    if max_bundle_bytes <= 0:
+        raise WorkloadError(
+            f"max_bundle_bytes must be positive, got {max_bundle_bytes}"
+        )
+    ids = catalog.ids()
+    sizes = catalog.as_dict()
+    if min(sizes.values()) > max_bundle_bytes:
+        raise WorkloadError(
+            "every file is larger than max_bundle_bytes; no bundle can be formed"
+        )
+
+    pool: list[FileBundle] = []
+    seen: set[FileBundle] = set()
+    attempts = 0
+    max_attempts = _MAX_ATTEMPT_FACTOR * n_requests
+    while len(pool) < n_requests:
+        attempts += 1
+        if attempts > max_attempts:
+            raise WorkloadError(
+                f"could not generate {n_requests} "
+                f"{'distinct ' if distinct else ''}bundles after {attempts - 1} "
+                "attempts; loosen files_per_request/max_bundle_bytes or the "
+                "catalog size"
+            )
+        n_target = int(rng.integers(lo, hi + 1))
+        bundle = _draw_bundle(ids, sizes, rng, n_target, max_bundle_bytes)
+        if bundle is None:
+            continue
+        if distinct:
+            if bundle in seen:
+                continue
+            seen.add(bundle)
+        pool.append(bundle)
+    return pool

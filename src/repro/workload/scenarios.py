@@ -1,0 +1,265 @@
+"""Domain-flavoured workload generators for the paper's motivating examples.
+
+Section 1.1 motivates file-bundle caching with three applications; each has
+a generator here producing a structured (non-i.i.d.) bundle population:
+
+* **HENP analysis** (:func:`henp_trace`) — event attributes vertically
+  partitioned per dataset; analysis channels read characteristic attribute
+  combinations across a dataset.
+* **Climate model analysis** (:func:`climate_trace`) — one file per
+  (simulation run, variable); visualisation/correlation jobs combine
+  several variables of one run (Fig. 1 of the paper).
+* **Bit-sliced index queries** (:func:`bitmap_index_trace`) — one file per
+  (attribute, bin); a range query reads a contiguous bin range of each
+  attribute it constrains.
+
+All three produce bundles with heavy file sharing between popular request
+types, the regime where bundle-aware replacement pays off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.types import MB, FileCatalog, FileInfo, SizeBytes
+from repro.utils.rng import RngFactory
+from repro.workload.distributions import zipf_weights
+from repro.workload.trace import Trace
+
+__all__ = ["henp_trace", "climate_trace", "bitmap_index_trace"]
+
+
+def _zipf_choice(rng: np.random.Generator, n: int, alpha: float, size: int) -> np.ndarray:
+    return rng.choice(n, size=size, p=zipf_weights(n, alpha))
+
+
+def henp_trace(
+    *,
+    n_datasets: int = 20,
+    n_attributes: int = 40,
+    n_channels: int = 30,
+    attrs_per_channel: tuple[int, int] = (3, 8),
+    n_jobs: int = 5_000,
+    mean_attr_file_size: SizeBytes = 20 * MB,
+    dataset_alpha: float = 1.0,
+    channel_alpha: float = 1.0,
+    seed: int = 0,
+) -> Trace:
+    """High-Energy/Nuclear-Physics analysis workload.
+
+    Each *dataset* (experiment run) stores every event attribute in its own
+    file; an *analysis channel* is a fixed set of attributes physicists
+    compare together (e.g. total energy + momentum + particle counts).  A
+    job picks a dataset and a channel — both Zipf-popular: recent runs and
+    hot channels dominate — and requests the corresponding attribute files.
+    """
+    if n_datasets <= 0 or n_attributes <= 0 or n_channels <= 0:
+        raise ConfigError("dataset/attribute/channel counts must be positive")
+    lo, hi = attrs_per_channel
+    if not (1 <= lo <= hi <= n_attributes):
+        raise ConfigError(
+            f"attrs_per_channel must satisfy 1 <= lo <= hi <= {n_attributes}"
+        )
+    rngs = RngFactory(seed)
+
+    size_rng = rngs.rng("attr-sizes")
+    # Attribute value sizes differ (floats vs flags); datasets differ in
+    # event counts — a per-dataset scale times a per-attribute scale.
+    attr_scale = size_rng.lognormal(0.0, 0.6, size=n_attributes)
+    ds_scale = size_rng.lognormal(0.0, 0.4, size=n_datasets)
+    files = []
+    for d in range(n_datasets):
+        for a in range(n_attributes):
+            size = max(int(mean_attr_file_size * attr_scale[a] * ds_scale[d]), MB)
+            files.append(FileInfo(f"ds{d:03d}.attr{a:03d}", size))
+    catalog = FileCatalog(files)
+
+    chan_rng = rngs.rng("channels")
+    channels: list[np.ndarray] = []
+    for _ in range(n_channels):
+        k = int(chan_rng.integers(lo, hi + 1))
+        channels.append(chan_rng.choice(n_attributes, size=k, replace=False))
+
+    job_rng = rngs.rng("jobs")
+    ds_pick = _zipf_choice(job_rng, n_datasets, dataset_alpha, n_jobs)
+    ch_pick = _zipf_choice(job_rng, n_channels, channel_alpha, n_jobs)
+    stream = RequestStream(
+        Request(
+            request_id=i,
+            bundle=FileBundle(
+                f"ds{ds_pick[i]:03d}.attr{a:03d}" for a in channels[ch_pick[i]]
+            ),
+        )
+        for i in range(n_jobs)
+    )
+    return Trace(
+        catalog,
+        stream,
+        meta={
+            "scenario": "henp",
+            "n_datasets": n_datasets,
+            "n_attributes": n_attributes,
+            "n_channels": n_channels,
+            "n_jobs": n_jobs,
+            "seed": seed,
+        },
+    )
+
+
+def climate_trace(
+    *,
+    n_runs: int = 12,
+    variables: tuple[str, ...] = (
+        "temperature",
+        "humidity",
+        "pressure",
+        "wind_u",
+        "wind_v",
+        "wind_w",
+        "precipitation",
+        "cloud_cover",
+        "sea_ice",
+        "soil_moisture",
+    ),
+    n_analyses: int = 25,
+    vars_per_analysis: tuple[int, int] = (2, 5),
+    n_jobs: int = 5_000,
+    mean_var_file_size: SizeBytes = 50 * MB,
+    run_alpha: float = 0.8,
+    analysis_alpha: float = 1.2,
+    seed: int = 0,
+) -> Trace:
+    """Climate-simulation analysis workload (Fig. 1 of the paper).
+
+    Each simulation run stores every variable's full time series in one
+    file; analysis/visualisation jobs (e.g. "correlate temperature with the
+    three wind components") read several variable files of one run
+    simultaneously.
+    """
+    if n_runs <= 0 or not variables or n_analyses <= 0:
+        raise ConfigError("runs/variables/analyses must be non-empty")
+    lo, hi = vars_per_analysis
+    if not (1 <= lo <= hi <= len(variables)):
+        raise ConfigError(
+            f"vars_per_analysis must satisfy 1 <= lo <= hi <= {len(variables)}"
+        )
+    rngs = RngFactory(seed)
+
+    size_rng = rngs.rng("var-sizes")
+    var_scale = size_rng.lognormal(0.0, 0.5, size=len(variables))
+    run_scale = size_rng.lognormal(0.0, 0.3, size=n_runs)
+    files = []
+    for r in range(n_runs):
+        for vi, var in enumerate(variables):
+            size = max(int(mean_var_file_size * var_scale[vi] * run_scale[r]), MB)
+            files.append(FileInfo(f"run{r:03d}.{var}", size))
+    catalog = FileCatalog(files)
+
+    an_rng = rngs.rng("analyses")
+    analyses: list[np.ndarray] = []
+    for _ in range(n_analyses):
+        k = int(an_rng.integers(lo, hi + 1))
+        analyses.append(an_rng.choice(len(variables), size=k, replace=False))
+
+    job_rng = rngs.rng("jobs")
+    run_pick = _zipf_choice(job_rng, n_runs, run_alpha, n_jobs)
+    an_pick = _zipf_choice(job_rng, n_analyses, analysis_alpha, n_jobs)
+    stream = RequestStream(
+        Request(
+            request_id=i,
+            bundle=FileBundle(
+                f"run{run_pick[i]:03d}.{variables[v]}" for v in analyses[an_pick[i]]
+            ),
+        )
+        for i in range(n_jobs)
+    )
+    return Trace(
+        catalog,
+        stream,
+        meta={
+            "scenario": "climate",
+            "n_runs": n_runs,
+            "n_variables": len(variables),
+            "n_analyses": n_analyses,
+            "n_jobs": n_jobs,
+            "seed": seed,
+        },
+    )
+
+
+def bitmap_index_trace(
+    *,
+    n_attributes: int = 15,
+    bins_per_attribute: int = 20,
+    n_jobs: int = 5_000,
+    mean_bitmap_size: SizeBytes = 8 * MB,
+    attrs_per_query: tuple[int, int] = (1, 3),
+    mean_range_len: float = 4.0,
+    attribute_alpha: float = 1.0,
+    seed: int = 0,
+) -> Trace:
+    """Bit-sliced-index range-query workload (Wu et al., SSDBM'03).
+
+    Each attribute's value range is split into bins, one compressed bitmap
+    file per bin.  A range query constrains 1–3 attributes, reading a
+    contiguous bin range per constrained attribute; all those bitmap files
+    must be resident simultaneously to evaluate the boolean combination.
+    Range lengths are geometric with the given mean; query attributes are
+    Zipf-popular; range *positions* favour central bins (values near the
+    median are queried more).
+    """
+    if n_attributes <= 0 or bins_per_attribute <= 0:
+        raise ConfigError("attribute and bin counts must be positive")
+    lo, hi = attrs_per_query
+    if not (1 <= lo <= hi <= n_attributes):
+        raise ConfigError(
+            f"attrs_per_query must satisfy 1 <= lo <= hi <= {n_attributes}"
+        )
+    if mean_range_len < 1.0:
+        raise ConfigError(f"mean_range_len must be >= 1, got {mean_range_len}")
+    rngs = RngFactory(seed)
+
+    size_rng = rngs.rng("bitmap-sizes")
+    files = []
+    for a in range(n_attributes):
+        for b in range(bins_per_attribute):
+            # Compressed bitmap sizes vary with bin density.
+            size = max(int(size_rng.lognormal(np.log(mean_bitmap_size), 0.7)), MB // 4)
+            files.append(FileInfo(f"attr{a:03d}.bin{b:03d}", size))
+    catalog = FileCatalog(files)
+
+    job_rng = rngs.rng("queries")
+    geom_p = 1.0 / mean_range_len
+    requests: list[Request] = []
+    for i in range(n_jobs):
+        k = int(job_rng.integers(lo, hi + 1))
+        attrs = job_rng.choice(
+            n_attributes,
+            size=k,
+            replace=False,
+            p=zipf_weights(n_attributes, attribute_alpha),
+        )
+        bundle_files: list[str] = []
+        for a in attrs:
+            length = min(int(job_rng.geometric(geom_p)), bins_per_attribute)
+            # Central bins are queried more: triangular position density.
+            center = job_rng.triangular(0, bins_per_attribute / 2, bins_per_attribute)
+            start = int(np.clip(center - length / 2, 0, bins_per_attribute - length))
+            bundle_files.extend(
+                f"attr{a:03d}.bin{b:03d}" for b in range(start, start + length)
+            )
+        requests.append(Request(request_id=i, bundle=FileBundle(bundle_files)))
+    return Trace(
+        catalog,
+        RequestStream(requests),
+        meta={
+            "scenario": "bitmap",
+            "n_attributes": n_attributes,
+            "bins_per_attribute": bins_per_attribute,
+            "n_jobs": n_jobs,
+            "seed": seed,
+        },
+    )

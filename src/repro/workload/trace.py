@@ -1,0 +1,144 @@
+"""Trace container and JSONL (de)serialization.
+
+A :class:`Trace` bundles the file catalog (sizes) with the job stream so a
+workload is fully self-contained and replayable.  The on-disk format is
+line-delimited JSON: one header line with metadata and the catalog,
+followed by one line per job — appendable, diffable, and streamable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import TraceFormatError
+from repro.types import FileCatalog
+
+__all__ = ["Trace"]
+
+_FORMAT_VERSION = 1
+
+
+class Trace:
+    """A replayable workload: file catalog + ordered job stream + metadata."""
+
+    def __init__(
+        self,
+        catalog: FileCatalog,
+        stream: RequestStream,
+        meta: dict[str, Any] | None = None,
+    ):
+        for fid in stream.file_ids():
+            if fid not in catalog:
+                raise TraceFormatError(f"job references unknown file {fid!r}")
+        self.catalog = catalog
+        self.stream = stream
+        self.meta: dict[str, Any] = dict(meta or {})
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.stream)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.stream)
+
+    def bundles(self) -> list[FileBundle]:
+        return self.stream.bundles()
+
+    def total_requested_bytes(self) -> int:
+        """Sum over jobs of their bundle size (the byte-miss denominator)."""
+        sizes = self.catalog
+        return sum(r.bundle.size_under(sizes.as_dict()) for r in self.stream)
+
+    def distinct_request_types(self) -> int:
+        return len(self.stream.distinct_bundles())
+
+    # ------------------------------------------------------------------ #
+    # serialization
+
+    def dump(self, path: str | Path) -> None:
+        """Write the trace as JSONL."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for line in self.dump_lines():
+                fh.write(line + "\n")
+
+    def dump_lines(self) -> Iterable[str]:
+        header = {
+            "type": "header",
+            "version": _FORMAT_VERSION,
+            "meta": self.meta,
+            "files": {fid: size for fid, size in self.catalog.items()},
+        }
+        yield json.dumps(header, sort_keys=True)
+        for req in self.stream:
+            yield json.dumps(
+                {
+                    "type": "job",
+                    "id": req.request_id,
+                    "t": req.arrival_time,
+                    "priority": req.priority,
+                    "files": sorted(req.bundle.files),
+                },
+                sort_keys=True,
+            )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`dump`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as fh:
+            return cls.load_lines(fh)
+
+    @classmethod
+    def load_lines(cls, lines: Iterable[str]) -> "Trace":
+        it = iter(lines)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise TraceFormatError("empty trace") from None
+        header = _parse_json(first)
+        if header.get("type") != "header":
+            raise TraceFormatError("first line must be the header record")
+        if header.get("version") != _FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        files = header.get("files")
+        if not isinstance(files, dict):
+            raise TraceFormatError("header has no file catalog")
+        catalog = FileCatalog({str(k): int(v) for k, v in files.items()})
+
+        stream = RequestStream()
+        for line in it:
+            if not line.strip():
+                continue
+            rec = _parse_json(line)
+            if rec.get("type") != "job":
+                raise TraceFormatError(f"unexpected record type {rec.get('type')!r}")
+            try:
+                stream.append(
+                    Request(
+                        request_id=int(rec["id"]),
+                        bundle=FileBundle(rec["files"]),
+                        arrival_time=float(rec.get("t", 0.0)),
+                        priority=float(rec.get("priority", 1.0)),
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise TraceFormatError(f"bad job record {rec!r}: {exc}") from exc
+        return cls(catalog, stream, meta=dict(header.get("meta") or {}))
+
+
+def _parse_json(line: str) -> dict[str, Any]:
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"invalid JSON line: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise TraceFormatError("each trace line must be a JSON object")
+    return obj

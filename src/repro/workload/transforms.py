@@ -1,0 +1,185 @@
+"""Trace transformations: interleaving, splitting, scaling, filtering.
+
+These support the paper's *hybrid execution model* future-work item
+(Section 6): workloads mixing "One File at a Time" jobs with "File-Bundle
+at a Time" jobs are built by exploding bundles into per-file jobs and
+interleaving the result with the original bundle stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.workload.trace import Trace
+
+__all__ = [
+    "interleave",
+    "explode_to_single_file_jobs",
+    "hybrid_trace",
+    "filter_trace",
+    "truncate",
+    "concatenate",
+]
+
+
+def _renumber(requests: Sequence[Request]) -> RequestStream:
+    return RequestStream(
+        Request(
+            request_id=i,
+            bundle=r.bundle,
+            arrival_time=r.arrival_time,
+            priority=r.priority,
+        )
+        for i, r in enumerate(requests)
+    )
+
+
+def truncate(trace: Trace, n_jobs: int) -> Trace:
+    """The first ``n_jobs`` arrivals of a trace."""
+    if n_jobs < 0:
+        raise ConfigError(f"n_jobs must be non-negative, got {n_jobs}")
+    return Trace(
+        trace.catalog,
+        _renumber(list(trace)[:n_jobs]),
+        meta={**trace.meta, "truncated_to": n_jobs},
+    )
+
+
+def filter_trace(trace: Trace, predicate: Callable[[Request], bool]) -> Trace:
+    """Keep only requests for which ``predicate`` holds (renumbered)."""
+    kept = [r for r in trace if predicate(r)]
+    return Trace(trace.catalog, _renumber(kept), meta=dict(trace.meta))
+
+
+def concatenate(first: Trace, second: Trace) -> Trace:
+    """Append ``second`` after ``first`` (catalogs must agree on shared ids)."""
+    catalog = dict(first.catalog.items())
+    for fid, size in second.catalog.items():
+        if catalog.get(fid, size) != size:
+            raise ConfigError(
+                f"file {fid!r} has conflicting sizes in the two traces"
+            )
+        catalog[fid] = size
+    from repro.types import FileCatalog
+
+    offset = max((r.arrival_time for r in first), default=0.0)
+    merged = list(first) + [
+        Request(
+            request_id=0,  # renumbered below
+            bundle=r.bundle,
+            arrival_time=r.arrival_time + offset,
+            priority=r.priority,
+        )
+        for r in second
+    ]
+    return Trace(FileCatalog(catalog), _renumber(merged), meta=dict(first.meta))
+
+
+def explode_to_single_file_jobs(trace: Trace) -> Trace:
+    """Replace every bundle job by one job per file ("One File at a Time").
+
+    Arrival times are inherited from the parent job, so exploded jobs are
+    consecutive; priorities are inherited too.
+    """
+    singles: list[Request] = []
+    for r in trace:
+        for fid in sorted(r.bundle.files):
+            singles.append(
+                Request(
+                    request_id=0,
+                    bundle=FileBundle([fid]),
+                    arrival_time=r.arrival_time,
+                    priority=r.priority,
+                )
+            )
+    return Trace(
+        trace.catalog,
+        _renumber(singles),
+        meta={**trace.meta, "exploded": True},
+    )
+
+
+def interleave(
+    a: Trace, b: Trace, rng: np.random.Generator, *, p_first: float = 0.5
+) -> Trace:
+    """Randomly interleave two traces over the same catalog.
+
+    Each output slot draws from trace ``a`` with probability ``p_first``
+    while both have jobs left, preserving each trace's internal order.
+    Arrival times are dropped (order defines the untimed replay sequence).
+    """
+    if not (0.0 <= p_first <= 1.0):
+        raise ConfigError(f"p_first must be in [0, 1], got {p_first}")
+    from repro.types import FileCatalog
+
+    catalog = dict(a.catalog.items())
+    for fid, size in b.catalog.items():
+        if catalog.get(fid, size) != size:
+            raise ConfigError(
+                f"file {fid!r} has conflicting sizes in the two traces"
+            )
+        catalog[fid] = size
+
+    ia, ib = iter(a), iter(b)
+    la, lb = list(ia), list(ib)
+    out: list[Request] = []
+    i = j = 0
+    while i < len(la) and j < len(lb):
+        if rng.random() < p_first:
+            out.append(la[i])
+            i += 1
+        else:
+            out.append(lb[j])
+            j += 1
+    out.extend(la[i:])
+    out.extend(lb[j:])
+    out = [
+        Request(request_id=0, bundle=r.bundle, priority=r.priority)
+        for r in out
+    ]
+    return Trace(
+        FileCatalog(catalog),
+        _renumber(out),
+        meta={"interleaved": True, "p_first": p_first},
+    )
+
+
+def hybrid_trace(
+    trace: Trace,
+    rng: np.random.Generator,
+    *,
+    single_file_fraction: float = 0.5,
+) -> Trace:
+    """The paper's hybrid execution model (Section 6 future work).
+
+    A fraction of the jobs execute "One File at a Time" (their bundles are
+    exploded into per-file jobs); the rest stay "File-Bundle at a Time".
+    """
+    if not (0.0 <= single_file_fraction <= 1.0):
+        raise ConfigError(
+            f"single_file_fraction must be in [0, 1], got {single_file_fraction}"
+        )
+    jobs = list(trace)
+    mask = rng.random(len(jobs)) < single_file_fraction
+    singles = [r for r, m in zip(jobs, mask) if m]
+    bundles = [r for r, m in zip(jobs, mask) if not m]
+    single_part = explode_to_single_file_jobs(
+        Trace(trace.catalog, _renumber(singles), meta=dict(trace.meta))
+    )
+    bundle_part = Trace(trace.catalog, _renumber(bundles), meta=dict(trace.meta))
+    mixed = interleave(
+        bundle_part,
+        single_part,
+        rng,
+        p_first=max(len(bundle_part), 1)
+        / max(len(bundle_part) + len(single_part), 1),
+    )
+    mixed.meta.update(
+        {"hybrid": True, "single_file_fraction": single_file_fraction}
+    )
+    return mixed

@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's worked example and small building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.optcacheselect import FBCInstance
+from repro.types import FileCatalog, FileInfo
+
+
+@pytest.fixture()
+def example_bundles() -> tuple[FileBundle, ...]:
+    """The six requests of the paper's Fig. 3 / Tables 1-2."""
+    return (
+        FileBundle(["f1", "f3", "f5"]),  # r1
+        FileBundle(["f2", "f6", "f7"]),  # r2
+        FileBundle(["f1", "f5"]),        # r3
+        FileBundle(["f4", "f6", "f7"]),  # r4
+        FileBundle(["f3", "f5"]),        # r5
+        FileBundle(["f5", "f6", "f7"]),  # r6
+    )
+
+
+@pytest.fixture()
+def example_sizes() -> dict[str, int]:
+    return {f"f{i}": 1 for i in range(1, 8)}
+
+
+@pytest.fixture()
+def example_instance(example_bundles, example_sizes) -> FBCInstance:
+    return FBCInstance(
+        bundles=example_bundles,
+        values=tuple(1.0 for _ in example_bundles),
+        sizes=example_sizes,
+        budget=3,
+    )
+
+
+@pytest.fixture()
+def small_catalog() -> FileCatalog:
+    """Five files, 10..50 bytes."""
+    return FileCatalog(
+        FileInfo(f"g{i}", 10 * i) for i in range(1, 6)
+    )

@@ -1,0 +1,58 @@
+"""Unit tests for charts and reports."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.report import ExperimentOutput
+from repro.errors import ConfigError
+
+
+class TestRenderChart:
+    def test_basic_render(self):
+        out = render_chart({"s": [(0, 0.0), (1, 1.0)]}, width=20, height=6)
+        assert "o=s" in out
+        assert "o" in out.replace("o=s", "")
+
+    def test_title_and_label(self):
+        out = render_chart(
+            {"s": [(0, 1.0)]}, title="My Chart", y_label="ratio"
+        )
+        assert out.splitlines()[0] == "My Chart"
+        assert "y: ratio" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = render_chart({"a": [(0, 0.0)], "b": [(1, 1.0)]})
+        assert "o=a" in out and "x=b" in out
+
+    def test_constant_series_does_not_crash(self):
+        render_chart({"s": [(0, 5.0), (1, 5.0)]})
+
+    def test_single_point(self):
+        render_chart({"s": [(2.0, 3.0)]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            render_chart({})
+        with pytest.raises(ConfigError):
+            render_chart({"s": []})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            render_chart({"s": [(0, 1)]}, width=2, height=2)
+
+    def test_axis_bounds_in_output(self):
+        out = render_chart({"s": [(0, 0.25), (10, 0.75)]})
+        assert "0.75" in out and "0.25" in out
+
+
+class TestExperimentOutput:
+    def test_render_contains_sections(self):
+        out = ExperimentOutput(
+            exp_id="x",
+            title="T",
+            description="D",
+            sections=(("cap1", "body1"), ("cap2", "body2")),
+        )
+        text = out.render()
+        assert "== x: T ==" in text
+        assert "-- cap1 --" in text and "body2" in text

@@ -1,0 +1,94 @@
+"""Unit tests for paired statistical comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_paired
+from repro.errors import ConfigError
+
+
+class TestComparePaired:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compare_paired([1.0], [1.0, 2.0])
+        with pytest.raises(ConfigError):
+            compare_paired([], [])
+        with pytest.raises(ConfigError):
+            compare_paired([1.0], [1.0], n_bootstrap=5)
+
+    def test_identical_samples(self):
+        c = compare_paired([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert c.mean_diff == 0.0
+        assert not c.significant
+        assert c.sign_test_p == 1.0
+        assert c.wins_a == 0
+
+    def test_clear_winner(self):
+        rng = np.random.default_rng(0)
+        b = rng.normal(1.0, 0.05, size=30)
+        a = b - 0.5  # a consistently lower (better)
+        c = compare_paired(list(a), list(b))
+        assert c.mean_diff == pytest.approx(-0.5, abs=1e-9)
+        assert c.significant
+        assert c.ci_high < 0
+        assert c.wins_a == 30
+        assert c.sign_test_p < 1e-6
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, size=10)
+        b = a[::-1].copy()  # same distribution, shuffled pairing
+        c = compare_paired(list(a), list(b))
+        assert not c.significant
+
+    def test_deterministic_bootstrap(self):
+        a, b = [1.0, 2.0, 1.5, 1.2], [1.1, 2.2, 1.4, 1.3]
+        c1 = compare_paired(a, b, seed=5)
+        c2 = compare_paired(a, b, seed=5)
+        assert (c1.ci_low, c1.ci_high) == (c2.ci_low, c2.ci_high)
+
+    def test_summary_text(self):
+        c = compare_paired([1.0, 1.0], [2.0, 2.0])
+        text = c.summary("opt", "land")
+        assert "opt" in text and "land" in text and "wins 2/2" in text
+
+    def test_sign_test_symmetric(self):
+        c_ab = compare_paired([1, 1, 1], [2, 2, 2])
+        c_ba = compare_paired([2, 2, 2], [1, 1, 1])
+        assert c_ab.sign_test_p == c_ba.sign_test_p
+
+
+class TestOnSimulations:
+    def test_optbundle_vs_landlord_significant(self):
+        """The paper's headline claim passes a paired sign test."""
+        from repro.sim.simulator import SimulationConfig, simulate_trace
+        from repro.types import MB
+        from repro.workload.generator import WorkloadSpec, generate_trace
+
+        opt, land = [], []
+        for seed in range(6):
+            trace = generate_trace(
+                WorkloadSpec(
+                    cache_size=64 * MB,
+                    n_files=150,
+                    n_request_types=80,
+                    n_jobs=250,
+                    popularity="zipf",
+                    max_file_fraction=0.05,
+                    max_bundle_fraction=0.25,
+                    seed=seed,
+                )
+            )
+            opt.append(
+                simulate_trace(
+                    trace, SimulationConfig(cache_size=64 * MB, policy="optbundle")
+                ).byte_miss_ratio
+            )
+            land.append(
+                simulate_trace(
+                    trace, SimulationConfig(cache_size=64 * MB, policy="landlord")
+                ).byte_miss_ratio
+            )
+        c = compare_paired(opt, land)
+        assert c.mean_diff < 0  # optbundle lower
+        assert c.wins_a >= 5

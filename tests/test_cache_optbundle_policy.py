@@ -1,0 +1,105 @@
+"""Unit tests for the OptFileBundle policy adapter."""
+
+import pytest
+
+from repro.cache.optbundle_policy import OptFileBundlePolicy
+from repro.cache.state import CacheState
+from repro.core.bundle import FileBundle
+from repro.core.history import TruncationMode
+from repro.errors import PolicyError
+
+SIZES = {f"f{i}": 10 for i in range(8)}
+
+
+def serve(policy, cache, bundle):
+    missing = cache.missing(bundle)
+    decision = policy.on_request(bundle)
+    loaded = set()
+    for f in missing | decision.prefetch:
+        if f not in cache:
+            cache.load(f, SIZES[f])
+            loaded.add(f)
+    policy.on_serviced(bundle, frozenset(loaded), not missing)
+    return decision
+
+
+class TestAdapter:
+    def test_unbound_planner_access_rejected(self):
+        with pytest.raises(PolicyError):
+            _ = OptFileBundlePolicy().planner
+
+    def test_bind_creates_planner_with_cache_capacity(self):
+        p = OptFileBundlePolicy()
+        p.bind(CacheState(70), SIZES)
+        assert p.planner.capacity == 70
+
+    def test_bind_syncs_preexisting_residents(self):
+        c = CacheState(70)
+        c.load("f0", 10)
+        p = OptFileBundlePolicy()
+        p.bind(c, SIZES)
+        assert p.history.resident_view() == {"f0"}
+
+    def test_service_cycle_updates_history(self):
+        p = OptFileBundlePolicy()
+        c = CacheState(70)
+        p.bind(c, SIZES)
+        b = FileBundle(["f0", "f1"])
+        serve(p, c, b)
+        assert p.history.value_of(b) == 1.0
+        assert p.history.supported(b)
+
+    def test_history_committed_at_request_time(self):
+        # The timed SRM pipelines: the next decision may come before the
+        # previous job completes, so commit happens in on_request.
+        p = OptFileBundlePolicy()
+        c = CacheState(70)
+        p.bind(c, SIZES)
+        b = FileBundle(["f0"])
+        p.on_request(b)
+        assert p.history.value_of(b) == 1.0
+
+    def test_pipelined_requests_allowed(self):
+        p = OptFileBundlePolicy()
+        c = CacheState(70)
+        p.bind(c, SIZES)
+        b0, b1 = FileBundle(["f0"]), FileBundle(["f1"])
+        d0 = p.on_request(b0)
+        for f in c.missing(b0):
+            c.load(f, SIZES[f])
+        d1 = p.on_request(b1)  # before b0's on_serviced: fine
+        for f in c.missing(b1):
+            c.load(f, SIZES[f])
+        p.on_serviced(b0, frozenset({"f0"}), False)
+        p.on_serviced(b1, frozenset({"f1"}), False)
+        assert p.history.value_of(b0) == 1.0
+        assert p.last_plan is not None and p.last_plan.bundle == b1
+
+    def test_score_delegates_to_planner(self):
+        p = OptFileBundlePolicy()
+        c = CacheState(70)
+        p.bind(c, SIZES)
+        assert p.score(FileBundle(["f0"])) is not None
+
+    def test_kwargs_forwarded(self):
+        p = OptFileBundlePolicy(truncation=TruncationMode.FULL)
+        c = CacheState(70)
+        p.bind(c, SIZES)
+        assert p.history.mode is TruncationMode.FULL
+
+    def test_reset_and_rebind(self):
+        p = OptFileBundlePolicy()
+        p.bind(CacheState(70), SIZES)
+        p.reset()
+        p.bind(CacheState(50), SIZES)
+        assert p.planner.capacity == 50
+
+    def test_eviction_respects_capacity_under_churn(self):
+        p = OptFileBundlePolicy()
+        c = CacheState(30)
+        p.bind(c, SIZES)
+        bundles = [FileBundle([f"f{i}"]) for i in range(6)]
+        for b in bundles * 4:
+            serve(p, c, b)
+            assert c.used <= 30
+            c.check_invariants()

@@ -1,0 +1,78 @@
+"""Unit tests for the policy interface and the PerFilePolicy eviction loop."""
+
+import pytest
+
+from repro.cache.lru import LRUPolicy
+from repro.cache.policy import PolicyDecision
+from repro.cache.state import CacheState
+from repro.core.bundle import FileBundle
+from repro.errors import PolicyError
+
+SIZES = {f"f{i}": 10 for i in range(8)}
+
+
+def serve(policy, cache, bundle):
+    missing = cache.missing(bundle)
+    decision = policy.on_request(bundle)
+    for f in missing | decision.prefetch:
+        if f not in cache:
+            cache.load(f, SIZES[f])
+    policy.on_serviced(bundle, frozenset(missing), not missing)
+    return decision
+
+
+class TestBinding:
+    def test_unbound_access_rejected(self):
+        p = LRUPolicy()
+        with pytest.raises(PolicyError):
+            _ = p.cache
+        with pytest.raises(PolicyError):
+            _ = p.sizes
+
+    def test_double_bind_rejected(self):
+        p = LRUPolicy()
+        c = CacheState(100)
+        p.bind(c, SIZES)
+        with pytest.raises(PolicyError):
+            p.bind(c, SIZES)
+
+    def test_reset_allows_rebind(self):
+        p = LRUPolicy()
+        p.bind(CacheState(100), SIZES)
+        p.reset()
+        p.bind(CacheState(100), SIZES)
+
+    def test_default_score_is_none(self):
+        assert LRUPolicy().score(FileBundle(["f0"])) is None
+
+
+class TestEvictionLoop:
+    def test_no_eviction_when_room(self):
+        p = LRUPolicy()
+        c = CacheState(100)
+        p.bind(c, SIZES)
+        dec = serve(p, c, FileBundle(["f0", "f1"]))
+        assert dec.evicted == frozenset()
+
+    def test_evicts_enough_for_missing(self):
+        p = LRUPolicy()
+        c = CacheState(30)
+        p.bind(c, SIZES)
+        for b in ("f0", "f1", "f2"):
+            serve(p, c, FileBundle([b]))
+        dec = serve(p, c, FileBundle(["f3", "f4"]))
+        assert len(dec.evicted) == 2
+        assert c.used <= 30
+
+    def test_never_evicts_requested_files(self):
+        p = LRUPolicy()
+        c = CacheState(30)
+        p.bind(c, SIZES)
+        serve(p, c, FileBundle(["f0", "f1", "f2"]))
+        dec = serve(p, c, FileBundle(["f0", "f3"]))
+        assert "f0" not in dec.evicted
+        assert "f0" in c
+
+    def test_policy_decision_defaults(self):
+        d = PolicyDecision()
+        assert d.prefetch == frozenset() and d.evicted == frozenset()

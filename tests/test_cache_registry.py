@@ -1,0 +1,60 @@
+"""Unit tests for the policy registry."""
+
+import numpy as np
+import pytest
+
+from repro.cache.registry import POLICY_REGISTRY, make_policy
+from repro.core.bundle import FileBundle
+from repro.errors import ConfigError
+
+
+def test_all_registered_names_match_class_names():
+    for name, cls in POLICY_REGISTRY.items():
+        assert cls.name == name
+
+
+def test_expected_policies_present():
+    assert {
+        "lru",
+        "lfu",
+        "fifo",
+        "random",
+        "size",
+        "gdsf",
+        "landlord",
+        "belady",
+        "optbundle",
+    } <= set(POLICY_REGISTRY)
+
+
+def test_make_policy_unknown_rejected():
+    with pytest.raises(ConfigError, match="unknown policy"):
+        make_policy("nope")
+
+
+def test_belady_requires_future():
+    with pytest.raises(ConfigError, match="future"):
+        make_policy("belady")
+    p = make_policy("belady", future=[FileBundle(["a"])])
+    assert p.name == "belady"
+
+
+def test_random_accepts_rng():
+    p = make_policy("random", rng=np.random.default_rng(1))
+    assert p.name == "random"
+
+
+def test_future_not_passed_to_others():
+    p = make_policy("lru", future=[FileBundle(["a"])])
+    assert p.name == "lru"
+
+
+def test_kwargs_forwarded():
+    p = make_policy("optbundle", refine=False)
+    assert p.name == "optbundle"
+
+
+def test_each_policy_instantiable():
+    for name in POLICY_REGISTRY:
+        p = make_policy(name, future=[FileBundle(["a"])])
+        assert p.name == name

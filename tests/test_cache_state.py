@@ -1,0 +1,121 @@
+"""Unit tests for CacheState."""
+
+import pytest
+
+from repro.cache.state import CacheState
+from repro.core.bundle import FileBundle
+from repro.errors import (
+    CacheCapacityError,
+    ConfigError,
+    DuplicateFileError,
+    UnknownFileError,
+)
+
+
+class TestConstruction:
+    def test_positive_capacity_required(self):
+        with pytest.raises(ConfigError):
+            CacheState(0)
+        with pytest.raises(ConfigError):
+            CacheState(-5)
+
+    def test_initial_state(self):
+        c = CacheState(10)
+        assert c.used == 0 and c.free == 10 and len(c) == 0
+
+
+class TestLoadEvict:
+    def test_load_updates_occupancy(self):
+        c = CacheState(10)
+        c.load("a", 4)
+        assert c.used == 4 and c.free == 6
+        assert "a" in c and len(c) == 1
+        assert c.size_of("a") == 4
+
+    def test_load_counters(self):
+        c = CacheState(10)
+        c.load("a", 4)
+        c.load("b", 2)
+        assert c.load_count == 2
+        assert c.bytes_loaded == 6
+
+    def test_duplicate_load_rejected(self):
+        c = CacheState(10)
+        c.load("a", 1)
+        with pytest.raises(DuplicateFileError):
+            c.load("a", 1)
+
+    def test_overflow_rejected(self):
+        c = CacheState(10)
+        c.load("a", 8)
+        with pytest.raises(CacheCapacityError):
+            c.load("b", 3)
+        assert c.used == 8  # unchanged after failed load
+
+    def test_exact_fill_allowed(self):
+        c = CacheState(10)
+        c.load("a", 10)
+        assert c.free == 0
+
+    def test_nonpositive_size_rejected(self):
+        c = CacheState(10)
+        with pytest.raises(ConfigError):
+            c.load("a", 0)
+
+    def test_evict_returns_size_and_updates(self):
+        c = CacheState(10)
+        c.load("a", 4)
+        assert c.evict("a") == 4
+        assert c.used == 0 and "a" not in c
+        assert c.evict_count == 1 and c.bytes_evicted == 4
+
+    def test_evict_unknown_rejected(self):
+        with pytest.raises(UnknownFileError):
+            CacheState(10).evict("ghost")
+
+    def test_size_of_unknown_rejected(self):
+        with pytest.raises(UnknownFileError):
+            CacheState(10).size_of("ghost")
+
+    def test_reload_after_evict(self):
+        c = CacheState(10)
+        c.load("a", 4)
+        c.evict("a")
+        c.load("a", 4)
+        assert c.used == 4
+
+
+class TestQueries:
+    def test_missing_and_supports(self):
+        c = CacheState(10)
+        c.load("a", 1)
+        b = FileBundle(["a", "b"])
+        assert c.missing(b) == {"b"}
+        assert not c.supports(b)
+        c.load("b", 1)
+        assert c.missing(b) == frozenset()
+        assert c.supports(b)
+
+    def test_resident_bytes(self):
+        c = CacheState(10)
+        c.load("a", 3)
+        c.load("b", 4)
+        assert c.resident_bytes(["a", "b", "z"]) == 7
+
+    def test_residents_view_is_live(self):
+        c = CacheState(10)
+        view = c.residents()
+        c.load("a", 1)
+        assert "a" in view
+
+    def test_check_invariants_passes(self):
+        c = CacheState(10)
+        c.load("a", 3)
+        c.check_invariants()
+
+    def test_check_invariants_detects_corruption(self):
+        c = CacheState(10)
+        c.load("a", 3)
+        c._used = 99  # simulate corruption
+        with pytest.raises(AssertionError):
+            c.check_invariants()

@@ -1,0 +1,166 @@
+"""CLI smoke tests (in-process, via main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "optbundle" in out and "fig6" in out
+
+    def test_run_tables(self, capsys):
+        assert main(["run", "tables", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "f1,f3,f5" in out
+
+    def test_simulate(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--jobs",
+                    "60",
+                    "--files",
+                    "80",
+                    "--request-types",
+                    "40",
+                    "--cache-size",
+                    "64MB",
+                    "--max-bundle-frac",
+                    "0.3",
+                    "--policy",
+                    "lru",
+                    "--policy",
+                    "optbundle",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "byte_miss_ratio" in out and "lru" in out
+
+    def test_generate_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "trace.jsonl")
+        assert (
+            main(
+                [
+                    "generate",
+                    path,
+                    "--jobs",
+                    "40",
+                    "--files",
+                    "50",
+                    "--request-types",
+                    "30",
+                    "--cache-size",
+                    "64MB",
+                    "--max-bundle-frac",
+                    "0.3",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["replay", path, "--cache-size", "64MB", "--policy", "lru"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lru" in out
+
+    def test_replay_missing_file_errors(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        with pytest.raises(FileNotFoundError):
+            main(["replay", missing])
+
+    def test_error_path_returns_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main(["replay", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestNewCommands:
+    def test_timed(self, capsys):
+        assert (
+            main(
+                [
+                    "timed",
+                    "--jobs",
+                    "40",
+                    "--files",
+                    "60",
+                    "--request-types",
+                    "40",
+                    "--cache-size",
+                    "64MB",
+                    "--policy",
+                    "lru",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "resp [s]" in out and "lru" in out
+
+    def test_profile(self, tmp_path, capsys):
+        path = str(tmp_path / "t.jsonl")
+        main(
+            [
+                "generate",
+                path,
+                "--jobs",
+                "60",
+                "--files",
+                "40",
+                "--request-types",
+                "30",
+                "--cache-size",
+                "32MB",
+                "--max-bundle-frac",
+                "0.4",
+            ]
+        )
+        capsys.readouterr()
+        assert main(["profile", path]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=60" in out and "popularity:" in out
+
+    def test_compare(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "optbundle",
+                    "landlord",
+                    "--jobs",
+                    "60",
+                    "--files",
+                    "60",
+                    "--request-types",
+                    "40",
+                    "--cache-size",
+                    "32MB",
+                    "--max-bundle-frac",
+                    "0.3",
+                    "--seeds",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "paired across seeds" in out and "optbundle" in out

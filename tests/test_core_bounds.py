@@ -1,0 +1,52 @@
+"""Unit tests for approximation-guarantee formulas."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import enum_guarantee, greedy_guarantee, max_file_degree
+from repro.core.bundle import FileBundle
+from repro.errors import ConfigError
+
+
+class TestGuarantees:
+    def test_known_values(self):
+        assert enum_guarantee(1) == pytest.approx(1 - math.exp(-1))
+        assert greedy_guarantee(1) == pytest.approx(0.5 * (1 - math.exp(-1)))
+
+    def test_degree_zero_is_exact(self):
+        assert enum_guarantee(0) == 1.0
+        assert greedy_guarantee(0) == 1.0
+
+    def test_monotone_decreasing_in_d(self):
+        values = [enum_guarantee(d) for d in range(1, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_greedy_is_half_enum(self):
+        for d in (1, 3, 10):
+            assert greedy_guarantee(d) == pytest.approx(enum_guarantee(d) / 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            enum_guarantee(-1)
+
+    def test_limits(self):
+        # d -> inf: 1 - e^{-1/d} -> 1/d -> 0
+        assert enum_guarantee(10_000) == pytest.approx(1e-4, rel=1e-3)
+
+
+class TestMaxFileDegree:
+    def test_empty(self):
+        assert max_file_degree([]) == 0
+
+    def test_counts_bundles_sharing_a_file(self):
+        bundles = [
+            FileBundle(["a", "b"]),
+            FileBundle(["b"]),
+            FileBundle(["b", "c"]),
+            FileBundle(["c"]),
+        ]
+        assert max_file_degree(bundles) == 3  # file b
+
+    def test_paper_example_degree_is_four(self, example_bundles):
+        assert max_file_degree(example_bundles) == 4  # f5

@@ -1,0 +1,84 @@
+"""Unit tests for FileBundle."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+
+
+class TestConstruction:
+    def test_order_independent_equality(self):
+        assert FileBundle(["a", "b"]) == FileBundle(["b", "a"])
+
+    def test_hash_consistent(self):
+        assert hash(FileBundle(["a", "b"])) == hash(FileBundle(["b", "a"]))
+
+    def test_duplicates_collapse(self):
+        assert len(FileBundle(["a", "a", "b"])) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FileBundle([])
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            FileBundle([1, 2])  # type: ignore[list-item]
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(TypeError):
+            FileBundle([""])
+
+    def test_equality_with_frozenset(self):
+        assert FileBundle(["a"]) == frozenset({"a"})
+
+    def test_inequality_with_other_types(self):
+        assert FileBundle(["a"]) != "a"
+
+    def test_usable_as_dict_key(self):
+        d = {FileBundle(["a", "b"]): 1}
+        assert d[FileBundle(["b", "a"])] == 1
+
+
+class TestOperations:
+    def test_contains_and_iter(self):
+        b = FileBundle(["x", "y"])
+        assert "x" in b and "z" not in b
+        assert sorted(b) == ["x", "y"]
+
+    def test_union(self):
+        assert (FileBundle(["a"]) | FileBundle(["b"])) == FileBundle(["a", "b"])
+
+    def test_intersection(self):
+        assert (FileBundle(["a", "b"]) & FileBundle(["b", "c"])) == {"b"}
+
+    def test_difference(self):
+        assert (FileBundle(["a", "b"]) - FileBundle(["b"])) == {"a"}
+
+    def test_issubset(self):
+        b = FileBundle(["a", "b"])
+        assert b.issubset({"a", "b", "c"})
+        assert not b.issubset({"a"})
+        assert b.issubset(["a", "b"])  # non-set iterable
+
+    def test_intersects(self):
+        b = FileBundle(["a", "b"])
+        assert b.intersects({"b"})
+        assert not b.intersects({"z"})
+        assert b.intersects(["a", "q"])
+
+    def test_size_under(self):
+        assert FileBundle(["a", "b"]).size_under({"a": 3, "b": 4, "c": 9}) == 7
+
+    def test_size_under_missing_raises(self):
+        with pytest.raises(KeyError):
+            FileBundle(["a"]).size_under({})
+
+    def test_missing_from(self):
+        b = FileBundle(["a", "b", "c"])
+        assert b.missing_from({"a"}) == {"b", "c"}
+        assert b.missing_from(["a", "b", "c"]) == frozenset()
+
+    def test_sorted_ids(self):
+        assert FileBundle(["c", "a", "b"]).sorted_ids() == ("a", "b", "c")
+
+    def test_repr_is_canonical(self):
+        assert repr(FileBundle(["b", "a"])) == "FileBundle({a,b})"

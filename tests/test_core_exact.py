@@ -1,0 +1,129 @@
+"""Unit tests for the exact FBC solvers."""
+
+import itertools
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.exact import MAX_EXACT_CANDIDATES, solve_exact, solve_knapsack_dp
+from repro.core.optcacheselect import FBCInstance
+from repro.errors import SolverError
+
+
+def inst(bundles, values, sizes, budget):
+    return FBCInstance(
+        bundles=tuple(FileBundle(b) for b in bundles),
+        values=tuple(float(v) for v in values),
+        sizes=sizes,
+        budget=budget,
+    )
+
+
+def brute_force_value(i: FBCInstance) -> float:
+    best = 0.0
+    n = len(i.bundles)
+    for mask in itertools.product([0, 1], repeat=n):
+        files = set()
+        for k in range(n):
+            if mask[k]:
+                files |= i.bundles[k].files
+        if sum(i.sizes[f] for f in files) <= i.budget:
+            best = max(best, sum(i.values[k] for k in range(n) if mask[k]))
+    return best
+
+
+class TestSolveExact:
+    def test_empty(self):
+        sel = solve_exact(inst([], [], {}, 10))
+        assert sel.total_value == 0.0
+
+    def test_worked_example(self, example_instance):
+        sel = solve_exact(example_instance)
+        assert sel.total_value == 3.0
+        assert sorted(sel.files) == ["f1", "f3", "f5"]
+
+    def test_matches_brute_force_on_small_instances(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            n_files = int(rng.integers(3, 8))
+            sizes = {f"f{i}": int(rng.integers(1, 10)) for i in range(n_files)}
+            n_req = int(rng.integers(1, 7))
+            bundles = []
+            values = []
+            for _ in range(n_req):
+                k = int(rng.integers(1, min(3, n_files) + 1))
+                fs = rng.choice(n_files, size=k, replace=False)
+                bundles.append([f"f{i}" for i in fs])
+                values.append(int(rng.integers(1, 9)))
+            i = inst(bundles, values, sizes, int(rng.integers(1, 25)))
+            assert solve_exact(i).total_value == pytest.approx(
+                brute_force_value(i)
+            )
+
+    def test_solution_fits_budget(self):
+        i = inst([["a", "b"], ["b", "c"]], [5, 5], {"a": 3, "b": 3, "c": 3}, 6)
+        sel = solve_exact(i)
+        assert sel.used_bytes <= 6
+
+    def test_shared_files_counted_once(self):
+        i = inst([["a", "b"], ["a", "c"]], [1, 1], {"a": 8, "b": 1, "c": 1}, 10)
+        assert solve_exact(i).total_value == 2.0
+
+    def test_too_large_rejected(self):
+        n = MAX_EXACT_CANDIDATES + 1
+        i = inst(
+            [[f"f{k}"] for k in range(n)],
+            [1] * n,
+            {f"f{k}": 1 for k in range(n)},
+            5,
+        )
+        with pytest.raises(SolverError):
+            solve_exact(i)
+
+
+class TestKnapsackDP:
+    def test_disjoint_equals_exact(self):
+        i = inst(
+            [["a"], ["b"], ["c", "d"]],
+            [6, 10, 12],
+            {"a": 1, "b": 2, "c": 1, "d": 2},
+            4,
+        )
+        assert solve_knapsack_dp(i).total_value == solve_exact(i).total_value
+
+    def test_shared_file_rejected(self):
+        i = inst([["a"], ["a", "b"]], [1, 1], {"a": 1, "b": 1}, 2)
+        with pytest.raises(SolverError, match="shared"):
+            solve_knapsack_dp(i)
+
+    def test_classic_knapsack(self):
+        # weights 1,3,4,5 / values 1,4,5,7 / capacity 7 -> best 9 (w3+w4)
+        i = inst(
+            [["w1"], ["w2"], ["w3"], ["w4"]],
+            [1, 4, 5, 7],
+            {"w1": 1, "w2": 3, "w3": 4, "w4": 5},
+            7,
+        )
+        sel = solve_knapsack_dp(i)
+        assert sel.total_value == 9.0
+
+    def test_scaling_stays_feasible(self):
+        i = inst(
+            [["a"], ["b"]],
+            [5, 5],
+            {"a": 1000, "b": 1001},
+            1500,
+        )
+        sel = solve_knapsack_dp(i, scale=100)
+        assert sel.used_bytes <= 1500
+        assert sel.total_value == 5.0
+
+    def test_bad_scale_rejected(self):
+        i = inst([["a"]], [1], {"a": 1}, 1)
+        with pytest.raises(SolverError):
+            solve_knapsack_dp(i, scale=0)
+
+    def test_empty(self):
+        assert solve_knapsack_dp(inst([], [], {}, 5)).total_value == 0.0

@@ -1,0 +1,86 @@
+"""Unit tests for the LP-relaxation upper bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.exact import solve_exact
+from repro.core.lpbound import certified_ratio, lp_upper_bound
+from repro.core.optcacheselect import FBCInstance, opt_cache_select
+from repro.errors import SolverError
+
+
+def inst(bundles, values, sizes, budget):
+    return FBCInstance(
+        bundles=tuple(FileBundle(b) for b in bundles),
+        values=tuple(float(v) for v in values),
+        sizes=sizes,
+        budget=budget,
+    )
+
+
+class TestLPBound:
+    def test_empty_instance(self):
+        assert lp_upper_bound(inst([], [], {}, 10)) == 0.0
+        assert lp_upper_bound(inst([["a"]], [1], {"a": 1}, 0)) == 0.0
+
+    def test_everything_fits_lp_is_total(self):
+        i = inst([["a"], ["b"]], [3, 4], {"a": 1, "b": 1}, 10)
+        assert lp_upper_bound(i) == pytest.approx(7.0)
+
+    def test_upper_bounds_exact_on_random_instances(self):
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            n_files = int(rng.integers(3, 10))
+            sizes = {f"f{i}": int(rng.integers(1, 15)) for i in range(n_files)}
+            bundles, values = [], []
+            for _ in range(int(rng.integers(2, 9))):
+                k = int(rng.integers(1, 4))
+                fs = rng.choice(n_files, size=k, replace=False)
+                bundles.append([f"f{i}" for i in fs])
+                values.append(int(rng.integers(1, 10)))
+            i = inst(bundles, values, sizes, int(rng.integers(1, 30)))
+            exact = solve_exact(i).total_value
+            lp = lp_upper_bound(i)
+            assert lp >= exact - 1e-6
+
+    def test_fractional_relaxation_can_exceed_integral(self):
+        # One item of weight 2 and value 2 with budget 1: LP takes half.
+        i = inst([["a"]], [2], {"a": 2}, 1)
+        assert solve_exact(i).total_value == 0.0
+        assert lp_upper_bound(i) == pytest.approx(1.0)
+
+    def test_worked_example(self, example_instance):
+        lp = lp_upper_bound(example_instance)
+        assert lp >= 3.0 - 1e-9  # integral optimum is 3
+
+
+class TestCertifiedRatio:
+    def test_bounds_true_ratio(self):
+        rng = np.random.default_rng(9)
+        for _ in range(10):
+            n_files = int(rng.integers(3, 8))
+            sizes = {f"f{i}": int(rng.integers(1, 10)) for i in range(n_files)}
+            bundles, values = [], []
+            for _ in range(int(rng.integers(2, 7))):
+                k = int(rng.integers(1, 3))
+                fs = rng.choice(n_files, size=k, replace=False)
+                bundles.append([f"f{i}" for i in fs])
+                values.append(int(rng.integers(1, 8)))
+            i = inst(bundles, values, sizes, int(rng.integers(2, 25)))
+            greedy = opt_cache_select(i)
+            cert = certified_ratio(i, greedy.total_value)
+            exact = solve_exact(i).total_value
+            true_ratio = greedy.total_value / exact if exact else 1.0
+            assert cert <= true_ratio + 1e-9  # certificate never overstates
+
+    def test_zero_bound_returns_one(self):
+        assert certified_ratio(inst([], [], {}, 10), 0.0) == 1.0
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(SolverError):
+            certified_ratio(inst([["a"]], [1], {"a": 1}, 2), -1.0)
+
+    def test_capped_at_one(self):
+        i = inst([["a"]], [5], {"a": 1}, 10)
+        assert certified_ratio(i, 99.0) == 1.0

@@ -1,0 +1,251 @@
+"""Unit tests for OptCacheSelect (Algorithm 1)."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.history import RequestHistory, TruncationMode
+from repro.core.optcacheselect import (
+    FBCInstance,
+    opt_cache_select,
+    relative_value,
+)
+from repro.errors import ConfigError
+
+
+def inst(bundles, values, sizes, budget, degrees=None):
+    return FBCInstance(
+        bundles=tuple(FileBundle(b) for b in bundles),
+        values=tuple(float(v) for v in values),
+        sizes=sizes,
+        budget=budget,
+        degrees=degrees,
+    )
+
+
+class TestFBCInstance:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigError):
+            inst([["a"]], [1, 2], {"a": 1}, 5)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            inst([["a"]], [1], {"a": 1}, -1)
+
+    def test_nonpositive_value_rejected(self):
+        with pytest.raises(ConfigError):
+            inst([["a"]], [0], {"a": 1}, 5)
+
+    def test_unknown_file_size_rejected(self):
+        with pytest.raises(ConfigError):
+            inst([["a", "b"]], [1], {"a": 1}, 5)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ConfigError):
+            inst([["a"]], [1], {"a": 0}, 5)
+
+    def test_effective_degrees_local(self):
+        i = inst([["a", "b"], ["b"]], [1, 1], {"a": 1, "b": 1}, 5)
+        assert i.effective_degrees() == {"a": 1, "b": 2}
+
+    def test_effective_degrees_floor_supplied(self):
+        i = inst(
+            [["a", "b"], ["b"]],
+            [1, 1],
+            {"a": 1, "b": 1},
+            5,
+            degrees={"a": 5, "b": 1},  # b understated; floored to local 2
+        )
+        assert i.effective_degrees() == {"a": 5, "b": 2}
+
+    def test_from_history_uses_candidates_and_global_degrees(self):
+        h = RequestHistory(TruncationMode.CACHE_SUPPORTED)
+        ab, bc = FileBundle(["a", "b"]), FileBundle(["b", "c"])
+        h.record(ab)
+        h.record(bc)
+        h.sync_resident({"a", "b"})
+        i = FBCInstance.from_history(h, {"a": 1, "b": 1, "c": 1}, 10)
+        assert i.bundles == (ab,)
+        assert i.degrees["b"] == 2  # global degree despite bc not candidate
+
+
+class TestRelativeValue:
+    def test_formula(self):
+        # v'(r) = v / sum(s(f)/d(f))
+        b = FileBundle(["x", "y"])
+        v = relative_value(6.0, b, {"x": 2, "y": 4}, {"x": 2, "y": 4})
+        assert v == pytest.approx(6.0 / (1.0 + 1.0))
+
+    def test_unknown_degree_treated_as_one(self):
+        b = FileBundle(["x"])
+        assert relative_value(1.0, b, {"x": 4}, {}) == pytest.approx(0.25)
+
+
+class TestWorkedExample:
+    def test_refined_recovers_optimum(self, example_instance):
+        sel = opt_cache_select(example_instance)
+        assert sorted(sel.files) == ["f1", "f3", "f5"]
+        assert sel.total_value == 3.0
+        assert sel.used_bytes == 3
+        assert not sel.single_fallback
+
+    def test_popular_files_would_lose(self, example_bundles):
+        resident = {"f5", "f6", "f7"}
+        supported = [b for b in example_bundles if b.issubset(resident)]
+        assert len(supported) == 1  # the popularity fallacy
+
+
+class TestGreedyBasics:
+    def test_empty_instance(self):
+        sel = opt_cache_select(inst([], [], {}, 10))
+        assert sel.selected == () and sel.total_value == 0.0
+
+    def test_zero_budget(self):
+        sel = opt_cache_select(inst([["a"]], [1], {"a": 1}, 0))
+        assert sel.selected == ()
+
+    def test_everything_fits(self):
+        sel = opt_cache_select(
+            inst([["a"], ["b"]], [1, 2], {"a": 1, "b": 1}, 10)
+        )
+        assert set(sel.selected) == {0, 1}
+        assert sel.total_value == 3.0
+
+    def test_budget_respected(self):
+        sel = opt_cache_select(
+            inst([["a"], ["b"], ["c"]], [3, 2, 1], {"a": 4, "b": 4, "c": 4}, 8)
+        )
+        assert sel.used_bytes <= 8
+        assert sel.total_value == 5.0
+
+    def test_oversized_candidate_skipped(self):
+        sel = opt_cache_select(
+            inst([["big"], ["s"]], [100, 1], {"big": 50, "s": 1}, 10)
+        )
+        assert sel.files == {"s"}
+
+    def test_shared_files_charged_once_in_refined(self):
+        # Two requests share file 'a' (size 9); budget fits union {a,b,c}
+        # only if the shared file is charged once.
+        sel = opt_cache_select(
+            inst(
+                [["a", "b"], ["a", "c"]],
+                [1, 1],
+                {"a": 9, "b": 1, "c": 1},
+                11,
+            ),
+            refine=True,
+        )
+        assert sel.total_value == 2.0
+        assert sel.files == {"a", "b", "c"}
+
+    def test_plain_double_charges_shared_files(self):
+        sel = opt_cache_select(
+            inst(
+                [["a", "b"], ["a", "c"]],
+                [1, 1],
+                {"a": 9, "b": 1, "c": 1},
+                11,
+            ),
+            refine=False,
+        )
+        # 10 + 10 > 11 under per-request charging: only one selected.
+        assert sel.total_value == 1.0
+
+    def test_deterministic(self):
+        i = inst(
+            [["a", "b"], ["b", "c"], ["c"]],
+            [2, 2, 1],
+            {"a": 2, "b": 2, "c": 2},
+            4,
+        )
+        first = opt_cache_select(i)
+        for _ in range(5):
+            again = opt_cache_select(i)
+            assert again.selected == first.selected
+
+
+class TestStepThreeSafeguard:
+    def _adversarial(self):
+        # The decoy has the best adjusted relative value (10/1) and blocks
+        # the big high-value request (50/10) from fitting.
+        return inst(
+            [["s1"], ["big"]],
+            [10, 50],
+            {"s1": 1, "big": 10},
+            10,
+        )
+
+    def test_safeguard_picks_single_when_better(self):
+        sel = opt_cache_select(self._adversarial())
+        assert sel.single_fallback
+        assert sel.total_value == 50.0
+        assert sel.files == {"big"}
+
+    def test_safeguard_off(self):
+        sel = opt_cache_select(self._adversarial(), safeguard=False)
+        assert not sel.single_fallback
+        assert sel.total_value == 10.0
+
+    def test_single_must_fit_budget(self):
+        sel = opt_cache_select(
+            inst([["s"], ["big"]], [1, 99], {"s": 1, "big": 100}, 10)
+        )
+        assert sel.files == {"s"}
+
+
+class TestFreeFiles:
+    def test_free_files_not_charged(self):
+        sel = opt_cache_select(
+            inst([["a", "b"]], [1], {"a": 100, "b": 1}, 1),
+            free_files=frozenset({"a"}),
+        )
+        assert sel.total_value == 1.0
+        assert sel.used_bytes == 1
+
+    def test_fully_free_request_selected_at_zero_budget_plus_one(self):
+        sel = opt_cache_select(
+            inst([["a"]], [5], {"a": 100}, 1),
+            free_files=frozenset({"a"}),
+        )
+        assert sel.total_value == 5.0
+        assert sel.used_bytes == 0
+
+    def test_free_files_affect_single_fallback_fit(self):
+        sel = opt_cache_select(
+            inst([["a", "big"]], [9], {"a": 1, "big": 100}, 5),
+            free_files=frozenset({"big"}),
+        )
+        assert sel.total_value == 9.0
+
+
+class TestDegreeBlindRanking:
+    def test_effective_degrees_blind(self):
+        i = inst([["a", "b"], ["b"]], [1, 1], {"a": 1, "b": 1}, 5)
+        assert i.effective_degrees(degree_blind=True) == {"a": 1, "b": 1}
+
+    def test_blind_ranking_misled_by_shared_file(self):
+        # File 'h' is shared by three valuable requests.  The paper's
+        # adjusted ranking (s'(h) = s(h)/3) ranks them above the decoy and
+        # packs all three; degree-blind ranking picks the decoy first and
+        # the big requests no longer fit.
+        i = inst(
+            [["h", "x"], ["h", "y"], ["h", "z"], ["s"]],
+            [4, 4, 4, 1],
+            {"h": 27, "x": 1, "y": 1, "z": 1, "s": 3},
+            30,
+        )
+        adjusted = opt_cache_select(i, safeguard=False)
+        blind = opt_cache_select(i, safeguard=False, degree_blind=True)
+        assert adjusted.total_value == 12.0
+        assert blind.total_value == 1.0
+
+    def test_blind_equals_adjusted_when_no_sharing(self):
+        i = inst(
+            [["a"], ["b"], ["c"]],
+            [3, 2, 1],
+            {"a": 2, "b": 2, "c": 2},
+            4,
+        )
+        a = opt_cache_select(i)
+        b = opt_cache_select(i, degree_blind=True)
+        assert a.files == b.files

@@ -1,0 +1,177 @@
+"""Unit tests for the OptFileBundle online planner (Algorithm 2)."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.history import TruncationMode
+from repro.core.optfilebundle import OptFileBundlePlanner
+from repro.errors import CacheCapacityError, ConfigError
+
+SIZES = {f"f{i}": 10 for i in range(10)}
+
+
+def apply(plan, resident):
+    resident -= plan.evict
+    resident |= plan.load | plan.prefetch
+    return resident
+
+
+class TestPlannerBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            OptFileBundlePlanner(0, SIZES)
+
+    def test_cold_start_loads_all(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        plan = p.plan(FileBundle(["f0", "f1"]), set())
+        assert plan.load == {"f0", "f1"}
+        assert plan.evict == frozenset()
+        assert not plan.request_hit
+
+    def test_hit_detection(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        plan = p.plan(FileBundle(["f0"]), {"f0"})
+        assert plan.request_hit and plan.load == frozenset()
+
+    def test_oversized_bundle_rejected(self):
+        p = OptFileBundlePlanner(25, SIZES)
+        with pytest.raises(CacheCapacityError):
+            p.plan(FileBundle(["f0", "f1", "f2"]), set())
+
+    def test_keep_always_fits_capacity(self):
+        p = OptFileBundlePlanner(35, SIZES)
+        resident: set = set()
+        bundles = [
+            FileBundle(["f0", "f1"]),
+            FileBundle(["f2"]),
+            FileBundle(["f0", "f3"]),
+            FileBundle(["f1", "f2", "f3"]),
+            FileBundle(["f4"]),
+        ]
+        for b in bundles * 3:
+            plan = p.plan(b, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+            assert sum(SIZES[f] for f in plan.keep) <= 35
+            assert sum(SIZES[f] for f in resident) <= 35
+            assert b.files <= resident
+
+    def test_partially_resident_bundle_never_overflows(self):
+        # Regression: budget must reserve the whole bundle, not just the
+        # missing part, or keep can exceed capacity.
+        p = OptFileBundlePlanner(30, SIZES)
+        resident: set = set()
+        seq = [
+            FileBundle(["f0", "f1"]),
+            FileBundle(["f2"]),
+            FileBundle(["f0", "f2"]),  # partially resident
+            FileBundle(["f1", "f2"]),
+        ]
+        for b in seq * 4:
+            plan = p.plan(b, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+            assert sum(SIZES[f] for f in resident) <= 30
+
+
+class TestHistoryIntegration:
+    def test_commit_records_history(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        b = FileBundle(["f0"])
+        plan = p.plan(b, set())
+        p.commit(plan)
+        assert p.history.value_of(b) == 1.0
+
+    def test_repeated_bundle_value_grows(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        b = FileBundle(["f0"])
+        resident: set = set()
+        for _ in range(3):
+            plan = p.plan(b, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+        assert p.history.value_of(b) == 3.0
+
+    def test_popular_bundle_retained_under_pressure(self):
+        p = OptFileBundlePlanner(30, SIZES)
+        hot = FileBundle(["f0", "f1"])
+        resident: set = set()
+        # Make hot popular.
+        for _ in range(5):
+            plan = p.plan(hot, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+        # A one-off request forces a replacement decision.
+        plan = p.plan(FileBundle(["f5"]), resident)
+        assert "f0" not in plan.evict and "f1" not in plan.evict
+
+    def test_score_prefers_popular_small(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        hot, cold = FileBundle(["f0"]), FileBundle(["f1"])
+        resident: set = set()
+        for _ in range(4):
+            plan = p.plan(hot, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+        assert p.score(hot) > p.score(cold)
+
+    def test_score_of_unseen_bundle_is_finite_positive(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        assert p.score(FileBundle(["f7"])) > 0
+
+
+class TestEvictionModes:
+    def _warm(self, p, resident):
+        for b in (FileBundle(["f0"]), FileBundle(["f1"]), FileBundle(["f2"])):
+            plan = p.plan(b, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+        return resident
+
+    def test_lazy_keeps_unselected_files_when_room(self):
+        p = OptFileBundlePlanner(100, SIZES)
+        resident = self._warm(p, set())
+        plan = p.plan(FileBundle(["f3"]), resident)
+        assert plan.evict == frozenset()  # plenty of room: nothing evicted
+
+    def test_eager_evicts_everything_unselected(self):
+        p = OptFileBundlePlanner(100, SIZES, eager_evict=True)
+        resident = self._warm(p, set())
+        plan = p.plan(FileBundle(["f3"]), resident)
+        # Everything kept must be in F(Opt) | bundle.
+        assert plan.keep >= plan.bundle.files
+        assert (resident - plan.evict) <= plan.keep
+
+    def test_lazy_evicts_only_enough(self):
+        p = OptFileBundlePlanner(30, SIZES)
+        resident = self._warm(p, set())  # f0,f1,f2 resident (30/30)
+        plan = p.plan(FileBundle(["f3"]), resident)
+        assert len(plan.evict) == 1  # exactly one 10-byte victim needed
+
+
+class TestFullHistoryPrefetch:
+    def test_prefetch_only_under_full_truncation(self):
+        p = OptFileBundlePlanner(
+            40, SIZES, truncation=TruncationMode.FULL
+        )
+        hot = FileBundle(["f0", "f1"])
+        resident: set = set()
+        for _ in range(5):
+            plan = p.plan(hot, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+        # Evict hot's files behind the planner's back, then request another
+        # bundle: full history may prefetch the popular files back.
+        p.observe_eviction("f0")
+        p.observe_eviction("f1")
+        plan = p.plan(FileBundle(["f2"]), {"f2"})
+        assert plan.prefetch <= {"f0", "f1"}
+
+    def test_cache_truncation_never_prefetches(self):
+        p = OptFileBundlePlanner(40, SIZES)
+        resident: set = set()
+        for b in (FileBundle(["f0"]), FileBundle(["f1"]), FileBundle(["f2"])):
+            plan = p.plan(b, resident)
+            resident = apply(plan, resident)
+            p.commit(plan)
+            assert plan.prefetch == frozenset()

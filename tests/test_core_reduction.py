@@ -1,0 +1,78 @@
+"""Unit tests for the DKS <-> FBC reduction."""
+
+import networkx as nx
+import pytest
+
+from repro.core.exact import solve_exact
+from repro.core.reduction import (
+    count_induced_edges,
+    dks_to_fbc,
+    fbc_files_to_dks_vertices,
+)
+from repro.errors import ConfigError
+
+
+def test_encoding_shape():
+    inst = dks_to_fbc([(1, 2), (2, 3)], k=2)
+    assert len(inst.bundles) == 2
+    assert all(len(b) == 2 for b in inst.bundles)
+    assert all(v == 1.0 for v in inst.values)
+    assert all(s == 1 for s in inst.sizes.values())
+    assert inst.budget == 2
+
+
+def test_self_loop_rejected():
+    with pytest.raises(ConfigError):
+        dks_to_fbc([(1, 1)], k=2)
+
+
+def test_negative_k_rejected():
+    with pytest.raises(ConfigError):
+        dks_to_fbc([(1, 2)], k=-1)
+
+
+def test_parallel_edges_collapse():
+    inst = dks_to_fbc([(1, 2), (2, 1)], k=2)
+    assert len(inst.bundles) == 1
+
+
+def test_decode_vertices():
+    assert fbc_files_to_dks_vertices(["v:1", "v:x"]) == {"1", "x"}
+
+
+def test_decode_rejects_foreign_files():
+    with pytest.raises(ConfigError):
+        fbc_files_to_dks_vertices(["nope"])
+
+
+def test_count_induced_edges():
+    edges = [(1, 2), (2, 3), (3, 1), (3, 4)]
+    assert count_induced_edges(edges, {1, 2, 3}) == 3
+    assert count_induced_edges(edges, {1, 4}) == 0
+
+
+def test_exact_fbc_solves_dks_triangle():
+    # K4 minus one edge; densest 3-subgraph is the triangle (3 edges).
+    g = nx.Graph([(0, 1), (1, 2), (2, 0), (2, 3), (1, 3)])
+    inst = dks_to_fbc(g.edges(), k=3)
+    sel = solve_exact(inst)
+    vertices = fbc_files_to_dks_vertices(sel.files)
+    assert len(vertices) <= 3
+    assert sel.total_value == count_induced_edges(
+        [(str(a), str(b)) for a, b in g.edges()], vertices
+    )
+    assert sel.total_value == 3.0
+
+
+def test_exact_fbc_matches_networkx_enumeration():
+    import itertools
+
+    g = nx.gnp_random_graph(7, 0.5, seed=4)
+    k = 4
+    best = max(
+        g.subgraph(vs).number_of_edges()
+        for vs in itertools.combinations(g.nodes(), k)
+    )
+    inst = dks_to_fbc(g.edges(), k=k)
+    sel = solve_exact(inst)
+    assert sel.total_value == best

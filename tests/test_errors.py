@@ -1,0 +1,36 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.ReproError)
+
+
+def test_config_error_is_value_error():
+    assert issubclass(errors.ConfigError, ValueError)
+
+
+def test_unknown_file_is_key_error():
+    assert issubclass(errors.UnknownFileError, KeyError)
+
+
+def test_cache_capacity_error_message_and_fields():
+    exc = errors.CacheCapacityError(100, 40)
+    assert exc.needed == 100
+    assert exc.available == 40
+    assert "100" in str(exc) and "40" in str(exc)
+
+
+def test_cache_capacity_error_custom_message():
+    exc = errors.CacheCapacityError(1, 2, "custom")
+    assert str(exc) == "custom"
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.TraceFormatError("bad")

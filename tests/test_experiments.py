@@ -1,0 +1,152 @@
+"""Tests for the per-figure experiment drivers (smoke scale).
+
+These assert the *shapes* the paper reports, not absolute numbers:
+OptFileBundle below Landlord, byte miss ratio decreasing in cache size,
+negligible history-truncation effect, queueing benefit for Zipf, and the
+Theorem 4.1 bounds.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.example_tables import (
+    EXAMPLE_BUNDLES,
+    file_request_probabilities,
+    request_hit_probability,
+    run_tables,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestRegistry:
+    def test_expected_ids(self):
+        assert {
+            "tables",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "thm41",
+            "ablation",
+            "zoo",
+            "grid",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig99")
+
+
+class TestWorkedExampleTables:
+    def test_table1_probabilities(self):
+        probs = file_request_probabilities()
+        from fractions import Fraction
+
+        assert probs["f5"] == Fraction(2, 3)
+        assert probs["f6"] == Fraction(1, 2)
+        assert probs["f7"] == Fraction(1, 2)
+        assert probs["f1"] == Fraction(1, 3)
+        assert probs["f2"] == Fraction(1, 6)
+
+    def test_table2_rows(self):
+        p_popular, supported = request_hit_probability(("f5", "f6", "f7"))
+        assert float(p_popular) == pytest.approx(1 / 6)
+        assert supported == [5]  # only r6
+        p_best, supported = request_hit_probability(("f1", "f3", "f5"))
+        assert float(p_best) == pytest.approx(1 / 2)
+        assert supported == [0, 2, 4]  # r1, r3, r5
+        p_none, _ = request_hit_probability(("f1", "f2", "f3"))
+        assert float(p_none) == 0.0
+
+    def test_driver_output(self):
+        out = run_tables()
+        assert out.data["greedy_files"] == ["f1", "f3", "f5"]
+        assert out.data["greedy_value"] == 3.0
+        assert out.data["exact_value"] == 3.0
+
+
+class TestFigureShapes:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_experiment("fig6", "smoke")
+
+    def test_fig6_optbundle_beats_landlord(self, fig6):
+        for popularity in ("uniform", "zipf"):
+            rows = fig6.data[popularity]
+            opt = {r["x"]: r["byte_miss_ratio"] for r in rows if r["policy"] == "optbundle"}
+            land = {r["x"]: r["byte_miss_ratio"] for r in rows if r["policy"] == "landlord"}
+            assert all(opt[x] <= land[x] + 0.02 for x in opt)
+            # strictly better on average
+            assert sum(opt.values()) < sum(land.values())
+
+    def test_fig6_zipf_below_uniform(self, fig6):
+        uni = [r["byte_miss_ratio"] for r in fig6.data["uniform"] if r["policy"] == "optbundle"]
+        zipf = [r["byte_miss_ratio"] for r in fig6.data["zipf"] if r["policy"] == "optbundle"]
+        assert sum(zipf) < sum(uni)
+
+    def test_fig6_decreasing_in_cache_size(self, fig6):
+        rows = [r for r in fig6.data["zipf"] if r["policy"] == "optbundle"]
+        ys = [r["byte_miss_ratio"] for r in sorted(rows, key=lambda r: r["x"])]
+        assert ys[-1] < ys[0]
+
+    def test_fig5_truncation_negligible(self):
+        out = run_experiment("fig5", "smoke")
+        for popularity in ("uniform", "zipf"):
+            ratios = [row["byte_miss_ratio"] for row in out.data[popularity]]
+            assert max(ratios) - min(ratios) < 0.08
+
+    def test_fig8_volume_decreasing(self):
+        out = run_experiment("fig8", "smoke")
+        rows = [
+            r
+            for r in out.data["zipf"]
+            if r["policy"] == "optbundle"
+        ]
+        ys = [r["mean_volume_per_request"] for r in sorted(rows, key=lambda r: r["x"])]
+        assert ys[-1] < ys[0]
+
+    def test_fig9_queueing_does_not_hurt_much(self):
+        out = run_experiment("fig9", "smoke")
+        for popularity in ("uniform", "zipf"):
+            rows = sorted(out.data[popularity], key=lambda r: r["x"])
+            assert rows[-1]["byte_miss_ratio"] <= rows[0]["byte_miss_ratio"] + 0.02
+
+    def test_thm41_no_violations(self):
+        out = run_experiment("thm41", "smoke")
+        assert out.data["violations"] == 0
+        assert out.data["min_ratio"]["enum-k2"] >= out.data["min_ratio"]["plain"] - 1e-9
+
+    def test_zoo_optbundle_beats_landlord(self):
+        out = run_experiment("zoo", "smoke")
+        for popularity in ("uniform", "zipf"):
+            panel = out.data[popularity]
+            # byte-miss within noise at smoke scale; request hits strictly.
+            assert (
+                panel["optbundle"]["byte_miss_ratio"]
+                <= panel["landlord"]["byte_miss_ratio"] + 0.01
+            )
+            assert (
+                panel["optbundle"]["request_hit_ratio"]
+                > panel["landlord"]["request_hit_ratio"]
+            )
+
+    def test_grid_optbundle_fastest(self):
+        out = run_experiment("grid", "smoke")
+        for popularity in ("uniform", "zipf"):
+            panel = out.data[popularity]
+            assert (
+                panel["optbundle"]["mean_response_time"]
+                <= panel["landlord"]["mean_response_time"]
+            )
+
+    def test_ablation_runs_and_reports_all_variants(self):
+        out = run_experiment("ablation", "smoke")
+        assert len(out.data["zipf"]) >= 10
+
+    def test_outputs_render(self):
+        out = run_experiment("fig7", "smoke")
+        text = out.render()
+        assert "fig7" in text and "landlord" in text

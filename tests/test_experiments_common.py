@@ -1,0 +1,141 @@
+"""Unit tests for the experiment scaffolding (scales and workloads)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import CACHE_SIZE, SCALES, bundle_trace, get_scale
+from repro.experiments.fig9_queue_length import _lengths_for
+from repro.types import MB
+from repro.workload.generator import average_request_size
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("smoke", "quick", "paper"):
+            scale = get_scale(name)
+            assert scale.name == name
+            assert scale.n_jobs > 0 and scale.seeds
+
+    def test_scale_passthrough(self):
+        s = SCALES["smoke"]
+        assert get_scale(s) is s
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigError):
+            get_scale("enormous")
+
+    def test_scales_ordered_by_size(self):
+        assert (
+            SCALES["smoke"].n_jobs
+            < SCALES["quick"].n_jobs
+            < SCALES["paper"].n_jobs
+        )
+
+
+class TestBundleTrace:
+    def test_catalog_under_pressure(self):
+        scale = get_scale("smoke")
+        t = bundle_trace(
+            scale,
+            popularity="uniform",
+            cache_in_requests=8,
+            max_file_fraction=0.01,
+            seed=0,
+            n_jobs=10,
+        )
+        # total file bytes exceed the cache by roughly the pressure factor
+        assert t.catalog.total_bytes() > 1.5 * CACHE_SIZE
+
+    def test_bundle_cap_scales_with_point(self):
+        scale = get_scale("smoke")
+        sizes_small = average_request_size(
+            bundle_trace(
+                scale,
+                popularity="uniform",
+                cache_in_requests=2,
+                max_file_fraction=0.01,
+                seed=0,
+                n_jobs=30,
+            )
+        )
+        sizes_large = average_request_size(
+            bundle_trace(
+                scale,
+                popularity="uniform",
+                cache_in_requests=16,
+                max_file_fraction=0.01,
+                seed=0,
+                n_jobs=30,
+            )
+        )
+        assert sizes_small > 3 * sizes_large
+
+    def test_fallback_to_nondistinct_in_tight_corner(self):
+        # Large files + tiny bundle cap cannot yield many distinct bundles;
+        # bundle_trace must fall back rather than raise.
+        scale = get_scale("quick")
+        t = bundle_trace(
+            scale,
+            popularity="uniform",
+            cache_in_requests=16,
+            max_file_fraction=0.10,
+            seed=0,
+            n_jobs=20,
+        )
+        assert len(t) == 20
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ConfigError):
+            bundle_trace(
+                get_scale("smoke"),
+                popularity="uniform",
+                cache_in_requests=0.5,
+                max_file_fraction=0.01,
+                seed=0,
+            )
+
+    def test_bundles_respect_point_cap(self):
+        scale = get_scale("smoke")
+        r = 4
+        t = bundle_trace(
+            scale,
+            popularity="zipf",
+            cache_in_requests=r,
+            max_file_fraction=0.01,
+            seed=1,
+            n_jobs=50,
+        )
+        sizes = t.catalog.as_dict()
+        cap = CACHE_SIZE / r
+        for b in t.stream.distinct_bundles():
+            assert b.size_under(sizes) <= cap
+
+
+class TestFig9Lengths:
+    def test_lengths_per_scale(self):
+        assert _lengths_for(3) == (1, 5, 25)
+        assert _lengths_for(4) == (1, 5, 25, 100)
+        assert 100 in _lengths_for(6)
+
+
+class TestSweepHelpers:
+    def test_points_param_overrides_default(self):
+        from repro.experiments.byte_miss_sweeps import byte_miss_sweep
+
+        scale = get_scale("smoke")
+        result = byte_miss_sweep(
+            scale,
+            popularity="uniform",
+            max_file_fraction=0.01,
+            points=(2, 4, 8, 16, 32),
+        )
+        xs = sorted({r["x"] for r in result.rows})
+        assert xs == [2, 4, 8]  # truncated to scale.points (3)
+
+    def test_volume_rows_converted_to_mb(self):
+        from repro.experiments.fig8_cache_size import run_fig8
+
+        out = run_fig8("smoke")
+        for row in out.data["zipf"]:
+            # plausible MB magnitudes, not raw bytes
+            assert row["mean_volume_per_request"] < 10_000

@@ -1,0 +1,88 @@
+"""Unit tests for the network link and MSS models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.grid.mss import MassStorageSystem
+from repro.grid.network import NetworkLink
+from repro.sim.engine import EventEngine
+from repro.types import MB
+
+
+class TestNetworkLink:
+    def test_transfer_time(self):
+        link = NetworkLink(bandwidth=100.0, latency=0.5)
+        assert link.transfer_time(200) == pytest.approx(0.5 + 2.0)
+
+    def test_zero_bytes_costs_latency(self):
+        assert NetworkLink(latency=0.1).transfer_time(0) == pytest.approx(0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            NetworkLink(bandwidth=0)
+        with pytest.raises(ConfigError):
+            NetworkLink(latency=-1)
+        with pytest.raises(ConfigError):
+            NetworkLink().transfer_time(-5)
+
+
+class TestMSS:
+    def test_invalid_params(self):
+        e = EventEngine()
+        with pytest.raises(ConfigError):
+            MassStorageSystem(e, n_drives=0)
+        with pytest.raises(ConfigError):
+            MassStorageSystem(e, mount_latency=-1)
+        with pytest.raises(ConfigError):
+            MassStorageSystem(e, drive_bandwidth=0)
+
+    def test_retrieval_time_formula(self):
+        e = EventEngine()
+        mss = MassStorageSystem(e, mount_latency=10.0, drive_bandwidth=100.0)
+        assert mss.retrieval_time(500) == pytest.approx(10.0 + 5.0)
+
+    def test_single_drive_serializes(self):
+        e = EventEngine()
+        mss = MassStorageSystem(
+            e, n_drives=1, mount_latency=1.0, drive_bandwidth=100.0
+        )
+        done = []
+        mss.retrieve("a", 100, lambda f: done.append((f, e.now)))
+        mss.retrieve("b", 100, lambda f: done.append((f, e.now)))
+        e.run()
+        assert done == [("a", 2.0), ("b", 4.0)]
+
+    def test_parallel_drives(self):
+        e = EventEngine()
+        mss = MassStorageSystem(
+            e, n_drives=2, mount_latency=1.0, drive_bandwidth=100.0
+        )
+        done = []
+        mss.retrieve("a", 100, lambda f: done.append((f, e.now)))
+        mss.retrieve("b", 100, lambda f: done.append((f, e.now)))
+        e.run()
+        assert done[0][1] == done[1][1] == 2.0
+
+    def test_counters(self):
+        e = EventEngine()
+        mss = MassStorageSystem(e, n_drives=1)
+        mss.retrieve("a", 5 * MB, lambda f: None)
+        e.run()
+        assert mss.retrievals == 1
+        assert mss.bytes_retrieved == 5 * MB
+
+    def test_queue_visibility(self):
+        e = EventEngine()
+        mss = MassStorageSystem(e, n_drives=1, mount_latency=1.0)
+        mss.retrieve("a", 1, lambda f: None)
+        mss.retrieve("b", 1, lambda f: None)
+        assert mss.busy_drives == 1
+        assert mss.queued == 1
+        e.run()
+        assert mss.busy_drives == 0 and mss.queued == 0
+
+    def test_invalid_size_rejected(self):
+        e = EventEngine()
+        mss = MassStorageSystem(e)
+        with pytest.raises(ConfigError):
+            mss.retrieve("a", 0, lambda f: None)

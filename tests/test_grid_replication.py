@@ -1,0 +1,89 @@
+"""Unit tests for replica-placement strategies."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.grid.replication import (
+    build_two_tier_catalog,
+    place_bundle_aware,
+    place_by_popularity,
+    place_random,
+)
+from repro.grid.site import DataGridSite
+from repro.sim.engine import EventEngine
+from repro.types import FileCatalog
+from repro.utils.rng import derive_rng
+from repro.workload.trace import Trace
+
+SIZES = {"a": 10, "b": 10, "c": 10, "d": 10, "e": 10}
+
+
+def trace_of(bundles):
+    return Trace(
+        FileCatalog(SIZES),
+        RequestStream(Request(i, FileBundle(b)) for i, b in enumerate(bundles)),
+    )
+
+
+HOT_TRACE = trace_of(
+    [["a", "b"]] * 6 + [["c"]] * 3 + [["d", "e"]] * 1
+)
+
+
+class TestPlacements:
+    def test_budget_respected_all_strategies(self):
+        budget = 20
+        for placement in (
+            place_random(HOT_TRACE, budget, derive_rng(0, "r")),
+            place_by_popularity(HOT_TRACE, budget),
+            place_bundle_aware(HOT_TRACE, budget),
+        ):
+            assert sum(SIZES[f] for f in placement) <= budget
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            place_by_popularity(HOT_TRACE, -1)
+
+    def test_zero_budget_empty(self):
+        assert place_by_popularity(HOT_TRACE, 0) == set()
+        assert place_bundle_aware(HOT_TRACE, 0) == set()
+
+    def test_popularity_picks_hottest_files(self):
+        # a and b each appear 6 times; c 3, d/e once.
+        assert place_by_popularity(HOT_TRACE, 20) == {"a", "b"}
+
+    def test_bundle_aware_mirrors_whole_bundles(self):
+        placed = place_bundle_aware(HOT_TRACE, 20)
+        assert placed == {"a", "b"}  # the hottest bundle, complete
+
+    def test_bundle_aware_avoids_partial_bundles(self):
+        # Budget for one file only: popularity would strand half a bundle;
+        # bundle-aware picks the complete singleton bundle {c}.
+        placed = place_bundle_aware(HOT_TRACE, 10)
+        assert placed == {"c"}
+        assert place_by_popularity(HOT_TRACE, 10) == {"a"}
+
+    def test_random_deterministic_under_seed(self):
+        a = place_random(HOT_TRACE, 30, derive_rng(4, "r"))
+        b = place_random(HOT_TRACE, 30, derive_rng(4, "r"))
+        assert a == b
+
+    def test_empty_trace(self):
+        empty = Trace(FileCatalog(SIZES), RequestStream([]))
+        assert place_bundle_aware(empty, 10) == set()
+
+
+class TestTwoTierCatalog:
+    def test_every_file_on_archive_subset_on_mirror(self):
+        engine = EventEngine()
+        archive = DataGridSite.build(engine, "archive")
+        mirror = DataGridSite.build(engine, "mirror")
+        catalog = build_two_tier_catalog(
+            HOT_TRACE, archive, mirror, {"a", "b"}
+        )
+        for fid in SIZES:
+            assert "archive" in catalog.locations(fid)
+        assert set(catalog.locations("a")) == {"archive", "mirror"}
+        assert catalog.locations("c") == ["archive"]

@@ -1,0 +1,144 @@
+"""Cross-module integration tests.
+
+These exercise realistic end-to-end paths: generated workloads through the
+simulator under every policy, cross-policy accounting consistency, planner
+vs. simulator agreement, scenario workloads, and the timed SRM against the
+untimed simulator.
+"""
+
+import pytest
+
+from repro.cache.registry import POLICY_REGISTRY
+from repro.grid.srm import SRMConfig, run_timed_simulation
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.types import MB
+from repro.workload.generator import WorkloadSpec, generate_trace
+from repro.workload.scenarios import bitmap_index_trace, climate_trace, henp_trace
+
+CACHE = 64 * MB
+
+
+def small_spec(**kw):
+    defaults = dict(
+        cache_size=CACHE,
+        n_files=120,
+        n_request_types=80,
+        n_jobs=300,
+        popularity="zipf",
+        max_file_fraction=0.05,
+        max_bundle_fraction=0.25,
+        seed=0,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestAllPoliciesEndToEnd:
+    @pytest.mark.parametrize("policy", sorted(POLICY_REGISTRY))
+    def test_policy_completes_with_consistent_accounting(self, policy):
+        trace = generate_trace(small_spec())
+        result = simulate_trace(
+            trace,
+            SimulationConfig(
+                cache_size=CACHE, policy=policy, check_invariants=True
+            ),
+        )
+        m = result.metrics
+        assert m.jobs + m.unserviceable == len(trace)
+        # cache counters and metrics agree on bytes moved in
+        assert result.cache_loads >= 1
+        assert m.bytes_demand_loaded + m.bytes_prefetched > 0
+        assert 0 <= m.byte_miss_ratio <= 1.0
+        assert 0 <= m.request_hit_ratio <= 1.0
+
+    def test_belady_is_best_or_close(self):
+        trace = generate_trace(small_spec())
+        ratios = {}
+        for policy in ("belady", "lru", "landlord", "optbundle"):
+            ratios[policy] = simulate_trace(
+                trace, SimulationConfig(cache_size=CACHE, policy=policy)
+            ).byte_miss_ratio
+        assert ratios["belady"] <= min(ratios["lru"], ratios["landlord"]) + 1e-9
+
+
+class TestPaperHeadline:
+    def test_optbundle_beats_landlord_both_distributions(self):
+        for popularity in ("uniform", "zipf"):
+            trace = generate_trace(small_spec(popularity=popularity, n_jobs=500))
+            opt = simulate_trace(
+                trace, SimulationConfig(cache_size=CACHE, policy="optbundle")
+            )
+            land = simulate_trace(
+                trace, SimulationConfig(cache_size=CACHE, policy="landlord")
+            )
+            assert opt.byte_miss_ratio <= land.byte_miss_ratio
+            assert opt.request_hit_ratio >= land.request_hit_ratio
+
+    def test_bigger_cache_never_worse(self):
+        trace = generate_trace(small_spec())
+        small = simulate_trace(
+            trace, SimulationConfig(cache_size=CACHE, policy="optbundle")
+        )
+        big = simulate_trace(
+            trace, SimulationConfig(cache_size=4 * CACHE, policy="optbundle")
+        )
+        assert big.byte_miss_ratio <= small.byte_miss_ratio + 0.02
+
+
+class TestScenarioWorkloads:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: henp_trace(
+                n_datasets=4,
+                n_attributes=10,
+                n_channels=8,
+                n_jobs=200,
+                mean_attr_file_size=2 * MB,
+                seed=1,
+            ),
+            lambda: climate_trace(
+                n_runs=4,
+                n_analyses=8,
+                n_jobs=200,
+                mean_var_file_size=3 * MB,
+                seed=1,
+            ),
+            lambda: bitmap_index_trace(
+                n_attributes=6,
+                bins_per_attribute=8,
+                n_jobs=200,
+                mean_bitmap_size=MB,
+                seed=1,
+            ),
+        ],
+        ids=["henp", "climate", "bitmap"],
+    )
+    def test_scenarios_run_under_both_headline_policies(self, factory):
+        trace = factory()
+        cache = max(trace.catalog.total_bytes() // 4, 8 * MB)
+        for policy in ("optbundle", "landlord"):
+            result = simulate_trace(
+                trace,
+                SimulationConfig(
+                    cache_size=cache, policy=policy, check_invariants=True
+                ),
+            )
+            assert result.metrics.jobs > 0
+
+
+class TestTimedVsUntimed:
+    def test_bytes_staged_matches_untimed_demand(self):
+        """With FCFS and no queueing, the timed SRM stages exactly the bytes
+        the untimed simulator counts as demand misses."""
+        spec = small_spec(n_jobs=150, arrival_rate=0.001)  # no overlap
+        trace = generate_trace(spec)
+        untimed = simulate_trace(
+            trace, SimulationConfig(cache_size=CACHE, policy="lru")
+        )
+        timed = run_timed_simulation(
+            trace, SRMConfig(cache_size=CACHE, policy="lru")
+        )
+        assert timed.bytes_staged == untimed.metrics.bytes_demand_loaded
+        assert timed.jobs == untimed.metrics.jobs
+        assert timed.request_hits == untimed.metrics.request_hits

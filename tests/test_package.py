@@ -1,0 +1,55 @@
+"""Top-level package contract: public API re-exports and metadata."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_headline_api_flows_together():
+    """The README quickstart snippet, as a test."""
+    from repro import (
+        FBCInstance,
+        FileBundle,
+        SimulationConfig,
+        WorkloadSpec,
+        generate_trace,
+        opt_cache_select,
+        simulate_trace,
+    )
+    from repro.types import MB
+
+    instance = FBCInstance(
+        bundles=(FileBundle(["a", "b"]), FileBundle(["b", "c"])),
+        values=(3.0, 1.0),
+        sizes={"a": 10, "b": 5, "c": 10},
+        budget=20,
+    )
+    selection = opt_cache_select(instance)
+    assert selection.total_value >= 3.0
+
+    trace = generate_trace(
+        WorkloadSpec(
+            cache_size=32 * MB,
+            n_files=60,
+            n_request_types=40,
+            n_jobs=120,
+            popularity="zipf",
+            max_bundle_fraction=0.3,
+        )
+    )
+    result = simulate_trace(
+        trace, SimulationConfig(cache_size=32 * MB, policy="optbundle")
+    )
+    assert 0.0 <= result.byte_miss_ratio <= 1.0
+
+
+def test_registry_and_experiments_exposed():
+    assert "optbundle" in repro.POLICY_REGISTRY
+    assert "fig6" in repro.EXPERIMENTS

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the core FBC algorithms."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import enum_guarantee, greedy_guarantee, max_file_degree
+from repro.core.bundle import FileBundle
+from repro.core.exact import solve_exact
+from repro.core.kenum import opt_cache_select_enum
+from repro.core.optcacheselect import FBCInstance, opt_cache_select
+
+# ---------------------------------------------------------------------- #
+# strategies
+
+
+@st.composite
+def fbc_instances(draw, max_requests=8, max_files=10):
+    n_files = draw(st.integers(2, max_files))
+    sizes = {
+        f"f{i}": draw(st.integers(1, 30)) for i in range(n_files)
+    }
+    n_req = draw(st.integers(1, max_requests))
+    bundles = []
+    values = []
+    for _ in range(n_req):
+        k = draw(st.integers(1, min(4, n_files)))
+        files = draw(
+            st.lists(
+                st.integers(0, n_files - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        bundles.append(FileBundle(f"f{i}" for i in files))
+        values.append(float(draw(st.integers(1, 20))))
+    budget = draw(st.integers(0, sum(sizes.values())))
+    return FBCInstance(tuple(bundles), tuple(values), sizes, budget)
+
+
+# ---------------------------------------------------------------------- #
+
+
+@given(fbc_instances())
+@settings(max_examples=150, deadline=None)
+def test_greedy_never_exceeds_budget(inst):
+    for refine in (True, False):
+        sel = opt_cache_select(inst, refine=refine)
+        real = sum(inst.sizes[f] for f in sel.files)
+        assert real <= inst.budget or not sel.files
+
+
+@given(fbc_instances())
+@settings(max_examples=150, deadline=None)
+def test_selected_requests_covered_by_files(inst):
+    sel = opt_cache_select(inst)
+    for i in sel.selected:
+        assert inst.bundles[i].files <= sel.files
+
+
+@given(fbc_instances())
+@settings(max_examples=150, deadline=None)
+def test_total_value_consistent(inst):
+    sel = opt_cache_select(inst)
+    assert sel.total_value == sum(inst.values[i] for i in sel.selected)
+
+
+@given(fbc_instances())
+@settings(max_examples=100, deadline=None)
+def test_theorem_41_bound_holds(inst):
+    """Greedy with Step 3 achieves >= 1/2 (1 - e^{-1/d}) of the optimum."""
+    opt = solve_exact(inst)
+    if opt.total_value == 0:
+        return
+    d = max(1, max_file_degree(inst.bundles))
+    for refine in (True, False):
+        sel = opt_cache_select(inst, refine=refine)
+        assert sel.total_value >= greedy_guarantee(d) * opt.total_value - 1e-9
+
+
+@given(fbc_instances(max_requests=6, max_files=8))
+@settings(max_examples=60, deadline=None)
+def test_enum_bound_holds(inst):
+    """Partial enumeration achieves >= (1 - e^{-1/d}) of the optimum."""
+    opt = solve_exact(inst)
+    if opt.total_value == 0:
+        return
+    d = max(1, max_file_degree(inst.bundles))
+    sel = opt_cache_select_enum(inst, k=2)
+    assert sel.total_value >= enum_guarantee(d) * opt.total_value - 1e-9
+
+
+@given(fbc_instances())
+@settings(max_examples=100, deadline=None)
+def test_exact_at_least_greedy(inst):
+    greedy = opt_cache_select(inst)
+    exact = solve_exact(inst)
+    assert exact.total_value >= greedy.total_value - 1e-9
+
+
+@given(fbc_instances())
+@settings(max_examples=100, deadline=None)
+def test_greedy_deterministic(inst):
+    a = opt_cache_select(inst)
+    b = opt_cache_select(inst)
+    assert a.selected == b.selected
+    assert a.files == b.files
+
+
+@given(fbc_instances(), st.integers(0, 2))
+@settings(max_examples=60, deadline=None)
+def test_enum_monotone_in_k(inst, k):
+    smaller = opt_cache_select_enum(inst, k=k)
+    larger = opt_cache_select_enum(inst, k=k + 1)
+    assert larger.total_value >= smaller.total_value - 1e-9
+
+
+@given(st.integers(1, 100))
+def test_guarantee_formulas_sane(d):
+    g, e = greedy_guarantee(d), enum_guarantee(d)
+    assert 0 < g < e <= 1 - math.exp(-1)

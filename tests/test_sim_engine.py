@@ -1,0 +1,81 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        e = EventEngine()
+        order = []
+        e.schedule(2.0, lambda: order.append("b"))
+        e.schedule(1.0, lambda: order.append("a"))
+        e.schedule(3.0, lambda: order.append("c"))
+        e.run()
+        assert order == ["a", "b", "c"]
+        assert e.now == 3.0
+
+    def test_fifo_tiebreak_at_same_time(self):
+        e = EventEngine()
+        order = []
+        for i in range(5):
+            e.schedule(1.0, lambda i=i: order.append(i))
+        e.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_nested_scheduling(self):
+        e = EventEngine()
+        hits = []
+
+        def first():
+            hits.append(("first", e.now))
+            e.schedule(5.0, lambda: hits.append(("second", e.now)))
+
+        e.schedule(1.0, first)
+        e.run()
+        assert hits == [("first", 1.0), ("second", 6.0)]
+
+    def test_past_scheduling_rejected(self):
+        e = EventEngine()
+        with pytest.raises(SimulationError):
+            e.schedule(-1.0, lambda: None)
+        e.schedule(1.0, lambda: None)
+        e.run()
+        with pytest.raises(SimulationError):
+            e.schedule_at(0.5, lambda: None)
+
+    def test_step(self):
+        e = EventEngine()
+        e.schedule(1.0, lambda: None)
+        assert e.step() is True
+        assert e.step() is False
+        assert e.processed == 1
+
+
+class TestRunLimits:
+    def test_until_stops_clock(self):
+        e = EventEngine()
+        ran = []
+        e.schedule(1.0, lambda: ran.append(1))
+        e.schedule(10.0, lambda: ran.append(2))
+        e.run(until=5.0)
+        assert ran == [1]
+        assert e.now == 5.0
+        assert e.pending == 1
+        e.run()
+        assert ran == [1, 2]
+
+    def test_until_advances_clock_with_no_events(self):
+        e = EventEngine()
+        e.run(until=7.0)
+        assert e.now == 7.0
+
+    def test_max_events(self):
+        e = EventEngine()
+        for i in range(10):
+            e.schedule(float(i + 1), lambda: None)
+        e.run(max_events=3)
+        assert e.processed == 3
+        assert e.pending == 7

@@ -1,0 +1,100 @@
+"""Unit tests for the metrics collector."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import MetricsCollector
+
+
+class TestRecording:
+    def test_empty_snapshot(self):
+        s = MetricsCollector().snapshot()
+        assert s.jobs == 0
+        assert s.byte_miss_ratio == 0.0
+        assert s.byte_hit_ratio == 1.0
+        assert s.request_hit_ratio == 0.0
+
+    def test_hit_and_miss_accounting(self):
+        m = MetricsCollector()
+        m.record_job(requested_bytes=100, demand_loaded_bytes=0, hit=True)
+        m.record_job(requested_bytes=100, demand_loaded_bytes=60, hit=False)
+        s = m.snapshot()
+        assert s.jobs == 2
+        assert s.request_hits == 1
+        assert s.request_hit_ratio == 0.5
+        assert s.request_miss_ratio == 0.5
+        assert s.byte_miss_ratio == pytest.approx(60 / 200)
+        assert s.byte_hit_ratio == pytest.approx(1 - 60 / 200)
+
+    def test_prefetch_separate_from_demand(self):
+        m = MetricsCollector()
+        m.record_job(
+            requested_bytes=100,
+            demand_loaded_bytes=50,
+            prefetched_bytes=30,
+            hit=False,
+        )
+        s = m.snapshot()
+        assert s.byte_miss_ratio == pytest.approx(0.5)
+        assert s.byte_movement_ratio == pytest.approx(0.8)
+        assert s.bytes_loaded == 80
+
+    def test_volume_stats(self):
+        m = MetricsCollector()
+        m.record_job(requested_bytes=10, demand_loaded_bytes=10, hit=False)
+        m.record_job(requested_bytes=10, demand_loaded_bytes=4, hit=False)
+        s = m.snapshot()
+        assert s.mean_volume_per_request == pytest.approx(7.0)
+        assert s.max_volume_per_request == 10.0
+
+    def test_hit_with_demand_bytes_rejected(self):
+        m = MetricsCollector()
+        with pytest.raises(SimulationError):
+            m.record_job(requested_bytes=10, demand_loaded_bytes=1, hit=True)
+
+    def test_negative_bytes_rejected(self):
+        m = MetricsCollector()
+        with pytest.raises(SimulationError):
+            m.record_job(requested_bytes=-1, demand_loaded_bytes=0, hit=True)
+
+    def test_unserviceable_counted(self):
+        m = MetricsCollector()
+        m.record_unserviceable()
+        s = m.snapshot()
+        assert s.unserviceable == 1 and s.jobs == 0
+
+
+class TestWarmup:
+    def test_warmup_jobs_excluded(self):
+        m = MetricsCollector(warmup=2)
+        m.record_job(requested_bytes=10, demand_loaded_bytes=10, hit=False)
+        m.record_job(requested_bytes=10, demand_loaded_bytes=10, hit=False)
+        m.record_job(requested_bytes=10, demand_loaded_bytes=0, hit=True)
+        s = m.snapshot()
+        assert s.jobs == 1
+        assert s.request_hit_ratio == 1.0
+
+    def test_warmup_applies_to_unserviceable(self):
+        m = MetricsCollector(warmup=1)
+        m.record_unserviceable()
+        m.record_unserviceable()
+        assert m.snapshot().unserviceable == 1
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector(warmup=-1)
+
+
+class TestSnapshot:
+    def test_as_dict_keys(self):
+        m = MetricsCollector()
+        m.record_job(requested_bytes=10, demand_loaded_bytes=5, hit=False)
+        d = m.snapshot().as_dict()
+        for key in (
+            "jobs",
+            "byte_miss_ratio",
+            "byte_movement_ratio",
+            "request_hit_ratio",
+            "mean_volume_per_request",
+        ):
+            assert key in d

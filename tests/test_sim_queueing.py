@@ -1,0 +1,135 @@
+"""Unit tests for the admission queue and its disciplines."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request
+from repro.errors import ConfigError, SimulationError
+from repro.sim.queueing import AdmissionQueue, QueueDiscipline
+
+SIZES = {"a": 1, "b": 2, "c": 3, "d": 4}
+
+
+def req(i, files):
+    return Request(i, FileBundle(files))
+
+
+class TestConstruction:
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(0)
+
+    def test_sjf_requires_sizes(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(3, QueueDiscipline.SJF)
+
+    def test_negative_aging_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionQueue(3, aging_weight=-1)
+
+
+class TestBasics:
+    def test_push_pop_fcfs(self):
+        q = AdmissionQueue(3)
+        q.push(req(0, ["a"]))
+        q.push(req(1, ["b"]))
+        assert q.pop_next().request_id == 0
+        assert q.pop_next().request_id == 1
+
+    def test_full_queue_rejects_push(self):
+        q = AdmissionQueue(1)
+        q.push(req(0, ["a"]))
+        assert q.is_full
+        with pytest.raises(SimulationError):
+            q.push(req(1, ["b"]))
+
+    def test_empty_pop_rejected(self):
+        with pytest.raises(SimulationError):
+            AdmissionQueue(2).pop_next()
+
+
+class TestSJF:
+    def test_smallest_bundle_first(self):
+        q = AdmissionQueue(3, QueueDiscipline.SJF, sizes=SIZES)
+        q.push(req(0, ["d"]))       # 4 bytes
+        q.push(req(1, ["a"]))       # 1 byte
+        q.push(req(2, ["b"]))       # 2 bytes
+        assert q.pop_next().request_id == 1
+        assert q.pop_next().request_id == 2
+        assert q.pop_next().request_id == 0
+
+
+class TestValueDiscipline:
+    def test_highest_score_first(self):
+        q = AdmissionQueue(3, QueueDiscipline.VALUE)
+        q.push(req(0, ["a"]))
+        q.push(req(1, ["b"]))
+        scores = {FileBundle(["a"]): 1.0, FileBundle(["b"]): 5.0}
+        assert q.pop_next(lambda b: scores[b]).request_id == 1
+
+    def test_none_scorer_degrades_to_fcfs(self):
+        q = AdmissionQueue(3, QueueDiscipline.VALUE)
+        q.push(req(0, ["a"]))
+        q.push(req(1, ["b"]))
+        assert q.pop_next(None).request_id == 0
+
+    def test_scorer_returning_none_degrades_to_fcfs(self):
+        q = AdmissionQueue(3, QueueDiscipline.VALUE)
+        q.push(req(0, ["a"]))
+        q.push(req(1, ["b"]))
+        assert q.pop_next(lambda b: None).request_id == 0
+
+    def test_tie_broken_by_arrival(self):
+        q = AdmissionQueue(3, QueueDiscipline.VALUE)
+        q.push(req(0, ["a"]))
+        q.push(req(1, ["b"]))
+        assert q.pop_next(lambda b: 1.0).request_id == 0
+
+
+class TestAgedValue:
+    def test_waiting_job_eventually_wins(self):
+        q = AdmissionQueue(3, QueueDiscipline.AGED_VALUE, aging_weight=0.5)
+        low = FileBundle(["a"])
+        q.push(req(0, ["a"]))  # low score, arrives first
+
+        def scorer(b):
+            return 1.0 if b == low else 2.0
+
+        next_id = 1
+        popped = []
+        for _ in range(4):
+            if not q.is_full:
+                q.push(req(next_id, ["b"]))
+                next_id += 1
+            popped.append(q.pop_next(scorer).request_id)
+            if 0 in popped:
+                break
+        assert 0 in popped  # no lockout
+
+    def test_without_aging_lockout_possible(self):
+        q = AdmissionQueue(2, QueueDiscipline.VALUE)
+        low = FileBundle(["a"])
+        q.push(req(0, ["a"]))
+
+        def scorer(b):
+            return 1.0 if b == low else 2.0
+
+        next_id = 1
+        popped = []
+        for _ in range(5):
+            while not q.is_full:
+                q.push(req(next_id, ["b"]))
+                next_id += 1
+            popped.append(q.pop_next(scorer).request_id)
+        assert 0 not in popped
+        assert q.max_observed_wait() == 0  # departed jobs never waited
+
+
+class TestWaitTracking:
+    def test_max_observed_wait(self):
+        q = AdmissionQueue(2)
+        q.push(req(0, ["a"]))
+        q.push(req(1, ["b"]))
+        q.pop_next()
+        q.pop_next()
+        assert q.max_observed_wait() == 1  # job 1 waited one round

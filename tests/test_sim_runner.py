@@ -1,0 +1,88 @@
+"""Unit tests for the sweep runner."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.sim.runner import SweepResult, run_replications, sweep
+from repro.sim.simulator import SimulationConfig
+from repro.types import FileCatalog
+from repro.utils.rng import derive_rng
+from repro.workload.trace import Trace
+
+
+def small_trace(seed: int, n=30) -> Trace:
+    rng = derive_rng(seed, "runner-test")
+    sizes = {f"f{i}": 10 for i in range(6)}
+    stream = RequestStream(
+        Request(i, FileBundle([f"f{int(rng.integers(6))}"])) for i in range(n)
+    )
+    return Trace(FileCatalog(sizes), stream)
+
+
+class TestRunReplications:
+    def test_runs_each_seed(self):
+        results = run_replications(
+            small_trace, SimulationConfig(cache_size=30, policy="lru"), [0, 1, 2]
+        )
+        assert len(results) == 3
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigError):
+            run_replications(
+                small_trace, SimulationConfig(cache_size=30), []
+            )
+
+
+class TestSweep:
+    def _sweep(self, seeds=(0, 1)):
+        return sweep(
+            [20, 40],
+            ["lru", "fifo"],
+            lambda point, seed: small_trace(seed),
+            lambda point: SimulationConfig(cache_size=point),
+            seeds=seeds,
+            x_label="cache",
+        )
+
+    def test_row_structure(self):
+        result = self._sweep()
+        assert len(result.rows) == 4  # 2 points x 2 policies
+        row = result.rows[0]
+        assert {"x", "policy", "byte_miss_ratio", "byte_miss_ratio_ci"} <= set(row)
+        assert row["seeds"] == 2
+
+    def test_series_extraction(self):
+        result = self._sweep()
+        series = result.series("lru")
+        assert [x for x, _ in series] == [20, 40]
+
+    def test_policies_listed_in_order(self):
+        assert self._sweep().policies() == ["lru", "fifo"]
+
+    def test_render_contains_headers_and_points(self):
+        text = self._sweep().render()
+        assert "cache" in text and "lru" in text and "fifo" in text
+        assert "20" in text and "40" in text
+
+    def test_single_seed_zero_ci(self):
+        result = self._sweep(seeds=(0,))
+        assert all(r["byte_miss_ratio_ci"] == 0.0 for r in result.rows)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep([], ["lru"], lambda p, s: small_trace(s), lambda p: None)
+        with pytest.raises(ConfigError):
+            sweep([1], [], lambda p, s: small_trace(s), lambda p: None)
+
+    def test_policy_kwargs_forwarded(self):
+        result = sweep(
+            [30],
+            ["optbundle"],
+            lambda point, seed: small_trace(seed),
+            lambda point: SimulationConfig(cache_size=point),
+            seeds=(0,),
+            policy_kwargs={"optbundle": {"refine": False}},
+        )
+        assert len(result.rows) == 1

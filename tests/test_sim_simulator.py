@@ -1,0 +1,176 @@
+"""Unit tests for the trace-driven cache simulator."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.sim.queueing import QueueDiscipline
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.types import FileCatalog
+from repro.workload.trace import Trace
+
+
+def trace_of(bundle_lists, sizes):
+    catalog = FileCatalog(sizes)
+    stream = RequestStream(
+        Request(i, FileBundle(b)) for i, b in enumerate(bundle_lists)
+    )
+    return Trace(catalog, stream)
+
+
+SIZES = {f"f{i}": 10 for i in range(8)}
+
+
+class TestConfig:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(cache_size=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(cache_size=10, queue_length=0)
+        with pytest.raises(ConfigError):
+            SimulationConfig(cache_size=10, queue_mode="bogus")
+
+
+class TestBasicAccounting:
+    def test_cold_then_hit(self):
+        t = trace_of([["f0"], ["f0"]], SIZES)
+        r = simulate_trace(t, SimulationConfig(cache_size=100, policy="lru"))
+        m = r.metrics
+        assert m.jobs == 2
+        assert m.request_hits == 1
+        assert m.bytes_demand_loaded == 10
+        assert m.byte_miss_ratio == pytest.approx(0.5)
+
+    def test_all_policies_agree_when_no_pressure(self):
+        t = trace_of([["f0", "f1"], ["f2"], ["f0"], ["f1", "f2"]], SIZES)
+        results = {}
+        for policy in ("lru", "lfu", "fifo", "landlord", "optbundle", "gdsf"):
+            r = simulate_trace(
+                t, SimulationConfig(cache_size=1000, policy=policy)
+            )
+            results[policy] = r.byte_miss_ratio
+        assert len(set(results.values())) == 1  # only cold misses everywhere
+
+    def test_unserviceable_bundle_skipped(self):
+        t = trace_of([["f0", "f1", "f2"], ["f3"]], SIZES)
+        r = simulate_trace(t, SimulationConfig(cache_size=25, policy="lru"))
+        assert r.metrics.unserviceable == 1
+        assert r.metrics.jobs == 1
+
+    def test_eviction_under_pressure(self):
+        t = trace_of([["f0"], ["f1"], ["f2"], ["f3"]], SIZES)
+        r = simulate_trace(t, SimulationConfig(cache_size=20, policy="lru"))
+        assert r.cache_evictions == 2
+        assert r.cache_bytes_evicted == 20
+
+    def test_warmup_respected(self):
+        t = trace_of([["f0"], ["f0"], ["f0"]], SIZES)
+        r = simulate_trace(
+            t, SimulationConfig(cache_size=100, policy="lru", warmup=1)
+        )
+        assert r.metrics.jobs == 2
+        assert r.metrics.request_hit_ratio == 1.0
+
+    def test_check_invariants_flag(self):
+        t = trace_of([["f0"], ["f1"]], SIZES)
+        simulate_trace(
+            t,
+            SimulationConfig(
+                cache_size=15, policy="lru", check_invariants=True
+            ),
+        )
+
+    def test_policy_instance_override(self):
+        from repro.cache.lru import LRUPolicy
+
+        t = trace_of([["f0"]], SIZES)
+        p = LRUPolicy()
+        r = simulate_trace(
+            t, SimulationConfig(cache_size=100, policy="optbundle"), policy=p
+        )
+        assert r.policy == "lru"
+
+    def test_as_dict(self):
+        t = trace_of([["f0"]], SIZES)
+        r = simulate_trace(t, SimulationConfig(cache_size=100))
+        d = r.as_dict()
+        assert d["policy"] == "optbundle"
+        assert "byte_miss_ratio" in d
+
+
+class TestDeterminism:
+    def test_same_run_same_result(self):
+        t = trace_of([["f0"], ["f1"], ["f0", "f2"], ["f3"], ["f1"]], SIZES)
+        cfg = SimulationConfig(cache_size=30, policy="optbundle")
+        a = simulate_trace(t, cfg)
+        b = simulate_trace(t, cfg)
+        assert a.metrics == b.metrics
+
+
+class TestQueueing:
+    def _queue_trace(self):
+        # hot bundle appears often; cold fillers in between
+        seq = []
+        for i in range(6):
+            seq.append(["f0", "f1"])
+            seq.append([f"f{2 + (i % 4)}"])
+        return trace_of(seq, SIZES)
+
+    def test_queue_runs_all_jobs(self):
+        t = self._queue_trace()
+        r = simulate_trace(
+            t,
+            SimulationConfig(
+                cache_size=30,
+                policy="optbundle",
+                queue_length=4,
+                discipline=QueueDiscipline.VALUE,
+            ),
+        )
+        assert r.metrics.jobs == len(t)
+
+    def test_sliding_mode_runs_all_jobs(self):
+        t = self._queue_trace()
+        r = simulate_trace(
+            t,
+            SimulationConfig(
+                cache_size=30,
+                policy="optbundle",
+                queue_length=4,
+                discipline=QueueDiscipline.VALUE,
+                queue_mode="sliding",
+            ),
+        )
+        assert r.metrics.jobs == len(t)
+
+    def test_fcfs_queue_equals_no_queue(self):
+        t = self._queue_trace()
+        base = simulate_trace(
+            t, SimulationConfig(cache_size=30, policy="lru")
+        )
+        queued = simulate_trace(
+            t,
+            SimulationConfig(
+                cache_size=30,
+                policy="lru",
+                queue_length=5,
+                discipline=QueueDiscipline.FCFS,
+            ),
+        )
+        assert base.metrics == queued.metrics
+
+    def test_queue_with_per_file_policy_degrades_to_fcfs(self):
+        # LRU has no score: VALUE discipline behaves like FCFS.
+        t = self._queue_trace()
+        a = simulate_trace(
+            t,
+            SimulationConfig(
+                cache_size=30,
+                policy="lru",
+                queue_length=5,
+                discipline=QueueDiscipline.VALUE,
+            ),
+        )
+        b = simulate_trace(t, SimulationConfig(cache_size=30, policy="lru"))
+        assert a.metrics == b.metrics

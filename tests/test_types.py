@@ -1,0 +1,101 @@
+"""Unit tests for repro.types: FileInfo, FileCatalog, total_size."""
+
+import pytest
+
+from repro.types import GB, KB, MB, FileCatalog, FileInfo, total_size
+
+
+class TestFileInfo:
+    def test_valid(self):
+        info = FileInfo("a", 10)
+        assert info.file_id == "a"
+        assert info.size == 10
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            FileInfo("", 10)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            FileInfo("a", 0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            FileInfo("a", -5)
+
+    def test_is_frozen(self):
+        info = FileInfo("a", 10)
+        with pytest.raises(AttributeError):
+            info.size = 20  # type: ignore[misc]
+
+    def test_equality(self):
+        assert FileInfo("a", 10) == FileInfo("a", 10)
+        assert FileInfo("a", 10) != FileInfo("a", 11)
+
+
+class TestUnits:
+    def test_progression(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+
+
+class TestFileCatalog:
+    def test_from_iterable(self):
+        cat = FileCatalog([FileInfo("a", 1), FileInfo("b", 2)])
+        assert len(cat) == 2
+        assert cat.size_of("a") == 1
+
+    def test_from_mapping(self):
+        cat = FileCatalog({"a": 1, "b": 2})
+        assert cat.size_of("b") == 2
+
+    def test_duplicate_same_size_is_noop(self):
+        cat = FileCatalog({"a": 1})
+        cat.add(FileInfo("a", 1))
+        assert len(cat) == 1
+
+    def test_duplicate_conflicting_size_raises(self):
+        cat = FileCatalog({"a": 1})
+        with pytest.raises(ValueError, match="conflicting"):
+            cat.add(FileInfo("a", 2))
+
+    def test_contains(self):
+        cat = FileCatalog({"a": 1})
+        assert "a" in cat
+        assert "b" not in cat
+
+    def test_size_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            FileCatalog().size_of("missing")
+
+    def test_get_default(self):
+        assert FileCatalog().get("x") is None
+        assert FileCatalog().get("x", 7) == 7
+
+    def test_total_bytes(self):
+        cat = FileCatalog({"a": 1, "b": 2, "c": 3})
+        assert cat.total_bytes() == 6
+
+    def test_bundle_size_counts_each_file_once(self):
+        cat = FileCatalog({"a": 1, "b": 2})
+        assert cat.bundle_size(["a", "b", "a"]) == 3
+
+    def test_ids_and_iter(self):
+        cat = FileCatalog({"a": 1, "b": 2})
+        assert sorted(cat.ids()) == ["a", "b"]
+        assert sorted(cat) == ["a", "b"]
+
+    def test_as_dict_is_a_copy(self):
+        cat = FileCatalog({"a": 1})
+        d = cat.as_dict()
+        d["a"] = 99
+        assert cat.size_of("a") == 1
+
+
+class TestTotalSize:
+    def test_deduplicates(self):
+        assert total_size({"a": 5, "b": 7}, ["a", "a", "b"]) == 12
+
+    def test_empty(self):
+        assert total_size({"a": 5}, []) == 0

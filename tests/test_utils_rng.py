@@ -1,0 +1,51 @@
+"""Unit tests for seeded RNG stream derivation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngFactory, derive_rng
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(42, "x").random(5)
+        b = derive_rng(42, "x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_streams_differ_by_name(self):
+        a = derive_rng(42, "x").random(5)
+        b = derive_rng(42, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_streams_differ_by_seed(self):
+        a = derive_rng(1, "x").random(5)
+        b = derive_rng(2, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_none_seed_gives_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        f = RngFactory(7)
+        assert np.array_equal(f.rng("a").random(3), f.rng("a").random(3))
+
+    def test_child_independent(self):
+        f = RngFactory(7)
+        child = f.child("sub")
+        assert not np.array_equal(
+            f.rng("a").random(3), child.rng("a").random(3)
+        )
+
+    def test_child_deterministic(self):
+        a = RngFactory(7).child("sub").rng("s").random(3)
+        b = RngFactory(7).child("sub").rng("s").random(3)
+        assert np.array_equal(a, b)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            RngFactory(-1)
+
+    def test_seed_property(self):
+        assert RngFactory(5).seed == 5

@@ -1,0 +1,103 @@
+"""Unit tests for streaming statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    RunningStats,
+    Summary,
+    mean_confidence_interval,
+    summarize,
+)
+
+
+class TestRunningStats:
+    def test_empty_raises(self):
+        s = RunningStats()
+        with pytest.raises(ValueError):
+            _ = s.mean
+        with pytest.raises(ValueError):
+            _ = s.variance
+        with pytest.raises(ValueError):
+            _ = s.min
+
+    def test_single_value(self):
+        s = RunningStats()
+        s.push(4.0)
+        assert s.mean == 4.0
+        assert s.variance == 0.0
+        assert s.min == s.max == 4.0
+        assert s.count == 1
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        xs = rng.normal(10, 3, size=500)
+        s = RunningStats()
+        s.extend(xs)
+        assert s.mean == pytest.approx(np.mean(xs))
+        assert s.variance == pytest.approx(np.var(xs, ddof=1))
+        assert s.stdev == pytest.approx(np.std(xs, ddof=1))
+        assert s.min == xs.min() and s.max == xs.max()
+        assert s.total == pytest.approx(xs.sum())
+
+    def test_merge_equals_combined(self):
+        rng = np.random.default_rng(1)
+        xs, ys = rng.random(100), rng.random(37)
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(np.concatenate([xs, ys]))
+        m = a.merge(b)
+        assert m.count == c.count
+        assert m.mean == pytest.approx(c.mean)
+        assert m.variance == pytest.approx(c.variance)
+        assert m.min == c.min and m.max == c.max
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.push(3.0)
+        m = a.merge(b)
+        assert m.count == 1 and m.mean == 3.0
+        assert RunningStats().merge(RunningStats()).count == 0
+
+
+class TestMeanCI:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_single_value_zero_halfwidth(self):
+        mean, half = mean_confidence_interval([2.0])
+        assert mean == 2.0 and half == 0.0
+
+    def test_constant_sample(self):
+        mean, half = mean_confidence_interval([5.0] * 10)
+        assert mean == 5.0 and half == 0.0
+
+    def test_halfwidth_positive_and_shrinks(self):
+        rng = np.random.default_rng(2)
+        small = rng.normal(size=5)
+        big = rng.normal(size=500)
+        _, h_small = mean_confidence_interval(list(small))
+        _, h_big = mean_confidence_interval(list(big))
+        assert h_small > 0 and h_big > 0
+        assert h_big < h_small
+
+    def test_two_points_uses_t_table(self):
+        mean, half = mean_confidence_interval([0.0, 2.0])
+        assert mean == 1.0
+        # dof=1 -> t = 12.706; sd = sqrt(2); half = t*sd/sqrt(2) = t
+        assert half == pytest.approx(12.706, rel=1e-3)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert isinstance(s, Summary)
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.min == 1.0 and s.max == 3.0
+        assert s.stdev == pytest.approx(1.0)

@@ -1,0 +1,44 @@
+"""Unit tests for ASCII table rendering."""
+
+from repro.utils.tables import render_table
+
+
+def test_basic_render():
+    out = render_table(["a", "b"], [[1, 2.5]])
+    lines = out.splitlines()
+    assert lines[0].startswith("a")
+    assert "2.5000" in lines[2]
+
+
+def test_title():
+    out = render_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_text_left_numeric_right_alignment():
+    out = render_table(["name", "val"], [["abc", 1], ["x", 22]])
+    lines = out.splitlines()
+    assert lines[2].startswith("abc")
+    # numeric column right-aligned: '22' touches the right edge of its column
+    assert lines[3].rstrip().endswith("22")
+
+
+def test_short_rows_padded():
+    out = render_table(["a", "b"], [["only"]])
+    assert "only" in out
+
+
+def test_float_format_override():
+    out = render_table(["v"], [[1.23456]], floatfmt=".1f")
+    assert "1.2" in out and "1.2346" not in out
+
+
+def test_column_width_accounts_for_data():
+    out = render_table(["a"], [["a-very-long-cell"]])
+    header, sep, row = out.splitlines()
+    assert len(sep) >= len("a-very-long-cell")
+
+
+def test_empty_rows():
+    out = render_table(["a", "b"], [])
+    assert len(out.splitlines()) == 2

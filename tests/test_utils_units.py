@@ -1,0 +1,72 @@
+"""Unit tests for size parsing/formatting."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.types import GB, KB, MB, TB
+from repro.utils.units import format_size, parse_size
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", 1),
+            ("512B", 512),
+            ("1KB", KB),
+            ("1kb", KB),
+            ("1KiB", KB),
+            ("1MB", MB),
+            ("2.5MB", int(2.5 * MB)),
+            ("1 GB", GB),
+            ("1TB", TB),
+            ("0.5kb", 512),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_numeric_passthrough(self):
+        assert parse_size(1234) == 1234
+        assert parse_size(10.6) == 11
+
+    @pytest.mark.parametrize("text", ["", "abc", "1XB", "-3MB", "MB"])
+    def test_invalid(self, text):
+        with pytest.raises(ConfigError):
+            parse_size(text)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("0")
+        with pytest.raises(ConfigError):
+            parse_size(0)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (KB, "1.0KB"),
+            (int(1.5 * KB), "1.5KB"),
+            (MB, "1.0MB"),
+            (GB, "1.0GB"),
+            (TB, "1.0TB"),
+        ],
+    )
+    def test_format(self, size, expected):
+        assert format_size(size) == expected
+
+    def test_precision(self):
+        assert format_size(int(1.25 * MB), precision=2) == "1.25MB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_size(-1)
+
+    def test_roundtrip(self):
+        for size in (1, 1536, 3 * MB, 7 * GB):
+            assert parse_size(format_size(size, precision=6)) == pytest.approx(
+                size, rel=1e-5
+            )

@@ -1,0 +1,94 @@
+"""Unit tests for trace analytics."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.types import FileCatalog
+from repro.workload.analytics import (
+    gini,
+    hot_set_drift,
+    popularity_concentration,
+    profile_trace,
+)
+from repro.workload.trace import Trace
+
+SIZES = {"a": 1, "b": 2, "c": 3}
+
+
+def trace_of(bundles):
+    return Trace(
+        FileCatalog(SIZES),
+        RequestStream(Request(i, FileBundle(b)) for i, b in enumerate(bundles)),
+    )
+
+
+class TestGini:
+    def test_equal_values_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_near_one(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert gini([0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            gini([-1, 2])
+
+
+class TestConcentration:
+    def test_shares(self):
+        t = trace_of([["a"], ["a"], ["a"], ["b"]])
+        top1, top10 = popularity_concentration(t)
+        assert top1 == pytest.approx(0.75)
+        assert top10 == pytest.approx(1.0)
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigError):
+            popularity_concentration(trace_of([["a"]]), k=0)
+
+
+class TestProfile:
+    def test_fields(self):
+        t = trace_of([["a", "b"], ["a"], ["b", "c"]])
+        p = profile_trace(t)
+        assert p.jobs == 3
+        assert p.distinct_types == 3
+        assert p.n_files == 3
+        assert p.catalog_bytes == 6
+        assert p.bundle_files.mean == pytest.approx(5 / 3)
+        assert p.max_degree == 2  # a and b each in two types
+        assert 0 <= p.gini_popularity <= 1
+
+    def test_render(self):
+        text = profile_trace(trace_of([["a"]])).render()
+        assert "jobs=1" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            profile_trace(
+                Trace(FileCatalog(SIZES), RequestStream([]))
+            )
+
+
+class TestDrift:
+    def test_stable_trace_high_similarity(self):
+        t = trace_of([["a"], ["b"]] * 40)
+        sims = hot_set_drift(t, window=20, top=2)
+        assert sims and all(s == 1.0 for s in sims)
+
+    def test_churning_trace_low_similarity(self):
+        t = trace_of([["a"]] * 20 + [["b"]] * 20 + [["c"]] * 20)
+        sims = hot_set_drift(t, window=20, top=1)
+        assert sims and all(s == 0.0 for s in sims)
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigError):
+            hot_set_drift(trace_of([["a"]]), window=0)

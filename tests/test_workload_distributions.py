@@ -1,0 +1,92 @@
+"""Unit tests for popularity distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.rng import derive_rng
+from repro.workload.distributions import (
+    UniformSampler,
+    ZipfSampler,
+    make_sampler,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100).sum() == pytest.approx(1.0)
+
+    def test_proportional_to_inverse_rank(self):
+        w = zipf_weights(10, alpha=1.0)
+        assert w[0] / w[1] == pytest.approx(2.0)
+        assert w[0] / w[9] == pytest.approx(10.0)
+
+    def test_alpha_zero_is_uniform(self):
+        w = zipf_weights(5, alpha=0.0)
+        assert np.allclose(w, 0.2)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, alpha=1.2)
+        assert np.all(np.diff(w) < 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            zipf_weights(0)
+        with pytest.raises(ConfigError):
+            zipf_weights(5, alpha=-1)
+
+
+class TestUniformSampler:
+    def test_range_and_coverage(self):
+        s = UniformSampler(10)
+        draws = s.sample(derive_rng(0, "u"), 5000)
+        assert draws.min() >= 0 and draws.max() <= 9
+        assert len(np.unique(draws)) == 10
+
+    def test_probabilities(self):
+        assert np.allclose(UniformSampler(4).probabilities(), 0.25)
+
+    def test_approximately_uniform(self):
+        s = UniformSampler(5)
+        draws = s.sample(derive_rng(1, "u"), 20000)
+        freq = np.bincount(draws, minlength=5) / 20000
+        assert np.allclose(freq, 0.2, atol=0.02)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            UniformSampler(3).sample(derive_rng(0, "u"), -1)
+
+
+class TestZipfSampler:
+    def test_empirical_matches_theoretical(self):
+        s = ZipfSampler(20, alpha=1.0)
+        draws = s.sample(derive_rng(2, "z"), 50000)
+        freq = np.bincount(draws, minlength=20) / 50000
+        assert np.allclose(freq, s.probabilities(), atol=0.01)
+
+    def test_rank_zero_most_popular(self):
+        s = ZipfSampler(50)
+        draws = s.sample(derive_rng(3, "z"), 10000)
+        freq = np.bincount(draws, minlength=50)
+        assert freq[0] == freq.max()
+
+    def test_indices_in_range(self):
+        s = ZipfSampler(7)
+        draws = s.sample(derive_rng(4, "z"), 1000)
+        assert draws.min() >= 0 and draws.max() <= 6
+
+    def test_zero_pool_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0)
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_sampler("uniform", 5), UniformSampler)
+        z = make_sampler("zipf", 5, alpha=2.0)
+        assert isinstance(z, ZipfSampler) and z.alpha == 2.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_sampler("pareto", 5)

@@ -1,0 +1,78 @@
+"""Unit tests for file-population generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.types import GB, MB
+from repro.utils.rng import derive_rng
+from repro.workload.filepool import FileSizeSpec, file_id, generate_catalog
+
+
+class TestFileSizeSpec:
+    def test_defaults_valid(self):
+        spec = FileSizeSpec()
+        assert spec.distribution == "uniform"
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            FileSizeSpec(distribution="weird")
+
+    def test_bad_bounds(self):
+        with pytest.raises(ConfigError):
+            FileSizeSpec(min_size=0)
+        with pytest.raises(ConfigError):
+            FileSizeSpec(min_size=10, max_size=5)
+
+    @pytest.mark.parametrize("dist", ["uniform", "lognormal", "pareto", "fixed"])
+    def test_draws_within_bounds(self, dist):
+        spec = FileSizeSpec(distribution=dist, min_size=MB, max_size=10 * MB)
+        sizes = spec.draw(derive_rng(0, dist), 500)
+        assert sizes.min() >= MB
+        assert sizes.max() <= 10 * MB
+        assert sizes.dtype == np.int64
+
+    def test_fixed_is_constant(self):
+        spec = FileSizeSpec(distribution="fixed", min_size=3 * MB, max_size=9 * MB)
+        assert np.all(spec.draw(derive_rng(1, "f"), 10) == 3 * MB)
+
+    def test_uniform_spans_range(self):
+        spec = FileSizeSpec(min_size=MB, max_size=100 * MB)
+        sizes = spec.draw(derive_rng(2, "u"), 2000)
+        assert sizes.min() < 10 * MB
+        assert sizes.max() > 90 * MB
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            FileSizeSpec().draw(derive_rng(0, "x"), -1)
+
+    def test_paper_spec(self):
+        spec = FileSizeSpec.paper(1 * GB, 0.01)
+        assert spec.min_size == MB
+        assert spec.max_size == int(0.01 * GB)
+
+    def test_paper_spec_fraction_bounds(self):
+        with pytest.raises(ConfigError):
+            FileSizeSpec.paper(GB, 0.0)
+        with pytest.raises(ConfigError):
+            FileSizeSpec.paper(GB, 1.5)
+
+    def test_paper_spec_tiny_cache_clamps_to_min(self):
+        spec = FileSizeSpec.paper(10 * MB, 0.01)
+        assert spec.max_size == MB
+
+
+class TestGenerateCatalog:
+    def test_count_and_ids(self):
+        cat = generate_catalog(5, FileSizeSpec(), derive_rng(0, "c"))
+        assert len(cat) == 5
+        assert file_id(0) in cat
+
+    def test_deterministic(self):
+        a = generate_catalog(20, FileSizeSpec(), derive_rng(7, "c"))
+        b = generate_catalog(20, FileSizeSpec(), derive_rng(7, "c"))
+        assert a.as_dict() == b.as_dict()
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_catalog(0, FileSizeSpec(), derive_rng(0, "c"))

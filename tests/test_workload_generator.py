@@ -1,0 +1,131 @@
+"""Unit tests for WorkloadSpec and generate_trace."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.types import GB, MB
+from repro.workload.generator import (
+    WorkloadSpec,
+    average_request_size,
+    cache_size_in_requests,
+    generate_trace,
+)
+
+
+def spec(**kw):
+    defaults = dict(
+        cache_size=256 * MB,
+        n_files=100,
+        n_request_types=50,
+        n_jobs=200,
+        max_bundle_fraction=0.3,
+        seed=0,
+    )
+    defaults.update(kw)
+    return WorkloadSpec(**defaults)
+
+
+class TestWorkloadSpec:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            spec(cache_size=0)
+        with pytest.raises(ConfigError):
+            spec(n_files=0)
+        with pytest.raises(ConfigError):
+            spec(max_bundle_fraction=0.0)
+        with pytest.raises(ConfigError):
+            spec(popularity="pareto")
+        with pytest.raises(ConfigError):
+            spec(arrival_rate=0.0)
+
+    def test_effective_size_spec_paper_default(self):
+        s = spec(max_file_fraction=0.05)
+        eff = s.effective_size_spec()
+        assert eff.min_size == MB
+        assert eff.max_size == int(0.05 * 256 * MB)
+
+    def test_size_spec_override(self):
+        from repro.workload.filepool import FileSizeSpec
+
+        custom = FileSizeSpec(distribution="fixed", min_size=MB, max_size=MB)
+        assert spec(size_spec=custom).effective_size_spec() is custom
+
+    def test_with_seed(self):
+        assert spec(seed=1).with_seed(9).seed == 9
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        json.dumps(spec().describe())
+
+
+class TestGenerateTrace:
+    def test_shape(self):
+        t = generate_trace(spec())
+        assert len(t) == 200
+        assert len(t.catalog) == 100
+        assert t.distinct_request_types() <= 50
+
+    def test_deterministic(self):
+        a = generate_trace(spec(seed=5))
+        b = generate_trace(spec(seed=5))
+        assert a.bundles() == b.bundles()
+        assert a.catalog.as_dict() == b.catalog.as_dict()
+
+    def test_seeds_differ(self):
+        a = generate_trace(spec(seed=1))
+        b = generate_trace(spec(seed=2))
+        assert a.bundles() != b.bundles()
+
+    def test_bundles_respect_cap(self):
+        t = generate_trace(spec())
+        sizes = t.catalog.as_dict()
+        cap = int(256 * MB * 0.3)
+        for b in t.stream.distinct_bundles():
+            assert b.size_under(sizes) <= cap
+
+    def test_zipf_concentrates_popularity(self):
+        from collections import Counter
+
+        t = generate_trace(spec(popularity="zipf", n_jobs=2000))
+        counts = Counter(t.bundles())
+        top_share = counts.most_common(1)[0][1] / 2000
+        assert top_share > 0.05  # rank-1 of 50 under zipf ~ 22%
+
+    def test_uniform_spreads_popularity(self):
+        from collections import Counter
+
+        t = generate_trace(spec(popularity="uniform", n_jobs=2000))
+        counts = Counter(t.bundles())
+        assert counts.most_common(1)[0][1] / 2000 < 0.08
+
+    def test_arrival_times(self):
+        t = generate_trace(spec(arrival_rate=2.0))
+        times = [r.arrival_time for r in t]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[-1] > 0
+        # mean gap ~ 1/rate
+        mean_gap = times[-1] / len(times)
+        assert 0.3 < mean_gap < 0.9
+
+    def test_untimed_trace_zero_times(self):
+        t = generate_trace(spec())
+        assert all(r.arrival_time == 0.0 for r in t)
+
+    def test_meta_contains_spec(self):
+        t = generate_trace(spec())
+        assert t.meta["n_jobs"] == 200
+
+
+class TestDerivedQuantities:
+    def test_average_request_size(self):
+        t = generate_trace(spec())
+        sizes = t.catalog.as_dict()
+        types = t.stream.distinct_bundles()
+        expected = sum(b.size_under(sizes) for b in types) / len(types)
+        assert average_request_size(t) == pytest.approx(expected)
+
+    def test_cache_size_in_requests(self):
+        t = generate_trace(spec())
+        r = cache_size_in_requests(t, 256 * MB)
+        assert r == pytest.approx(256 * MB / average_request_size(t))

@@ -1,0 +1,106 @@
+"""Unit tests for request-pool generation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.types import FileCatalog
+from repro.utils.rng import derive_rng
+from repro.workload.requestpool import generate_request_pool
+
+
+def catalog(n=20, size=10):
+    return FileCatalog({f"f{i}": size for i in range(n)})
+
+
+class TestGeneratePool:
+    def test_count(self):
+        pool = generate_request_pool(
+            catalog(), 15, derive_rng(0, "p"), max_bundle_bytes=50
+        )
+        assert len(pool) == 15
+
+    def test_bundle_byte_cap_respected(self):
+        pool = generate_request_pool(
+            catalog(), 30, derive_rng(1, "p"), max_bundle_bytes=35
+        )
+        sizes = catalog().as_dict()
+        for b in pool:
+            assert b.size_under(sizes) <= 35
+
+    def test_file_count_range_respected(self):
+        pool = generate_request_pool(
+            catalog(),
+            30,
+            derive_rng(2, "p"),
+            max_bundle_bytes=1000,
+            files_per_request=(2, 4),
+        )
+        assert all(2 <= len(b) <= 4 for b in pool)
+
+    def test_distinct_bundles(self):
+        pool = generate_request_pool(
+            catalog(),
+            50,
+            derive_rng(3, "p"),
+            max_bundle_bytes=1000,
+            files_per_request=(1, 3),
+        )
+        assert len(set(pool)) == 50
+
+    def test_duplicates_allowed_when_disabled(self):
+        # 3 files, singleton bundles, 10 requests: duplicates inevitable.
+        pool = generate_request_pool(
+            catalog(3),
+            10,
+            derive_rng(4, "p"),
+            max_bundle_bytes=10,
+            files_per_request=(1, 1),
+            distinct=False,
+        )
+        assert len(pool) == 10
+
+    def test_impossible_distinct_raises(self):
+        with pytest.raises(WorkloadError, match="attempts"):
+            generate_request_pool(
+                catalog(2),
+                10,
+                derive_rng(5, "p"),
+                max_bundle_bytes=10,
+                files_per_request=(1, 1),
+            )
+
+    def test_all_files_too_big_raises(self):
+        with pytest.raises(WorkloadError, match="larger"):
+            generate_request_pool(
+                catalog(5, size=100),
+                3,
+                derive_rng(6, "p"),
+                max_bundle_bytes=50,
+            )
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_request_pool(
+                catalog(), 0, derive_rng(0, "p"), max_bundle_bytes=10
+            )
+        with pytest.raises(WorkloadError):
+            generate_request_pool(
+                catalog(),
+                5,
+                derive_rng(0, "p"),
+                max_bundle_bytes=10,
+                files_per_request=(3, 2),
+            )
+        with pytest.raises(WorkloadError):
+            generate_request_pool(
+                catalog(), 5, derive_rng(0, "p"), max_bundle_bytes=0
+            )
+
+    def test_deterministic(self):
+        a = generate_request_pool(
+            catalog(), 10, derive_rng(9, "p"), max_bundle_bytes=50
+        )
+        b = generate_request_pool(
+            catalog(), 10, derive_rng(9, "p"), max_bundle_bytes=50
+        )
+        assert a == b

@@ -1,0 +1,100 @@
+"""Unit tests for the domain scenario generators."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workload.scenarios import bitmap_index_trace, climate_trace, henp_trace
+
+
+class TestHENP:
+    def test_shape(self):
+        t = henp_trace(n_datasets=3, n_attributes=10, n_channels=5, n_jobs=50, seed=0)
+        assert len(t) == 50
+        assert len(t.catalog) == 30  # datasets x attributes
+
+    def test_bundles_within_one_dataset(self):
+        t = henp_trace(n_datasets=4, n_attributes=8, n_channels=5, n_jobs=40, seed=1)
+        for b in t.bundles():
+            datasets = {f.split(".")[0] for f in b}
+            assert len(datasets) == 1
+
+    def test_channel_size_range(self):
+        t = henp_trace(
+            n_jobs=60, attrs_per_channel=(2, 4), n_attributes=10, seed=2
+        )
+        assert all(2 <= len(b) <= 4 for b in t.bundles())
+
+    def test_deterministic(self):
+        a = henp_trace(n_jobs=30, seed=5)
+        b = henp_trace(n_jobs=30, seed=5)
+        assert a.bundles() == b.bundles()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            henp_trace(n_datasets=0)
+        with pytest.raises(ConfigError):
+            henp_trace(attrs_per_channel=(5, 2))
+        with pytest.raises(ConfigError):
+            henp_trace(n_attributes=4, attrs_per_channel=(1, 9))
+
+
+class TestClimate:
+    def test_shape(self):
+        t = climate_trace(n_runs=2, n_analyses=4, n_jobs=30, seed=0)
+        assert len(t) == 30
+        # catalog: runs x variables (10 default variables)
+        assert len(t.catalog) == 20
+
+    def test_bundles_within_one_run(self):
+        t = climate_trace(n_runs=3, n_jobs=40, seed=1)
+        for b in t.bundles():
+            runs = {f.split(".")[0] for f in b}
+            assert len(runs) == 1
+
+    def test_variables_per_analysis(self):
+        t = climate_trace(vars_per_analysis=(2, 3), n_jobs=40, seed=2)
+        assert all(2 <= len(b) <= 3 for b in t.bundles())
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            climate_trace(n_runs=0)
+        with pytest.raises(ConfigError):
+            climate_trace(vars_per_analysis=(0, 3))
+
+
+class TestBitmap:
+    def test_shape(self):
+        t = bitmap_index_trace(
+            n_attributes=4, bins_per_attribute=5, n_jobs=25, seed=0
+        )
+        assert len(t) == 25
+        assert len(t.catalog) == 20
+
+    def test_ranges_are_contiguous_per_attribute(self):
+        t = bitmap_index_trace(
+            n_attributes=5, bins_per_attribute=10, n_jobs=60, seed=1
+        )
+        for b in t.bundles():
+            by_attr: dict[str, list[int]] = {}
+            for f in b:
+                attr, bin_part = f.split(".")
+                by_attr.setdefault(attr, []).append(int(bin_part[3:]))
+            for bins in by_attr.values():
+                bins.sort()
+                assert bins == list(range(bins[0], bins[0] + len(bins)))
+
+    def test_attrs_per_query_range(self):
+        t = bitmap_index_trace(
+            n_attributes=6, attrs_per_query=(2, 3), n_jobs=40, seed=2
+        )
+        for b in t.bundles():
+            attrs = {f.split(".")[0] for f in b}
+            assert 2 <= len(attrs) <= 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            bitmap_index_trace(n_attributes=0)
+        with pytest.raises(ConfigError):
+            bitmap_index_trace(mean_range_len=0.5)
+        with pytest.raises(ConfigError):
+            bitmap_index_trace(n_attributes=2, attrs_per_query=(1, 5))

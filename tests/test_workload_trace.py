@@ -1,0 +1,97 @@
+"""Unit tests for Trace and its JSONL serialization."""
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import TraceFormatError
+from repro.types import FileCatalog
+from repro.workload.trace import Trace
+
+
+def make_trace():
+    catalog = FileCatalog({"a": 5, "b": 7, "c": 11})
+    stream = RequestStream(
+        [
+            Request(0, FileBundle(["a", "b"]), arrival_time=0.5),
+            Request(1, FileBundle(["c"]), arrival_time=1.5, priority=2.0),
+        ]
+    )
+    return Trace(catalog, stream, meta={"note": "test"})
+
+
+class TestTrace:
+    def test_rejects_unknown_files(self):
+        with pytest.raises(TraceFormatError):
+            Trace(
+                FileCatalog({"a": 1}),
+                RequestStream([Request(0, FileBundle(["zzz"]))]),
+            )
+
+    def test_len_iter_bundles(self):
+        t = make_trace()
+        assert len(t) == 2
+        assert [r.request_id for r in t] == [0, 1]
+        assert t.bundles()[1] == FileBundle(["c"])
+
+    def test_total_requested_bytes(self):
+        assert make_trace().total_requested_bytes() == (5 + 7) + 11
+
+    def test_distinct_request_types(self):
+        assert make_trace().distinct_request_types() == 2
+
+
+class TestSerialization:
+    def test_roundtrip_lines(self):
+        t = make_trace()
+        t2 = Trace.load_lines(t.dump_lines())
+        assert t2.meta == t.meta
+        assert t2.catalog.as_dict() == t.catalog.as_dict()
+        assert t2.bundles() == t.bundles()
+        assert t2.stream[1].priority == 2.0
+        assert t2.stream[1].arrival_time == 1.5
+
+    def test_roundtrip_file(self, tmp_path):
+        t = make_trace()
+        path = tmp_path / "trace.jsonl"
+        t.dump(path)
+        t2 = Trace.load(path)
+        assert t2.bundles() == t.bundles()
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            Trace.load_lines([])
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            Trace.load_lines(['{"type": "job", "id": 0, "files": ["a"]}'])
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(TraceFormatError, match="version"):
+            Trace.load_lines(
+                ['{"type": "header", "version": 99, "files": {"a": 1}}']
+            )
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TraceFormatError, match="JSON"):
+            Trace.load_lines(["not json"])
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(TraceFormatError, match="object"):
+            Trace.load_lines(["[1,2]"])
+
+    def test_bad_job_record_rejected(self):
+        header = '{"type": "header", "version": 1, "files": {"a": 1}}'
+        with pytest.raises(TraceFormatError, match="bad job"):
+            Trace.load_lines([header, '{"type": "job", "files": ["a"]}'])
+
+    def test_unexpected_record_type_rejected(self):
+        header = '{"type": "header", "version": 1, "files": {"a": 1}}'
+        with pytest.raises(TraceFormatError, match="unexpected"):
+            Trace.load_lines([header, '{"type": "mystery"}'])
+
+    def test_blank_lines_skipped(self):
+        t = make_trace()
+        lines = list(t.dump_lines())
+        lines.insert(1, "")
+        assert len(Trace.load_lines(lines)) == 2

@@ -1,0 +1,144 @@
+"""Unit tests for trace transformations."""
+
+import numpy as np
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.core.request import Request, RequestStream
+from repro.errors import ConfigError
+from repro.types import FileCatalog
+from repro.utils.rng import derive_rng
+from repro.workload.trace import Trace
+from repro.workload.transforms import (
+    concatenate,
+    explode_to_single_file_jobs,
+    filter_trace,
+    hybrid_trace,
+    interleave,
+    truncate,
+)
+
+SIZES = {"a": 1, "b": 2, "c": 3, "d": 4}
+
+
+def trace_of(bundles, times=None):
+    stream = RequestStream(
+        Request(
+            i,
+            FileBundle(b),
+            arrival_time=times[i] if times else 0.0,
+        )
+        for i, b in enumerate(bundles)
+    )
+    return Trace(FileCatalog(SIZES), stream)
+
+
+class TestTruncate:
+    def test_keeps_prefix(self):
+        t = truncate(trace_of([["a"], ["b"], ["c"]]), 2)
+        assert t.bundles() == [FileBundle(["a"]), FileBundle(["b"])]
+        assert t.meta["truncated_to"] == 2
+
+    def test_zero(self):
+        assert len(truncate(trace_of([["a"]]), 0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            truncate(trace_of([["a"]]), -1)
+
+
+class TestFilter:
+    def test_predicate_and_renumber(self):
+        t = filter_trace(
+            trace_of([["a"], ["b", "c"], ["d"]]), lambda r: len(r.bundle) == 1
+        )
+        assert len(t) == 2
+        assert [r.request_id for r in t] == [0, 1]
+
+
+class TestConcatenate:
+    def test_appends_and_offsets_times(self):
+        a = trace_of([["a"]], times=[5.0])
+        b = trace_of([["b"]], times=[1.0])
+        t = concatenate(a, b)
+        assert len(t) == 2
+        assert t.stream[1].arrival_time == 6.0
+
+    def test_conflicting_sizes_rejected(self):
+        a = trace_of([["a"]])
+        other = Trace(
+            FileCatalog({"a": 99}),
+            RequestStream([Request(0, FileBundle(["a"]))]),
+        )
+        with pytest.raises(ConfigError, match="conflicting"):
+            concatenate(a, other)
+
+
+class TestExplode:
+    def test_one_job_per_file(self):
+        t = explode_to_single_file_jobs(trace_of([["a", "b"], ["c"]]))
+        assert len(t) == 3
+        assert all(len(r.bundle) == 1 for r in t)
+        assert t.meta["exploded"] is True
+
+    def test_same_total_bytes_requested(self):
+        original = trace_of([["a", "b"], ["c", "d"]])
+        exploded = explode_to_single_file_jobs(original)
+        assert (
+            exploded.total_requested_bytes()
+            == original.total_requested_bytes()
+        )
+
+
+class TestInterleave:
+    def test_preserves_internal_order(self):
+        a = trace_of([["a"], ["b"]])
+        b = trace_of([["c"], ["d"]])
+        t = interleave(a, b, derive_rng(0, "i"))
+        seq = t.bundles()
+        assert seq.index(FileBundle(["a"])) < seq.index(FileBundle(["b"]))
+        assert seq.index(FileBundle(["c"])) < seq.index(FileBundle(["d"]))
+        assert len(t) == 4
+
+    def test_p_first_extremes(self):
+        a = trace_of([["a"], ["b"]])
+        b = trace_of([["c"], ["d"]])
+        t = interleave(a, b, derive_rng(0, "i"), p_first=1.0)
+        assert t.bundles()[:2] == [FileBundle(["a"]), FileBundle(["b"])]
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ConfigError):
+            interleave(
+                trace_of([["a"]]), trace_of([["b"]]), derive_rng(0, "i"), p_first=2.0
+            )
+
+
+class TestHybrid:
+    def test_fraction_zero_is_identity_modulo_order(self):
+        base = trace_of([["a", "b"], ["c"]])
+        t = hybrid_trace(base, derive_rng(1, "h"), single_file_fraction=0.0)
+        assert sorted(map(len, t.bundles())) == [1, 2]
+
+    def test_fraction_one_all_singletons(self):
+        base = trace_of([["a", "b"], ["c", "d"]])
+        t = hybrid_trace(base, derive_rng(1, "h"), single_file_fraction=1.0)
+        assert all(len(b) == 1 for b in t.bundles())
+        assert len(t) == 4
+
+    def test_meta_recorded(self):
+        t = hybrid_trace(
+            trace_of([["a"]]), derive_rng(0, "h"), single_file_fraction=0.5
+        )
+        assert t.meta["hybrid"] is True
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigError):
+            hybrid_trace(
+                trace_of([["a"]]), derive_rng(0, "h"), single_file_fraction=1.5
+            )
+
+    def test_deterministic(self):
+        base = trace_of([["a", "b"], ["c"], ["d"], ["a", "c"]])
+        t1 = hybrid_trace(base, derive_rng(3, "h"), single_file_fraction=0.5)
+        t2 = hybrid_trace(base, derive_rng(3, "h"), single_file_fraction=0.5)
+        assert t1.bundles() == t2.bundles()
