@@ -12,6 +12,7 @@ Most users need only the re-exports below; the subpackages are:
 * :mod:`repro.workload` — workload generation, traces, analytics;
 * :mod:`repro.sim` — the simulator, metrics, queueing, sweeps;
 * :mod:`repro.grid` — timed data-grid substrate (MSS, links, SRM, sites);
+* :mod:`repro.faults` — deterministic fault injection for the grid layer;
 * :mod:`repro.experiments` — per-figure reproduction drivers;
 * :mod:`repro.cli` — the ``repro-fbc`` command-line interface.
 """
@@ -25,6 +26,7 @@ from repro.core import (
     solve_exact,
 )
 from repro.cache import CacheState, make_policy, POLICY_REGISTRY
+from repro.faults import FaultInjector, FaultSpec
 from repro.sim import SimulationConfig, simulate_trace
 from repro.workload import Trace, WorkloadSpec, generate_trace
 from repro.experiments import EXPERIMENTS, run_experiment
@@ -41,6 +43,8 @@ __all__ = [
     "CacheState",
     "make_policy",
     "POLICY_REGISTRY",
+    "FaultSpec",
+    "FaultInjector",
     "SimulationConfig",
     "simulate_trace",
     "Trace",

@@ -7,6 +7,7 @@ Subcommands
 * ``simulate``  — one-off simulation of a synthetic workload.
 * ``generate``  — write a synthetic trace to a JSONL file.
 * ``replay``    — replay a JSONL trace under one or more policies.
+* ``chaos``     — policy comparison under seeded grid fault injection.
 """
 
 from __future__ import annotations
@@ -95,6 +96,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_timed.add_argument("--arrival-rate", type=float, default=0.05)
     p_timed.add_argument("--service-slots", type=int, default=1)
     p_timed.add_argument("--seed", type=int, default=0)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="timed SRM comparison under fault injection"
+    )
+    p_chaos.add_argument("--cache-size", default="1GB")
+    p_chaos.add_argument(
+        "--policy",
+        action="append",
+        choices=sorted(POLICY_REGISTRY),
+        default=None,
+        help="policies to compare (default: optbundle, landlord)",
+    )
+    p_chaos.add_argument(
+        "--fault-rate",
+        action="append",
+        type=float,
+        default=None,
+        help="repeatable; per-operation fault probability "
+        "(default: 0.0 0.05 0.15)",
+    )
+    p_chaos.add_argument("--jobs", type=int, default=200)
+    p_chaos.add_argument("--files", type=int, default=300)
+    p_chaos.add_argument("--request-types", type=int, default=150)
+    p_chaos.add_argument("--max-retries", type=int, default=3)
+    p_chaos.add_argument(
+        "--staging-timeout",
+        type=float,
+        default=600.0,
+        help="per-file staging attempt timeout in seconds (0 disables)",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
 
     p_prof = sub.add_parser("profile", help="profile a JSONL trace")
     p_prof.add_argument("trace")
@@ -227,6 +259,66 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(
                 render_table(
                     ["policy", "resp [s]", "jobs/h", "staged MB", "hit ratio"],
+                    rows,
+                )
+            )
+        elif args.command == "chaos":
+            from repro.experiments.chaos import chaos_trace, run_chaos_once
+
+            cache_size = parse_size(args.cache_size)
+            policies = args.policy or ["optbundle", "landlord"]
+            rates = args.fault_rate or [0.0, 0.05, 0.15]
+            timeout = args.staging_timeout if args.staging_timeout > 0 else None
+            trace = chaos_trace(
+                cache_size=cache_size,
+                n_files=args.files,
+                n_request_types=args.request_types,
+                n_jobs=args.jobs,
+                seed=args.seed,
+            )
+            print(
+                f"chaos: {len(trace)} jobs, {len(trace.catalog)} files, "
+                f"cache {format_size(cache_size)}, seed {args.seed}, "
+                f"fault rates {', '.join(f'{r:g}' for r in rates)}"
+            )
+            rows = []
+            for rate in rates:
+                for policy in policies:
+                    r = run_chaos_once(
+                        trace,
+                        policy,
+                        rate,
+                        cache_size=cache_size,
+                        fault_seed=args.seed,
+                        max_retries=args.max_retries,
+                        staging_timeout=timeout,
+                    )
+                    rows.append(
+                        [
+                            f"{rate:g}",
+                            policy,
+                            r.mean_response_time,
+                            r.byte_miss_ratio,
+                            r.retries,
+                            r.failovers,
+                            r.timeouts,
+                            r.failed_jobs,
+                            r.time_lost_to_faults,
+                        ]
+                    )
+            print(
+                render_table(
+                    [
+                        "rate",
+                        "policy",
+                        "resp [s]",
+                        "byte miss",
+                        "retries",
+                        "failovers",
+                        "timeouts",
+                        "failed",
+                        "lost [s]",
+                    ],
                     rows,
                 )
             )

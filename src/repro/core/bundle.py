@@ -26,7 +26,7 @@ class FileBundle:
     ['f1', 'f2']
     """
 
-    __slots__ = ("_files", "_hash")
+    __slots__ = ("_files", "_hash", "_ordered")
 
     def __init__(self, files: Iterable[FileId]):
         fs = frozenset(files)
@@ -37,6 +37,10 @@ class FileBundle:
                 raise TypeError(f"file ids must be non-empty strings, got {f!r}")
         self._files = fs
         self._hash = hash(fs)
+        # Iteration must not leak the frozenset's hash-randomized order:
+        # policies touch files in bundle order, so a PYTHONHASHSEED-dependent
+        # order would make eviction tie-breaks differ across processes.
+        self._ordered = tuple(sorted(fs))
 
     @property
     def files(self) -> frozenset[FileId]:
@@ -47,7 +51,7 @@ class FileBundle:
         return file_id in self._files
 
     def __iter__(self) -> Iterator[FileId]:
-        return iter(self._files)
+        return iter(self._ordered)
 
     def __len__(self) -> int:
         return len(self._files)

@@ -18,6 +18,9 @@ __all__ = [
     "TraceFormatError",
     "SimulationError",
     "SolverError",
+    "FaultInjectionError",
+    "StagingTimeoutError",
+    "RetryExhaustedError",
 ]
 
 
@@ -73,3 +76,42 @@ class SimulationError(ReproError):
 
 class SolverError(ReproError):
     """An exact solver failed (e.g. instance too large for brute force)."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection component was used outside its contract.
+
+    Raised e.g. when a downtime schedule is queried at a negative time or
+    an injector is wired into a component it cannot model.
+    """
+
+
+class StagingTimeoutError(ReproError):
+    """A file staging attempt exceeded its per-file timeout.
+
+    Carries the file id and the timeout that expired; the SRM normally
+    absorbs this into its retry path rather than letting it propagate.
+    """
+
+    def __init__(self, file_id: object, timeout: float, message: str | None = None):
+        self.file_id = file_id
+        self.timeout = float(timeout)
+        if message is None:
+            message = f"staging of {file_id!r} exceeded {self.timeout} s"
+        super().__init__(message)
+
+
+class RetryExhaustedError(ReproError):
+    """A staging operation failed on every attempt of its retry budget.
+
+    Carries the file id and the number of attempts made; the SRM converts
+    this into a requeue (once) and then a ``failed_jobs`` count rather
+    than crashing the run.
+    """
+
+    def __init__(self, file_id: object, attempts: int, message: str | None = None):
+        self.file_id = file_id
+        self.attempts = int(attempts)
+        if message is None:
+            message = f"staging of {file_id!r} failed after {self.attempts} attempts"
+        super().__init__(message)

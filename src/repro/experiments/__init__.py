@@ -17,6 +17,7 @@ harness and the CLI (``repro-fbc run <exp>``) both go through these.
                   value decay, queue disciplines) — extensions
 ``zoo``           All policies side by side on one workload — extension
 ``grid``          Timed SRM response-time/throughput study — extension
+``chaos``         Policies under seeded grid fault injection — extension
 ``hybrid``        Mixed one-file/bundle execution (paper future work)
 ``replication``   Replica placement on a two-tier grid — extension
 ================  =====================================================

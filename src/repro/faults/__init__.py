@@ -1,0 +1,17 @@
+"""Fault injection for the timed data-grid layer.
+
+The paper's premise is that an SRM *masks* an unreliable deep-storage and
+WAN hierarchy from jobs (Section 1); this package supplies the
+unreliability.  A :class:`FaultSpec` declares per-component fault rates
+(MSS drive failures, WAN transfer failures and latency spikes,
+replica-site downtime windows) and a :class:`FaultInjector` turns the
+spec into deterministic, seeded decisions so degraded runs replay
+exactly.  The fault-tolerant staging pipeline that consumes these
+decisions — retries with capped exponential backoff, per-file staging
+timeouts, replica failover — lives in :mod:`repro.grid.srm`.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import NO_FAULTS, FaultSpec
+
+__all__ = ["FaultSpec", "FaultInjector", "NO_FAULTS"]

@@ -1,0 +1,138 @@
+"""Declarative fault models for the timed data-grid layer.
+
+A :class:`FaultSpec` names *what can go wrong* and how often, per
+component class:
+
+* **MSS drive failures** — a tape retrieval aborts partway through its
+  service time (bad mount, drive drop), wasting the drive occupancy
+  accrued so far.
+* **WAN transfer failures** — a staging transfer dies mid-flight and the
+  bytes must be re-sent.
+* **Latency spikes** — a transfer completes but takes a multiple of its
+  nominal time (congestion, routing flaps).
+* **Replica-site downtime** — whole sites become unreachable for
+  exponentially-distributed windows; the SRM fails over to other
+  replicas while a site is down.
+
+The spec is pure data: every probability is per *operation* (retrieval or
+transfer), downtime is parameterised by the long-run down *fraction* and
+the mean outage length.  :class:`~repro.faults.injector.FaultInjector`
+turns a spec into deterministic per-stream decisions via
+:func:`repro.utils.rng.derive_rng`, so any run is exactly replayable from
+``(spec, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultSpec", "NO_FAULTS"]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault rates and shapes for one simulated grid.
+
+    Attributes
+    ----------
+    seed:
+        Master seed of every fault decision stream (independent of the
+        workload seed so fault schedules and traces can be varied
+        separately).
+    drive_failure_rate:
+        Probability that one MSS retrieval aborts before completing.
+    transfer_failure_rate:
+        Probability that one WAN transfer aborts before completing.
+    latency_spike_rate:
+        Probability that a (successful) transfer is slowed by
+        ``latency_spike_factor``.
+    latency_spike_factor:
+        Multiplier applied to a spiked transfer's total time (>= 1).
+    site_downtime_rate:
+        Long-run fraction of time each replica site is unreachable
+        (0 disables downtime).  Must be < 1.
+    mean_downtime:
+        Mean length in simulated seconds of one outage window; uptime
+        windows are sized so the long-run down fraction matches
+        ``site_downtime_rate``.
+    """
+
+    seed: int = 0
+    drive_failure_rate: float = 0.0
+    transfer_failure_rate: float = 0.0
+    latency_spike_rate: float = 0.0
+    latency_spike_factor: float = 4.0
+    site_downtime_rate: float = 0.0
+    mean_downtime: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigError(f"seed must be non-negative, got {self.seed}")
+        for name in (
+            "drive_failure_rate",
+            "transfer_failure_rate",
+            "latency_spike_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.site_downtime_rate < 1.0:
+            raise ConfigError(
+                f"site_downtime_rate must be in [0, 1), got {self.site_downtime_rate}"
+            )
+        if self.latency_spike_factor < 1.0:
+            raise ConfigError(
+                f"latency_spike_factor must be >= 1, got {self.latency_spike_factor}"
+            )
+        if self.mean_downtime <= 0:
+            raise ConfigError(
+                f"mean_downtime must be positive, got {self.mean_downtime}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can actually fire."""
+        return (
+            self.drive_failure_rate > 0
+            or self.transfer_failure_rate > 0
+            or self.latency_spike_rate > 0
+            or self.site_downtime_rate > 0
+        )
+
+    @property
+    def mean_uptime(self) -> float:
+        """Mean up-window length implied by the down fraction."""
+        p = self.site_downtime_rate
+        if p <= 0:
+            return float("inf")
+        return self.mean_downtime * (1.0 - p) / p
+
+    def with_seed(self, seed: int) -> "FaultSpec":
+        """The same fault model under a different decision seed."""
+        return replace(self, seed=seed)
+
+    @classmethod
+    def uniform(cls, rate: float, *, seed: int = 0, **overrides) -> "FaultSpec":
+        """A spec degrading every component class at the same ``rate``.
+
+        Drive failures, transfer failures and latency spikes all fire with
+        probability ``rate``; sites are down ``rate / 2`` of the time
+        (whole-site loss is rarer than per-operation faults in practice).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigError(f"rate must be in [0, 1], got {rate}")
+        return cls(
+            seed=seed,
+            drive_failure_rate=rate,
+            transfer_failure_rate=rate,
+            latency_spike_rate=rate,
+            site_downtime_rate=rate / 2.0,
+            **overrides,
+        )
+
+
+#: The identity spec: nothing ever fails (simulations behave exactly as if
+#: no injector were attached).
+NO_FAULTS = FaultSpec()

@@ -5,16 +5,26 @@ retrieval costs a mount latency plus size-proportional read time; requests
 beyond the drive count queue FCFS.  This reproduces the dominant costs an
 SRM masks from its clients (Section 1): high fixed per-file latency and
 serialised deep-storage bandwidth.
+
+With a :class:`~repro.faults.FaultInjector` attached, retrievals may fail
+partway through their service time (a bad mount or drive drop): the drive
+stays busy for the elapsed fraction, then the caller's failure callback
+fires instead of the success callback.  Callers that do not pass a
+failure callback are served as if the fault had not occurred, so legacy
+call sites are unaffected.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ConfigError
 from repro.sim.engine import EventEngine
 from repro.types import MB, FileId, SizeBytes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults import FaultInjector
 
 __all__ = ["MassStorageSystem"]
 
@@ -32,6 +42,7 @@ class MassStorageSystem:
         mount_latency: float = 20.0,
         drive_bandwidth: float = 60 * MB,
         name: str = "mss",
+        injector: "FaultInjector | None" = None,
     ):
         if n_drives <= 0:
             raise ConfigError(f"n_drives must be positive, got {n_drives}")
@@ -44,9 +55,13 @@ class MassStorageSystem:
         self.mount_latency = mount_latency
         self.drive_bandwidth = drive_bandwidth
         self.name = name
+        self.injector = injector
         self._busy = 0
-        self._pending: deque[tuple[FileId, SizeBytes, RetrievalCallback]] = deque()
+        self._pending: deque[
+            tuple[FileId, SizeBytes, RetrievalCallback, RetrievalCallback | None]
+        ] = deque()
         self.retrievals = 0
+        self.failed_retrievals = 0
         self.bytes_retrieved: SizeBytes = 0
         self.total_busy_time = 0.0
 
@@ -65,26 +80,48 @@ class MassStorageSystem:
         return len(self._pending)
 
     def retrieve(
-        self, file_id: FileId, size: SizeBytes, callback: RetrievalCallback
+        self,
+        file_id: FileId,
+        size: SizeBytes,
+        callback: RetrievalCallback,
+        on_failure: RetrievalCallback | None = None,
     ) -> None:
-        """Request a file; ``callback(file_id)`` fires when it is read."""
+        """Request a file; ``callback(file_id)`` fires when it is read.
+
+        With an injector attached and ``on_failure`` given, a drive fault
+        makes ``on_failure(file_id)`` fire instead, after the failed
+        fraction of the service time has elapsed on the drive.
+        """
         if size <= 0:
             raise ConfigError(f"file size must be positive, got {size}")
-        self._pending.append((file_id, size, callback))
+        self._pending.append((file_id, size, callback, on_failure))
         self._dispatch()
 
     # ------------------------------------------------------------------ #
 
     def _dispatch(self) -> None:
         while self._busy < self.n_drives and self._pending:
-            file_id, size, callback = self._pending.popleft()
+            file_id, size, callback, on_failure = self._pending.popleft()
             self._busy += 1
             service = self.retrieval_time(size)
-            self.retrievals += 1
-            self.bytes_retrieved += size
+
+            fail_fraction: float | None = None
+            if self.injector is not None and on_failure is not None:
+                fail_fraction = self.injector.drive_fault(self.name)
+
+            if fail_fraction is not None:
+                service *= fail_fraction
+                self.failed_retrievals += 1
+                done_cb = on_failure
+            else:
+                self.retrievals += 1
+                self.bytes_retrieved += size
+                done_cb = callback
             self.total_busy_time += service
 
-            def _done(fid: FileId = file_id, cb: RetrievalCallback = callback) -> None:
+            def _done(
+                fid: FileId = file_id, cb: RetrievalCallback = done_cb
+            ) -> None:
                 self._busy -= 1
                 cb(fid)
                 self._dispatch()

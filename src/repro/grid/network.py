@@ -38,8 +38,16 @@ class NetworkLink:
         if self.latency < 0:
             raise ConfigError(f"latency must be non-negative, got {self.latency}")
 
-    def transfer_time(self, nbytes: SizeBytes) -> float:
-        """Seconds to move ``nbytes`` across the link."""
+    def transfer_time(self, nbytes: SizeBytes, *, spike: float = 1.0) -> float:
+        """Seconds to move ``nbytes`` across the link.
+
+        ``spike`` models transient congestion (a latency spike from a
+        :class:`~repro.faults.FaultInjector`): the whole transfer is
+        slowed by that factor.  ``spike=1.0`` is the exact nominal time.
+        """
         if nbytes < 0:
             raise ConfigError(f"nbytes must be non-negative, got {nbytes}")
-        return self.latency + nbytes / self.bandwidth
+        if spike < 1.0:
+            raise ConfigError(f"spike must be >= 1, got {spike}")
+        base = self.latency + nbytes / self.bandwidth
+        return base if spike == 1.0 else spike * base

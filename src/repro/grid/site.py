@@ -85,18 +85,31 @@ class ReplicaCatalog:
     def locations(self, file_id: FileId) -> list[str]:
         return list(self._replicas.get(file_id, ()))
 
-    def best_source(self, file_id: FileId, size: SizeBytes) -> DataGridSite:
+    def best_source(
+        self,
+        file_id: FileId,
+        size: SizeBytes,
+        *,
+        exclude: frozenset[str] | set[str] = frozenset(),
+    ) -> DataGridSite:
         """The site expected to deliver the file soonest.
 
         Queueing-aware: the estimate adds the work currently queued before
         the file at each site (queued retrievals over available drives).
+
+        ``exclude`` names sites to skip — the SRM's failover path passes
+        the sites currently marked down.  If *every* replica holder is
+        excluded the exclusion is ignored (the caller's retry/backoff
+        machinery absorbs the cost of talking to a dead site), so source
+        resolution always makes progress.
         """
         names = self._replicas.get(file_id)
         if not names:
             raise UnknownFileError(f"no replica registered for file {file_id!r}")
+        candidates = [n for n in names if n not in exclude] or names
         best_site: DataGridSite | None = None
         best_cost = float("inf")
-        for name in names:
+        for name in candidates:
             site = self._sites[name]
             backlog = site.mss.queued / site.mss.n_drives * site.mss.mount_latency
             cost = site.estimated_fetch_time(size) + backlog

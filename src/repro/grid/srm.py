@@ -9,6 +9,21 @@ policy therefore never sees pinned files as eviction victims, and a job
 whose start is blocked by other jobs' pins waits until a completion
 releases them.
 
+Fault tolerance
+---------------
+With ``SRMConfig.faults`` set, the grid components the SRM drives can
+fail (see :mod:`repro.faults`): tape retrievals abort, WAN transfers die
+mid-flight or spike in latency, replica sites go down.  The staging
+pipeline absorbs these instead of crashing: each file staging attempt is
+retried with capped exponential backoff plus deterministic jitter, an
+optional per-file ``staging_timeout`` bounds how long one attempt may
+hang, and each retry re-resolves the best replica source *excluding
+sites currently down* (failover).  A job whose file exhausts its retry
+budget is requeued once; a second exhaustion counts it in
+``failed_jobs``.  All robustness events are reported on
+:class:`SRMResult` (``retries``, ``failovers``, ``timeouts``,
+``failed_jobs``, ``time_lost_to_faults``).
+
 Reported quantities are job **response time** (completion − arrival),
 **throughput** and bytes staged — the timed face of the same trade-off the
 byte-miss experiments measure: a policy that keeps the right file
@@ -17,14 +32,25 @@ byte-miss experiments measure: a policy that keeps the right file
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cache.registry import make_policy
 from repro.cache.state import CacheState
+from repro.core.bundle import FileBundle
 from repro.core.request import Request
-from repro.errors import CacheCapacityError, ConfigError, PolicyError, SimulationError
+from repro.errors import (
+    CacheCapacityError,
+    ConfigError,
+    PolicyError,
+    RetryExhaustedError,
+    SimulationError,
+    StagingTimeoutError,
+    UnknownFileError,
+)
+from repro.faults import FaultInjector, FaultSpec
 from repro.grid.mss import MassStorageSystem
 from repro.grid.network import NetworkLink
 from repro.grid.site import ReplicaCatalog
@@ -34,6 +60,9 @@ from repro.utils.stats import RunningStats
 from repro.workload.trace import Trace
 
 __all__ = ["SRMConfig", "SRMResult", "StorageResourceManager", "run_timed_simulation"]
+
+#: Upper bound on retained fault-log entries (observability, not accounting).
+_FAULT_LOG_LIMIT = 200
 
 
 @dataclass(frozen=True)
@@ -49,6 +78,12 @@ class SRMConfig:
     link: NetworkLink = field(default_factory=NetworkLink)
     processing_time: float = 1.0
     service_slots: int = 1
+    faults: FaultSpec | None = None
+    max_retries: int = 3
+    retry_backoff: float = 2.0
+    backoff_cap: float = 60.0
+    backoff_jitter: float = 0.1
+    staging_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.cache_size <= 0:
@@ -60,6 +95,24 @@ class SRMConfig:
         if self.service_slots < 1:
             raise ConfigError(
                 f"service_slots must be >= 1, got {self.service_slots}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff <= 0:
+            raise ConfigError(
+                f"retry_backoff must be positive, got {self.retry_backoff}"
+            )
+        if self.backoff_cap < self.retry_backoff:
+            raise ConfigError(
+                f"backoff_cap must be >= retry_backoff, got {self.backoff_cap}"
+            )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigError(
+                f"backoff_jitter must be in [0, 1], got {self.backoff_jitter}"
+            )
+        if self.staging_timeout is not None and self.staging_timeout <= 0:
+            raise ConfigError(
+                f"staging_timeout must be positive, got {self.staging_timeout}"
             )
 
 
@@ -76,10 +129,30 @@ class SRMResult:
     throughput: float
     bytes_staged: SizeBytes
     request_hits: int
+    bytes_requested: SizeBytes = 0
+    deferred_starts: int = 0
+    retries: int = 0
+    failovers: int = 0
+    timeouts: int = 0
+    requeues: int = 0
+    failed_jobs: int = 0
+    time_lost_to_faults: float = 0.0
 
     @property
     def request_hit_ratio(self) -> float:
         return self.request_hits / self.jobs if self.jobs else 0.0
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        """Bytes staged over bytes requested by completed jobs.
+
+        The timed analogue of the untimed simulator's byte miss ratio;
+        staging for jobs that later failed is included in the numerator,
+        so under heavy faults this slightly overstates the miss cost.
+        """
+        return (
+            self.bytes_staged / self.bytes_requested if self.bytes_requested else 0.0
+        )
 
     def as_dict(self) -> dict:
         return {
@@ -91,14 +164,34 @@ class SRMResult:
             "max_response_time": self.max_response_time,
             "throughput": self.throughput,
             "bytes_staged": self.bytes_staged,
+            "bytes_requested": self.bytes_requested,
+            "byte_miss_ratio": self.byte_miss_ratio,
+            "request_hits": self.request_hits,
             "request_hit_ratio": self.request_hit_ratio,
+            "deferred_starts": self.deferred_starts,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "timeouts": self.timeouts,
+            "requeues": self.requeues,
+            "failed_jobs": self.failed_jobs,
+            "time_lost_to_faults": self.time_lost_to_faults,
         }
 
 
 class _JobContext:
     """Bookkeeping of one job in service."""
 
-    __slots__ = ("request", "arrived", "awaiting", "pinned", "loaded", "hit")
+    __slots__ = (
+        "request",
+        "arrived",
+        "awaiting",
+        "pinned",
+        "loaded",
+        "hit",
+        "attempts",
+        "tokens",
+        "sites",
+    )
 
     def __init__(self, request: Request, arrived: float):
         self.request = request
@@ -107,13 +200,20 @@ class _JobContext:
         self.pinned: set[FileId] = set()
         self.loaded: set[FileId] = set()
         self.hit = False
+        # fault-tolerance state, all keyed by file id:
+        self.attempts: dict[FileId, int] = {}  # failed attempts so far
+        self.tokens: dict[FileId, int] = {}  # current in-flight attempt id
+        self.sites: dict[FileId, str] = {}  # site serving the last attempt
 
 
 class StorageResourceManager:
     """Event-driven SRM: staged one bundle at a time, pinned concurrency.
 
     With a ``replicas`` catalog each missing file is fetched from its best
-    replica site; otherwise a single local MSS/link pair is used.
+    replica site; otherwise a single local MSS/link pair is used.  With
+    ``config.faults`` set a :class:`~repro.faults.FaultInjector` is
+    created and attached to every MSS the SRM stages from, and the
+    retry/failover pipeline described in the module docstring is active.
     """
 
     def __init__(
@@ -134,33 +234,67 @@ class StorageResourceManager:
         )
         self.policy.bind(self.cache, sizes)
         self.replicas = replicas
+        self.injector: FaultInjector | None = (
+            FaultInjector(config.faults) if config.faults is not None else None
+        )
         if replicas is None:
             self.mss: MassStorageSystem | None = MassStorageSystem(
                 engine,
                 n_drives=config.n_drives,
                 mount_latency=config.mount_latency,
                 drive_bandwidth=config.drive_bandwidth,
+                injector=self.injector,
             )
         else:
             self.mss = None
+            if self.injector is not None:
+                for site in replicas.sites():
+                    site.mss.injector = self.injector
+        self._jitter_rng = (
+            self.injector.stream("backoff-jitter") if self.injector is not None else None
+        )
 
         self._queue: deque[tuple[Request, float]] = deque()
         self._active: list[_JobContext] = []
         self._staging: _JobContext | None = None
+        self._token_seq = itertools.count()
+        self._requeued_ids: set[int] = set()
 
         self.response_times = RunningStats()
         self.bytes_staged: SizeBytes = 0
+        self.bytes_requested: SizeBytes = 0
         self.jobs_done = 0
         self.request_hits = 0
         self.unserviceable = 0
         self.deferred_starts = 0
+        self.retries = 0
+        self.failovers = 0
+        self.timeouts = 0
+        self.requeues = 0
+        self.failed_jobs = 0
+        self.time_lost_to_faults = 0.0
+        self.fault_log: list[Exception] = []
         self.last_completion = 0.0
 
     # ------------------------------------------------------------------ #
 
+    def _size(self, file_id: FileId) -> SizeBytes:
+        try:
+            return self.sizes[file_id]
+        except KeyError:
+            raise UnknownFileError(
+                f"file {file_id!r} is not in the size catalog"
+            ) from None
+
     def submit(self, request: Request) -> None:
         """Enqueue a job at the current simulated time."""
-        bundle_size = request.bundle.size_under(self.sizes)
+        try:
+            bundle_size = request.bundle.size_under(self.sizes)
+        except KeyError as exc:
+            raise UnknownFileError(
+                f"request {request.request_id} references unknown file "
+                f"{exc.args[0] if exc.args else '?'!r}"
+            ) from None
         if bundle_size > self.cache.capacity:
             self.unserviceable += 1
             return
@@ -201,15 +335,15 @@ class StorageResourceManager:
             return False
 
         to_stage = set(missing)
-        budget = self.cache.free - sum(self.sizes[f] for f in missing)
+        budget = self.cache.free - sum(self._size(f) for f in missing)
         for f in sorted(decision.prefetch):
             if f in self.cache or f in to_stage:
                 continue
-            size = self.sizes[f]
+            size = self._size(f)
             if size <= budget:  # drop prefetches that no longer fit
                 to_stage.add(f)
                 budget -= size
-        if self.cache.free < sum(self.sizes[f] for f in to_stage):
+        if self.cache.free < sum(self._size(f) for f in to_stage):
             raise SimulationError(
                 f"policy {self.policy.name!r} did not free enough space"
             )
@@ -231,35 +365,181 @@ class StorageResourceManager:
             self._stage_file(f)
         return True
 
+    # ------------------------------------------------------------------ #
+    # staging attempts
+
+    def _down_sites(self) -> set[str]:
+        """Names of replica sites currently inside a downtime window."""
+        if self.injector is None or self.replicas is None:
+            return set()
+        now = self.engine.now
+        return {
+            site.name
+            for site in self.replicas.sites()
+            if self.injector.is_down(site.name, now)
+        }
+
+    def _current(self, ctx: _JobContext, file_id: FileId, token: int) -> bool:
+        """Is ``token`` still the live staging attempt for ``file_id``?"""
+        return (
+            self._staging is ctx
+            and file_id in ctx.awaiting
+            and ctx.tokens.get(file_id) == token
+        )
+
     def _stage_file(self, file_id: FileId) -> None:
-        size = self.sizes[file_id]
+        ctx = self._staging
+        assert ctx is not None
+        size = self._size(file_id)
+        token = next(self._token_seq)
+        ctx.tokens[file_id] = token
+        started = self.engine.now
+
         if self.replicas is not None:
-            site = self.replicas.best_source(file_id, size)
-            mss, link = site.mss, site.link
+            down = self._down_sites()
+            if down:
+                locations = set(self.replicas.locations(file_id))
+                if locations and locations <= down:
+                    # every replica holder is down: back off and retry
+                    self._attempt_failed(ctx, file_id, token, started)
+                    return
+            site = self.replicas.best_source(file_id, size, exclude=down)
+            previous = ctx.sites.get(file_id)
+            if previous is not None and site.name != previous:
+                self.failovers += 1
+            ctx.sites[file_id] = site.name
+            mss, link, component = site.mss, site.link, site.name
         else:
             assert self.mss is not None
-            mss, link = self.mss, self.config.link
+            mss, link, component = self.mss, self.config.link, self.mss.name
+
+        if self.config.staging_timeout is not None:
+            self.engine.schedule(
+                self.config.staging_timeout,
+                lambda: self._attempt_timed_out(ctx, file_id, token, started),
+            )
 
         def _retrieved(fid: FileId) -> None:
             # File is off tape; now cross the WAN into the disk cache.
+            if not self._current(ctx, fid, token):
+                return  # attempt was timed out or the job was abandoned
+            base = link.transfer_time(self.sizes[fid])
+            if self.injector is not None:
+                fraction = self.injector.transfer_fault(component)
+                if fraction is not None:
+                    self.engine.schedule(
+                        base * fraction,
+                        lambda: self._attempt_failed(ctx, fid, token, started),
+                    )
+                    return
+                spike = self.injector.latency_spike(component)
+                if spike != 1.0:
+                    self.time_lost_to_faults += base * (spike - 1.0)
+                    base = link.transfer_time(self.sizes[fid], spike=spike)
             self.engine.schedule(
-                link.transfer_time(self.sizes[fid]),
-                lambda: self._file_arrived(fid),
+                base, lambda: self._file_arrived(ctx, fid, token)
             )
 
-        mss.retrieve(file_id, size, _retrieved)
+        def _retrieval_failed(fid: FileId) -> None:
+            self._attempt_failed(ctx, fid, token, started)
 
-    def _file_arrived(self, file_id: FileId) -> None:
-        ctx = self._staging
-        if ctx is None or file_id not in ctx.awaiting:
-            raise SimulationError(f"unexpected arrival of {file_id!r}")
-        size = self.sizes[file_id]
+        mss.retrieve(
+            file_id,
+            size,
+            _retrieved,
+            on_failure=_retrieval_failed if self.injector is not None else None,
+        )
+
+    def _attempt_timed_out(
+        self, ctx: _JobContext, file_id: FileId, token: int, started: float
+    ) -> None:
+        if not self._current(ctx, file_id, token):
+            return  # the attempt finished (or already failed) in time
+        self.timeouts += 1
+        self._log_fault(
+            StagingTimeoutError(file_id, self.config.staging_timeout or 0.0)
+        )
+        self._attempt_failed(ctx, file_id, token, started)
+
+    def _attempt_failed(
+        self, ctx: _JobContext, file_id: FileId, token: int, started: float
+    ) -> None:
+        """One staging attempt died: back off and retry, or give up."""
+        if not self._current(ctx, file_id, token):
+            return  # a different failure path won the race
+        self.time_lost_to_faults += self.engine.now - started
+
+        failures = ctx.attempts.get(file_id, 0) + 1
+        ctx.attempts[file_id] = failures
+        if failures > self.config.max_retries:
+            self._log_fault(RetryExhaustedError(file_id, failures))
+            self._job_failed(ctx)
+            return
+
+        self.retries += 1
+        delay = min(
+            self.config.backoff_cap,
+            self.config.retry_backoff * (2.0 ** (failures - 1)),
+        )
+        if self._jitter_rng is not None and self.config.backoff_jitter > 0:
+            delay += (
+                delay * self.config.backoff_jitter * float(self._jitter_rng.random())
+            )
+        self.time_lost_to_faults += delay
+        retry_token = next(self._token_seq)
+        ctx.tokens[file_id] = retry_token
+        self.engine.schedule(
+            delay, lambda: self._retry_stage(ctx, file_id, retry_token)
+        )
+
+    def _retry_stage(self, ctx: _JobContext, file_id: FileId, token: int) -> None:
+        if not self._current(ctx, file_id, token):
+            return  # the job was abandoned while we were backing off
+        self._stage_file(file_id)
+
+    def _job_failed(self, ctx: _JobContext) -> None:
+        """A file exhausted its retry budget: requeue once, then fail."""
+        self._staging = None
+        ctx.awaiting.clear()
+        ctx.tokens.clear()
+        self._active.remove(ctx)
+        for f in ctx.pinned:
+            self.cache.unpin(f)
+        if ctx.loaded:
+            # Files staged before the abort are resident; tell the policy
+            # so its bookkeeping covers them (they stay evictable).
+            self.policy.on_serviced(
+                FileBundle(sorted(ctx.loaded)), frozenset(ctx.loaded), False
+            )
+        request_id = ctx.request.request_id
+        if request_id not in self._requeued_ids:
+            self._requeued_ids.add(request_id)
+            self.requeues += 1
+            self._queue.append((ctx.request, ctx.arrived))
+        else:
+            self.failed_jobs += 1
+        self._maybe_start()
+
+    def _log_fault(self, exc: Exception) -> None:
+        if len(self.fault_log) < _FAULT_LOG_LIMIT:
+            self.fault_log.append(exc)
+
+    # ------------------------------------------------------------------ #
+
+    def _file_arrived(self, ctx: _JobContext, file_id: FileId, token: int) -> None:
+        if not self._current(ctx, file_id, token):
+            if self.injector is None and self.config.staging_timeout is None:
+                # without faults or timeouts every arrival must be live
+                raise SimulationError(f"unexpected arrival of {file_id!r}")
+            return  # stale completion of a timed-out attempt
+        size = self._size(file_id)
         self.cache.load(file_id, size)
         self.cache.pin(file_id)
         self.bytes_staged += size
         ctx.pinned.add(file_id)
         ctx.loaded.add(file_id)
         ctx.awaiting.discard(file_id)
+        ctx.tokens.pop(file_id, None)
         if not ctx.awaiting:
             self._staging = None
             self._start_processing(ctx)
@@ -279,6 +559,7 @@ class StorageResourceManager:
         self.response_times.push(self.engine.now - ctx.arrived)
         self.jobs_done += 1
         self.request_hits += int(ctx.hit)
+        self.bytes_requested += bundle.size_under(self.sizes)
         self.last_completion = self.engine.now
         self._maybe_start()
 
@@ -295,6 +576,11 @@ def run_timed_simulation(
     ``WorkloadSpec(arrival_rate=...)``); untimed traces are replayed
     back-to-back (all arrivals at t = 0), which measures saturated
     throughput.
+
+    With ``config.faults`` set the run degrades gracefully: staging
+    failures are retried, failed over, or — after the per-job requeue —
+    reported in ``SRMResult.failed_jobs``; the run itself never raises
+    because of an injected fault.
     """
     engine = EventEngine()
     srm = StorageResourceManager(
@@ -323,4 +609,12 @@ def run_timed_simulation(
         throughput=srm.jobs_done / makespan if makespan > 0 else 0.0,
         bytes_staged=srm.bytes_staged,
         request_hits=srm.request_hits,
+        bytes_requested=srm.bytes_requested,
+        deferred_starts=srm.deferred_starts,
+        retries=srm.retries,
+        failovers=srm.failovers,
+        timeouts=srm.timeouts,
+        requeues=srm.requeues,
+        failed_jobs=srm.failed_jobs,
+        time_lost_to_faults=srm.time_lost_to_faults,
     )

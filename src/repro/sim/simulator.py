@@ -22,7 +22,7 @@ from repro.cache.policy import ReplacementPolicy
 from repro.cache.registry import make_policy
 from repro.cache.state import CacheState
 from repro.core.request import Request
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, SimulationError, UnknownFileError
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot
 from repro.sim.queueing import AdmissionQueue, QueueDiscipline
 from repro.types import SizeBytes
@@ -145,20 +145,34 @@ def simulate_trace(
         queue = None
         requests = iter(trace)
 
+    def _size(file_id) -> SizeBytes:
+        try:
+            return sizes[file_id]
+        except KeyError:
+            raise UnknownFileError(
+                f"file {file_id!r} is not in the size catalog"
+            ) from None
+
     for request in requests:
         bundle = request.bundle
-        requested = bundle.size_under(sizes)
+        try:
+            requested = bundle.size_under(sizes)
+        except KeyError as exc:
+            raise UnknownFileError(
+                f"request {request.request_id} references unknown file "
+                f"{exc.args[0] if exc.args else '?'!r}"
+            ) from None
         if requested > cache.capacity:
             metrics.record_unserviceable()
             continue
         missing = cache.missing(bundle)
         decision = policy.on_request(bundle)
 
-        demand_bytes = sum(sizes[f] for f in missing)
+        demand_bytes = sum(_size(f) for f in missing)
         to_prefetch = {
             f for f in decision.prefetch if f not in cache and f not in missing
         }
-        prefetch_bytes = sum(sizes[f] for f in to_prefetch)
+        prefetch_bytes = sum(_size(f) for f in to_prefetch)
         needed = demand_bytes + prefetch_bytes
         if cache.free < needed:
             raise SimulationError(

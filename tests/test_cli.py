@@ -164,3 +164,59 @@ class TestNewCommands:
         )
         out = capsys.readouterr().out
         assert "paired across seeds" in out and "optbundle" in out
+
+
+class TestChaosCommand:
+    def test_chaos_table(self, capsys):
+        args = [
+            "chaos",
+            "--seed",
+            "1",
+            "--jobs",
+            "40",
+            "--files",
+            "60",
+            "--request-types",
+            "30",
+            "--cache-size",
+            "256MB",
+            "--fault-rate",
+            "0.0",
+            "--fault-rate",
+            "0.2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "optbundle" in out and "landlord" in out
+        assert "retries" in out and "failovers" in out and "failed" in out
+        # deterministic: a second identical invocation prints the same table
+        assert main(args) == 0
+        assert capsys.readouterr().out == out
+
+    def test_chaos_policy_and_retry_knobs(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--jobs",
+                    "30",
+                    "--files",
+                    "50",
+                    "--request-types",
+                    "25",
+                    "--cache-size",
+                    "256MB",
+                    "--policy",
+                    "lru",
+                    "--fault-rate",
+                    "0.3",
+                    "--max-retries",
+                    "1",
+                    "--staging-timeout",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lru" in out and "optbundle" not in out

@@ -34,3 +34,39 @@ def test_cache_capacity_error_custom_message():
 def test_catchable_as_repro_error():
     with pytest.raises(errors.ReproError):
         raise errors.TraceFormatError("bad")
+
+
+def test_fault_errors_derive_from_repro_error():
+    for exc in (
+        errors.FaultInjectionError,
+        errors.StagingTimeoutError,
+        errors.RetryExhaustedError,
+    ):
+        assert issubclass(exc, errors.ReproError)
+        assert exc.__name__ in errors.__all__
+
+
+def test_staging_timeout_error_fields():
+    exc = errors.StagingTimeoutError("f7", 30.0)
+    assert exc.file_id == "f7"
+    assert exc.timeout == 30.0
+    assert "f7" in str(exc) and "30" in str(exc)
+    assert str(errors.StagingTimeoutError("f7", 30.0, "custom")) == "custom"
+
+
+def test_retry_exhausted_error_fields():
+    exc = errors.RetryExhaustedError("f3", 4)
+    assert exc.file_id == "f3"
+    assert exc.attempts == 4
+    assert "f3" in str(exc) and "4" in str(exc)
+    assert str(errors.RetryExhaustedError("f3", 4, "custom")) == "custom"
+
+
+def test_fault_errors_catchable_together():
+    for exc in (
+        errors.FaultInjectionError("x"),
+        errors.StagingTimeoutError("f", 1.0),
+        errors.RetryExhaustedError("f", 2),
+    ):
+        with pytest.raises(errors.ReproError):
+            raise exc

@@ -1,0 +1,162 @@
+"""The fault-injection subsystem: spec validation and deterministic decisions."""
+
+import pytest
+
+from repro.errors import ConfigError, FaultInjectionError
+from repro.faults import NO_FAULTS, FaultInjector, FaultSpec
+
+
+class TestFaultSpec:
+    def test_defaults_are_disabled(self):
+        assert not FaultSpec().enabled
+        assert not NO_FAULTS.enabled
+
+    def test_any_rate_enables(self):
+        assert FaultSpec(drive_failure_rate=0.1).enabled
+        assert FaultSpec(transfer_failure_rate=0.1).enabled
+        assert FaultSpec(latency_spike_rate=0.1).enabled
+        assert FaultSpec(site_downtime_rate=0.1).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"seed": -1},
+            {"drive_failure_rate": -0.1},
+            {"drive_failure_rate": 1.5},
+            {"transfer_failure_rate": 2.0},
+            {"latency_spike_rate": -1.0},
+            {"latency_spike_factor": 0.5},
+            {"site_downtime_rate": 1.0},
+            {"site_downtime_rate": -0.2},
+            {"mean_downtime": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+    def test_uniform_sets_every_class(self):
+        spec = FaultSpec.uniform(0.2, seed=5)
+        assert spec.drive_failure_rate == 0.2
+        assert spec.transfer_failure_rate == 0.2
+        assert spec.latency_spike_rate == 0.2
+        assert spec.site_downtime_rate == 0.1
+        assert spec.seed == 5
+        with pytest.raises(ConfigError):
+            FaultSpec.uniform(1.5)
+
+    def test_mean_uptime_matches_down_fraction(self):
+        spec = FaultSpec(site_downtime_rate=0.25, mean_downtime=100.0)
+        # long-run down fraction = down / (down + up)
+        frac = spec.mean_downtime / (spec.mean_downtime + spec.mean_uptime)
+        assert frac == pytest.approx(0.25)
+        assert FaultSpec().mean_uptime == float("inf")
+
+    def test_with_seed(self):
+        spec = FaultSpec.uniform(0.1, seed=1).with_seed(9)
+        assert spec.seed == 9
+        assert spec.drive_failure_rate == 0.1
+
+
+class TestInjectorFastPaths:
+    def test_zero_rates_never_fault(self):
+        inj = FaultInjector(NO_FAULTS)
+        for _ in range(50):
+            assert inj.drive_fault("mss") is None
+            assert inj.transfer_fault("link") is None
+            assert inj.latency_spike("link") == 1.0
+            assert not inj.is_down("site", 1e9)
+        assert inj.counters() == {
+            "drive_faults": 0,
+            "transfer_faults": 0,
+            "latency_spikes": 0,
+        }
+        # fast paths must not have materialised any rng streams
+        assert not inj._streams
+
+    def test_rate_one_always_faults(self):
+        inj = FaultInjector(FaultSpec(drive_failure_rate=1.0))
+        fractions = [inj.drive_fault("mss") for _ in range(20)]
+        assert all(f is not None and 0.0 < f < 1.0 for f in fractions)
+        assert inj.drive_faults == 20
+
+
+class TestInjectorDeterminism:
+    def test_same_spec_same_schedule(self):
+        spec = FaultSpec.uniform(0.3, seed=42)
+        a, b = FaultInjector(spec), FaultInjector(spec)
+        seq_a = [
+            (a.drive_fault("x"), a.transfer_fault("x"), a.latency_spike("x"))
+            for _ in range(100)
+        ]
+        seq_b = [
+            (b.drive_fault("x"), b.transfer_fault("x"), b.latency_spike("x"))
+            for _ in range(100)
+        ]
+        assert seq_a == seq_b
+
+    def test_different_seed_different_schedule(self):
+        a = FaultInjector(FaultSpec.uniform(0.3, seed=1))
+        b = FaultInjector(FaultSpec.uniform(0.3, seed=2))
+        seq_a = [a.drive_fault("x") for _ in range(50)]
+        seq_b = [b.drive_fault("x") for _ in range(50)]
+        assert seq_a != seq_b
+
+    def test_streams_are_independent_per_component(self):
+        spec = FaultSpec.uniform(0.3, seed=7)
+        solo = FaultInjector(spec)
+        expected = [solo.transfer_fault("siteA") for _ in range(30)]
+
+        mixed = FaultInjector(spec)
+        for _ in range(17):  # drain unrelated streams first
+            mixed.drive_fault("siteA")
+            mixed.transfer_fault("siteB")
+            mixed.latency_spike("siteA")
+        got = [mixed.transfer_fault("siteA") for _ in range(30)]
+        assert got == expected
+
+
+class TestDowntimeWindows:
+    SPEC = FaultSpec(site_downtime_rate=0.3, mean_downtime=50.0, seed=3)
+
+    def test_windows_sorted_and_disjoint(self):
+        inj = FaultInjector(self.SPEC)
+        windows = inj.downtime_windows("s", 10_000.0)
+        assert windows
+        for (s0, e0), (s1, _e1) in zip(windows, windows[1:]):
+            assert s0 < e0 <= s1
+
+    def test_long_run_fraction_near_rate(self):
+        inj = FaultInjector(self.SPEC)
+        horizon = 200_000.0
+        down = sum(
+            min(end, horizon) - start
+            for start, end in inj.downtime_windows("s", horizon)
+            if start < horizon
+        )
+        assert 0.15 < down / horizon < 0.45
+
+    def test_lazy_extension_consistent_with_fresh_query(self):
+        lazy = FaultInjector(self.SPEC)
+        fresh = FaultInjector(self.SPEC)
+        probes = [10.0, 500.0, 499.0, 5_000.0, 4_000.0, 50_000.0]
+        for t in probes:
+            assert lazy.is_down("s", t) == FaultInjector(self.SPEC).is_down("s", t)
+        assert lazy.downtime_windows("s", 5_000.0) == fresh.downtime_windows(
+            "s", 5_000.0
+        )
+
+    def test_per_site_schedules_differ(self):
+        inj = FaultInjector(self.SPEC)
+        wa = inj.downtime_windows("a", 50_000.0)
+        wb = inj.downtime_windows("b", 50_000.0)
+        assert wa != wb
+
+    def test_negative_time_rejected(self):
+        inj = FaultInjector(self.SPEC)
+        with pytest.raises(FaultInjectionError):
+            inj.is_down("s", -1.0)
+
+    def test_zero_rate_site_is_never_down(self):
+        inj = FaultInjector(NO_FAULTS)
+        assert inj.downtime_windows("s", 1e6) == []

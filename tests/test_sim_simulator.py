@@ -174,3 +174,24 @@ class TestQueueing:
         )
         b = simulate_trace(t, SimulationConfig(cache_size=30, policy="lru"))
         assert a.metrics == b.metrics
+
+
+class TestUnknownFileSurfacing:
+    def test_policy_prefetch_of_unknown_file_raises_unknown_file_error(self):
+        from repro.cache.policy import PolicyDecision, ReplacementPolicy
+        from repro.errors import UnknownFileError
+
+        class GhostPrefetcher(ReplacementPolicy):
+            name = "ghost-prefetcher"
+
+            def on_request(self, bundle):
+                return PolicyDecision(prefetch=frozenset({"ghost"}))
+
+        t = trace_of([["f0"]], SIZES)
+        with pytest.raises(UnknownFileError) as exc:
+            simulate_trace(
+                t,
+                SimulationConfig(cache_size=100, policy="lru"),
+                policy=GhostPrefetcher(),
+            )
+        assert "ghost" in str(exc.value)
