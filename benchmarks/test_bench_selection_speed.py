@@ -42,3 +42,23 @@ def test_plain_vs_refined_latency(benchmark):
     inst = make_instance(300, 300)
     refined = benchmark(lambda: opt_cache_select(inst, refine=True))
     assert refined.total_value > 0
+
+
+@pytest.mark.benchmark(group="warm-planner")
+@pytest.mark.parametrize("n", [200, 800])
+def test_warm_planner_incremental_vs_rebuild(benchmark, n):
+    """Warm-history plan latency: persistent SelectionState vs rebuild.
+
+    The incremental path must win outright from 200 candidates on and by
+    at least 2x at 800 — the regime where the rebuild path's per-arrival
+    O(history) passes dominate the shared greedy cost.
+    """
+    from repro.experiments.bench import warm_planner_timings
+
+    result = benchmark.pedantic(
+        warm_planner_timings, args=(n,), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["incremental_s_per_plan"] < result["rebuild_s_per_plan"]
+    if n >= 800:
+        assert result["speedup"] >= 2.0

@@ -3,7 +3,9 @@
 Subcommands
 -----------
 * ``list``      — list experiments and policies.
-* ``run``       — run a paper experiment at a chosen scale.
+* ``run``       — run a paper experiment at a chosen scale (``--jobs N``
+  fans sweep work items out over worker processes, same results).
+* ``bench``     — record jobs/sec + selection latency to ``BENCH_<name>.json``.
 * ``simulate``  — one-off simulation of a synthetic workload.
 * ``generate``  — write a synthetic trace to a JSONL file.
 * ``replay``    — replay a JSONL trace under one or more policies.
@@ -42,6 +44,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--scale", default="quick", choices=("smoke", "quick", "paper")
     )
+    p_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep fan-out (default: serial); "
+        "results are identical to a serial run",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="record throughput/latency to BENCH_<name>.json"
+    )
+    p_bench.add_argument(
+        "--scale", default="smoke", choices=("smoke", "quick", "paper")
+    )
+    p_bench.add_argument("--name", default="core")
+    p_bench.add_argument(
+        "--policy",
+        action="append",
+        choices=sorted(POLICY_REGISTRY),
+        default=None,
+        help="policies to time (default: optbundle, landlord)",
+    )
+    p_bench.add_argument("--out-dir", default=".")
+    p_bench.add_argument("--seed", type=int, default=0)
 
     p_sim = sub.add_parser("simulate", help="simulate a synthetic workload")
     p_sim.add_argument("--cache-size", default="1GB")
@@ -203,7 +229,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             for name in sorted(POLICY_REGISTRY):
                 print(f"  {name}")
         elif args.command == "run":
-            print(run_experiment(args.experiment, args.scale).render())
+            print(
+                run_experiment(
+                    args.experiment, args.scale, jobs=args.jobs
+                ).render()
+            )
+        elif args.command == "bench":
+            from repro.experiments.bench import render_bench, run_bench
+
+            record = run_bench(
+                args.scale,
+                policies=tuple(args.policy or ("optbundle", "landlord")),
+                name=args.name,
+                out_dir=args.out_dir,
+                seed=args.seed,
+            )
+            print(render_bench(record))
+            print(f"wrote {record['path']}")
         elif args.command == "simulate":
             trace = generate_trace(_spec_from_args(args))
             policies = args.policy or ["optbundle", "landlord"]

@@ -10,6 +10,8 @@ Contents
   (Algorithm 1), plain and with the paper's "recompute" refinement.
 * :mod:`repro.core.kenum` — the partial-enumeration variant that improves the
   approximation factor to ``1 - e^{-1/d}``.
+* :mod:`repro.core.selection_state` — persistent incremental selection
+  state backing the planner's hot path.
 * :mod:`repro.core.optfilebundle` — the online ``OptFileBundle`` replacement
   planner (Algorithm 2).
 * :mod:`repro.core.exact` — exact FBC solvers for bound verification.
@@ -23,6 +25,7 @@ from repro.core.history import HistoryEntry, RequestHistory, TruncationMode
 from repro.core.optcacheselect import CacheSelection, FBCInstance, opt_cache_select
 from repro.core.kenum import opt_cache_select_enum
 from repro.core.optfilebundle import LoadPlan, OptFileBundlePlanner
+from repro.core.selection_state import SelectionState
 from repro.core.exact import solve_exact, solve_knapsack_dp
 from repro.core.bounds import greedy_guarantee, enum_guarantee, max_file_degree
 from repro.core.lpbound import certified_ratio, lp_upper_bound
@@ -41,6 +44,7 @@ __all__ = [
     "opt_cache_select_enum",
     "LoadPlan",
     "OptFileBundlePlanner",
+    "SelectionState",
     "solve_exact",
     "solve_knapsack_dp",
     "greedy_guarantee",

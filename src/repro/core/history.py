@@ -21,7 +21,15 @@ lets the candidate set be restricted three ways:
   resident (given the resident set the caller maintains through
   :meth:`RequestHistory.on_file_loaded` / :meth:`on_file_evicted`); an
   incremental missing-file counter makes this O(degree) per cache change
-  instead of O(history) per arrival.
+  instead of O(history) per arrival, and a ``_supported`` index keeps
+  :meth:`RequestHistory.candidates` at O(|supported|) per query instead of
+  an O(history) filter.
+
+Entries carry a stable integer id (``eid``, assigned in first-seen order)
+so downstream incremental structures — notably
+:class:`repro.core.selection_state.SelectionState` — can index candidates
+without rebuilding per arrival; such structures subscribe to new-entry
+events via :meth:`RequestHistory.add_listener`.
 """
 
 from __future__ import annotations
@@ -55,6 +63,7 @@ class HistoryEntry:
     """
 
     bundle: FileBundle
+    eid: int = -1
     value: float = 0.0
     count: int = 0
     first_seen: int = -1
@@ -99,12 +108,18 @@ class RequestHistory:
 
         self._entries: dict[FileBundle, HistoryEntry] = {}
         self._degree: dict[FileId, int] = {}
-        # file -> bundles (entry keys) that contain it; drives support updates
-        self._by_file: dict[FileId, list[FileBundle]] = {}
+        self._max_degree = 0  # degrees only grow, so the max is incremental
+        # file -> entries whose bundle contains it; drives support updates
+        self._by_file: dict[FileId, list[HistoryEntry]] = {}
+        # incremental-structure subscribers (see add_listener)
+        self._listeners: list = []
 
         # CACHE_SUPPORTED bookkeeping
         self._resident: set[FileId] = set()
         self._missing: dict[FileBundle, int] = {}
+        # eid -> entry for every entry with zero missing files; sorting the
+        # (integer) keys restores first-seen order without scanning history
+        self._supported: dict[int, HistoryEntry] = {}
 
         # WINDOW bookkeeping
         self._window_arrivals: deque[FileBundle] = deque()
@@ -124,13 +139,23 @@ class RequestHistory:
         self._tick += 1
         entry = self._entries.get(bundle)
         if entry is None:
-            entry = HistoryEntry(bundle=bundle, first_seen=self._tick)
+            entry = HistoryEntry(
+                bundle=bundle, eid=len(self._entries), first_seen=self._tick
+            )
             entry._last_decay_tick = self._tick
             self._entries[bundle] = entry
             for f in bundle:
-                self._degree[f] = self._degree.get(f, 0) + 1
-                self._by_file.setdefault(f, []).append(bundle)
-            self._missing[bundle] = sum(1 for f in bundle if f not in self._resident)
+                d = self._degree.get(f, 0) + 1
+                self._degree[f] = d
+                if d > self._max_degree:
+                    self._max_degree = d
+                self._by_file.setdefault(f, []).append(entry)
+            missing = sum(1 for f in bundle if f not in self._resident)
+            self._missing[bundle] = missing
+            if missing == 0:
+                self._supported[entry.eid] = entry
+            for listener in self._listeners:
+                listener.on_entry_added(entry)
         self._apply_decay(entry)
         entry.value += weight
         entry.count += 1
@@ -165,15 +190,22 @@ class RequestHistory:
         if file_id in self._resident:
             return
         self._resident.add(file_id)
-        for bundle in self._by_file.get(file_id, ()):
-            self._missing[bundle] -= 1
+        for entry in self._by_file.get(file_id, ()):
+            bundle = entry.bundle
+            left = self._missing[bundle] - 1
+            self._missing[bundle] = left
+            if left == 0:
+                self._supported[entry.eid] = entry
 
     def on_file_evicted(self, file_id: FileId) -> None:
         """Tell the history a file left the cache."""
         if file_id not in self._resident:
             return
         self._resident.discard(file_id)
-        for bundle in self._by_file.get(file_id, ()):
+        for entry in self._by_file.get(file_id, ()):
+            bundle = entry.bundle
+            if self._missing[bundle] == 0:
+                del self._supported[entry.eid]
             self._missing[bundle] += 1
 
     def sync_resident(self, resident: Iterable[FileId]) -> None:
@@ -183,6 +215,22 @@ class RequestHistory:
             self.on_file_evicted(f)
         for f in target - self._resident:
             self.on_file_loaded(f)
+
+    # ------------------------------------------------------------------ #
+    # incremental-structure subscription
+
+    def add_listener(self, listener) -> None:
+        """Subscribe an incremental structure to new-entry events.
+
+        ``listener.on_entry_added(entry)`` is invoked once per *new*
+        request type, after the entry, its degrees and its support state
+        are fully registered.  Entries already present at subscription
+        time are replayed immediately (in ``eid`` order), so a listener
+        may attach to a warm history.
+        """
+        for entry in self._entries.values():
+            listener.on_entry_added(entry)
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -223,8 +271,12 @@ class RequestHistory:
         return dict(self._degree)
 
     def max_degree(self) -> int:
-        """``d``: the largest file degree in the history (0 when empty)."""
-        return max(self._degree.values(), default=0)
+        """``d``: the largest file degree in the history (0 when empty).
+
+        Maintained incrementally in :meth:`record` (degrees only ever
+        grow), so this is O(1) rather than a scan over all files.
+        """
+        return self._max_degree
 
     def entries(self) -> list[HistoryEntry]:
         """All entries of the global history (no truncation)."""
@@ -235,19 +287,16 @@ class RequestHistory:
 
         For ``CACHE_SUPPORTED``, these are exactly the request types whose
         files are all currently resident according to the notifications the
-        caller delivered.
+        caller delivered, read from the incrementally maintained
+        ``_supported`` index in first-seen order — O(|supported|), never a
+        filter over the whole history.
         """
         if self._mode is TruncationMode.FULL:
-            out = self._entries.values()
+            result = list(self._entries.values())
         elif self._mode is TruncationMode.WINDOW:
-            out = (self._entries[b] for b in self._window_counts)
+            result = [self._entries[b] for b in self._window_counts]
         else:
-            out = (
-                entry
-                for bundle, entry in self._entries.items()
-                if self._missing[bundle] == 0
-            )
-        result = list(out)
+            result = [self._supported[eid] for eid in sorted(self._supported)]
         if self._decay < 1.0:
             for entry in result:
                 self._apply_decay(entry)

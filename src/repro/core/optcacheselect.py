@@ -104,6 +104,30 @@ class FBCInstance:
         return {f: max(local[f], int(self.degrees.get(f, 0))) for f in local}
 
     @staticmethod
+    def trusted(
+        bundles: tuple[FileBundle, ...],
+        values: tuple[float, ...],
+        sizes: Mapping[FileId, SizeBytes],
+        budget: SizeBytes,
+        degrees: Mapping[FileId, int] | None = None,
+    ) -> "FBCInstance":
+        """Construct without re-validating every (bundle, file) membership.
+
+        ``__post_init__`` walks every file of every bundle; on the planner's
+        hot path that validation re-proves invariants the
+        :class:`~repro.core.history.RequestHistory` already maintains
+        (positive values, catalog-covered positive sizes).  Use only with
+        inputs whose invariants are structurally guaranteed.
+        """
+        inst = object.__new__(FBCInstance)
+        object.__setattr__(inst, "bundles", bundles)
+        object.__setattr__(inst, "values", values)
+        object.__setattr__(inst, "sizes", sizes)
+        object.__setattr__(inst, "budget", budget)
+        object.__setattr__(inst, "degrees", degrees)
+        return inst
+
+    @staticmethod
     def from_history(
         history: RequestHistory,
         sizes: Mapping[FileId, SizeBytes],
@@ -112,10 +136,15 @@ class FBCInstance:
         """Build an instance from a history's current candidate set.
 
         Values are the (possibly decayed) occurrence counters, degrees the
-        global history degrees — exactly the paper's configuration.
+        global history degrees — exactly the paper's configuration.  The
+        history guarantees positive values and the caller's size oracle is
+        validated once at simulation setup, so construction goes through
+        :meth:`trusted` instead of re-checking every membership per plan.
         """
         entries = history.candidates()
-        return FBCInstance(
+        if budget < 0:
+            raise ConfigError(f"budget must be non-negative, got {budget}")
+        return FBCInstance.trusted(
             bundles=tuple(e.bundle for e in entries),
             values=tuple(e.value for e in entries),
             sizes=sizes,
@@ -242,14 +271,18 @@ def _select_plain(
     degree_blind: bool = False,
 ) -> CacheSelection:
     degrees = inst.effective_degrees(degree_blind=degree_blind)
-    order = sorted(
-        range(len(inst.bundles)),
-        key=lambda i: (
+    # Precompute the ranking key once per candidate; evaluating
+    # relative_value inside the sort key would cost one adjusted-size sum
+    # per key call rather than one per candidate.
+    keys = [
+        (
             -relative_value(inst.values[i], inst.bundles[i], inst.sizes, degrees),
             -inst.values[i],
             i,
-        ),
-    )
+        )
+        for i in range(len(inst.bundles))
+    ]
+    order = sorted(range(len(inst.bundles)), key=keys.__getitem__)
     remaining = inst.budget
     chosen: list[int] = []
     for i in order:

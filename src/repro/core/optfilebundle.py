@@ -45,6 +45,7 @@ from repro.core.optcacheselect import (
     FBCInstance,
     opt_cache_select,
 )
+from repro.core.selection_state import SelectionState
 from repro.errors import CacheCapacityError, ConfigError
 from repro.types import FileId, SizeBytes
 
@@ -108,6 +109,14 @@ class OptFileBundlePlanner:
     eager_evict:
         Evict everything outside ``F(Opt) ∪ F(r_new)`` as in Fig. 4(d)
         instead of only what is needed for space.
+    incremental:
+        Keep a persistent :class:`~repro.core.selection_state.SelectionState`
+        (inverted file→candidate index, cached adjusted sizes) updated as
+        the history evolves, instead of rebuilding the selection inputs
+        from scratch on every arrival (default True; produces bit-identical
+        plans).  Only effective with ``refine=True`` and
+        ``degree_blind=False`` — the ablation paths fall back to the
+        rebuild implementation.
     """
 
     def __init__(
@@ -122,6 +131,7 @@ class OptFileBundlePlanner:
         decay: float = 1.0,
         eager_evict: bool = False,
         degree_blind: bool = False,
+        incremental: bool = True,
     ):
         if capacity <= 0:
             raise ConfigError(f"cache capacity must be positive, got {capacity}")
@@ -132,6 +142,9 @@ class OptFileBundlePlanner:
         self._eager = eager_evict
         self._degree_blind = degree_blind
         self._history = RequestHistory(truncation, window=window, decay=decay)
+        self._state: SelectionState | None = None
+        if incremental and refine and not degree_blind:
+            self._state = SelectionState(self._history, sizes)
 
     # ------------------------------------------------------------------ #
 
@@ -142,6 +155,11 @@ class OptFileBundlePlanner:
     @property
     def history(self) -> RequestHistory:
         return self._history
+
+    @property
+    def incremental(self) -> bool:
+        """Whether plans are served from the persistent selection state."""
+        return self._state is not None
 
     def score(self, bundle: FileBundle) -> float:
         """Adjusted relative value ``v'`` of a bundle under current history.
@@ -180,14 +198,19 @@ class OptFileBundlePlanner:
         missing = bundle.missing_from(resident)
         budget = self._capacity - bundle_size
 
-        inst = FBCInstance.from_history(self._history, self._sizes, budget)
-        selection = opt_cache_select(
-            inst,
-            refine=self._refine,
-            safeguard=self._safeguard,
-            free_files=bundle.files,
-            degree_blind=self._degree_blind,
-        )
+        if self._state is not None:
+            selection = self._state.select(
+                budget, free=bundle.files, safeguard=self._safeguard
+            )
+        else:
+            inst = FBCInstance.from_history(self._history, self._sizes, budget)
+            selection = opt_cache_select(
+                inst,
+                refine=self._refine,
+                safeguard=self._safeguard,
+                free_files=bundle.files,
+                degree_blind=self._degree_blind,
+            )
 
         keep = frozenset(selection.files | bundle.files)
         prefetch = frozenset(selection.files - resident - bundle.files)

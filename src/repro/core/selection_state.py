@@ -1,0 +1,232 @@
+"""Persistent, incrementally-maintained selection state for ``OptFileBundle``.
+
+Section 1.2 of the paper requires the replacement decision to be evaluated
+"in an almost negligible time relative to the time it takes to cache an
+object".  The from-scratch path (:func:`repro.core.optcacheselect.opt_cache_select`
+over :meth:`FBCInstance.from_history`) rebuilds, on *every* arrival:
+
+* the candidate list (an O(history) filter under ``CACHE_SUPPORTED``),
+* the effective degree map and adjusted sizes ``s(f)/d(f)``,
+* the inverted file → candidate index (``containing``),
+* the per-candidate residual adjusted/real size arrays,
+
+all of which change only slowly between arrivals.  :class:`SelectionState`
+keeps those structures alive across plans and updates them incrementally:
+
+* it subscribes to :meth:`RequestHistory.add_listener`, so a *new* request
+  type appends to the inverted index and refreshes the adjusted sizes of
+  exactly the files whose degree changed (degrees only ever grow);
+* candidate membership (support/window changes, value bumps, decay) is read
+  per plan from the history's own incremental indexes — O(|candidates|),
+  never O(history).
+
+Bit-for-bit equivalence with the from-scratch path
+--------------------------------------------------
+The differential tests require :meth:`select` to return *byte-for-byte*
+the same :class:`CacheSelection` as ``opt_cache_select`` on a freshly built
+instance.  Floating-point addition is not associative, so the cached
+per-bundle adjusted sizes are **recomputed in bundle iteration order**
+whenever a member file's degree changes (never updated by a delta), and
+bundles overlapping the per-call ``free`` set get their residual sizes
+recomputed the same way the from-scratch loop accumulates them.  Every sum
+here therefore reproduces the exact float the rebuild path produces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import AbstractSet, Mapping
+
+from repro.core.history import HistoryEntry, RequestHistory
+from repro.core.optcacheselect import (
+    _EPS,
+    CacheSelection,
+    FBCInstance,
+    _empty_selection,
+    _finish,
+)
+from repro.types import FileId, SizeBytes
+
+__all__ = ["SelectionState"]
+
+
+class SelectionState:
+    """Incremental backing store for the refined ``OptCacheSelect`` greedy.
+
+    Parameters
+    ----------
+    history:
+        The planner's ``L(R)``; the state subscribes itself as a listener
+        and replays any entries already recorded.
+    sizes:
+        File-size oracle ``s(f)``; must cover every file the history will
+        ever record (the same oracle handed to the planner).
+
+    Notes
+    -----
+    The state only caches *degree-derived* quantities (adjusted sizes,
+    per-bundle base sizes, the inverted index).  Values, decay and
+    candidate membership are read from the history per call, so
+    fault-injected eviction notifications and window churn need no
+    dedicated synchronisation.
+    """
+
+    def __init__(self, history: RequestHistory, sizes: Mapping[FileId, SizeBytes]):
+        self._history = history
+        self._sizes = sizes
+        # s(f) / d(f) under the *global* degrees; refreshed on degree change
+        self._adj_size: dict[FileId, float] = {}
+        # file -> eids of entries containing it, in eid (first-seen) order
+        self._containing: dict[FileId, list[int]] = {}
+        # per-eid cached quantities, indexed by entry id
+        self._bundles: list = []
+        self._base_adj: list[float] = []
+        self._base_real: list[float] = []
+        history.add_listener(self)
+
+    # ------------------------------------------------------------------ #
+    # history events
+
+    def on_entry_added(self, entry: HistoryEntry) -> None:
+        """Register a new request type (degrees of its files just grew)."""
+        eid = entry.eid
+        if eid != len(self._bundles):  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"entry id {eid} out of sync with state size {len(self._bundles)}"
+            )
+        bundle = entry.bundle
+        sizes = self._sizes
+        degree = self._history.degree
+        stale: set[int] = set()
+        for f in bundle:
+            self._adj_size[f] = sizes[f] / max(1, degree(f))
+            holders = self._containing.setdefault(f, [])
+            stale.update(holders)
+            holders.append(eid)
+        self._bundles.append(bundle)
+        self._base_adj.append(0.0)
+        self._base_real.append(0.0)
+        self._refresh_base(eid)
+        for other in stale:
+            self._refresh_base(other)
+
+    def _refresh_base(self, eid: int) -> None:
+        """Recompute one bundle's base sizes in bundle iteration order.
+
+        Full recomputation (not a delta) so the cached float equals the
+        left-to-right sum the from-scratch path accumulates.
+        """
+        adj = self._adj_size
+        sizes = self._sizes
+        a = r = 0.0
+        for f in self._bundles[eid]:
+            a += adj[f]
+            r += sizes[f]
+        self._base_adj[eid] = a
+        self._base_real[eid] = r
+
+    # ------------------------------------------------------------------ #
+    # selection
+
+    def select(
+        self,
+        budget: SizeBytes,
+        *,
+        free: AbstractSet[FileId] = frozenset(),
+        safeguard: bool = True,
+    ) -> CacheSelection:
+        """Refined greedy over the current candidates, incremental edition.
+
+        Mirrors :func:`repro.core.optcacheselect._select_refined` step for
+        step, but draws ``containing``/``adj_size`` and the base residual
+        sizes from the persistent state instead of rebuilding them; only
+        candidates sharing a file with ``free`` (the arriving bundle) have
+        their residuals recomputed for this call.
+        """
+        history = self._history
+        entries = history.candidates()
+        if not entries or budget <= 0:
+            return _empty_selection()
+
+        sizes = self._sizes
+        adj = self._adj_size
+        n = len(entries)
+        ids = [e.eid for e in entries]
+        pos = {eid: k for k, eid in enumerate(ids)}
+        bundles = tuple(e.bundle for e in entries)
+        values = tuple(e.value for e in entries)
+        base_adj, base_real = self._base_adj, self._base_real
+        rem_adj = [base_adj[eid] for eid in ids]
+        rem_real = [base_real[eid] for eid in ids]
+        if free:
+            affected: set[int] = set()
+            for f in free:
+                for eid in self._containing.get(f, ()):
+                    k = pos.get(eid)
+                    if k is not None:
+                        affected.add(k)
+            for k in affected:
+                a = r = 0.0
+                for f in bundles[k]:
+                    if f in free:
+                        continue
+                    a += adj[f]
+                    r += sizes[f]
+                rem_adj[k] = a
+                rem_real[k] = r
+
+        inf = float("inf")
+        active = [True] * n
+        selected_files: set[FileId] = set(free)
+        remaining = float(budget)
+        chosen: list[int] = []
+
+        single: tuple[int, float] | None = None
+        if safeguard:
+            slack = budget + _EPS
+            for k in range(n):
+                if rem_real[k] <= slack and (single is None or values[k] > single[1]):
+                    single = (k, values[k])
+
+        score = [
+            values[k] / rem_adj[k] if rem_adj[k] > _EPS else inf for k in range(n)
+        ]
+        heap: list[tuple[float, int, float]] = [
+            (-score[k], k, score[k]) for k in range(n)
+        ]
+        heapq.heapify(heap)
+        containing = self._containing
+
+        def select_one(k: int) -> None:
+            nonlocal remaining
+            chosen.append(k)
+            active[k] = False
+            remaining -= rem_real[k]
+            for f in bundles[k]:
+                if f in selected_files:
+                    continue
+                selected_files.add(f)
+                af, sf = adj[f], sizes[f]
+                for eid in containing[f]:
+                    j = pos.get(eid)
+                    if j is None or not active[j]:
+                        continue
+                    rem_adj[j] -= af
+                    rem_real[j] -= sf
+                    new = values[j] / rem_adj[j] if rem_adj[j] > _EPS else inf
+                    score[j] = new
+                    heapq.heappush(heap, (-new, j, new))
+
+        while heap:
+            _neg, k, snap = heapq.heappop(heap)
+            if not active[k] or snap != score[k]:
+                continue  # stale or already decided
+            if rem_real[k] <= remaining + _EPS:
+                select_one(k)
+            else:
+                active[k] = False  # skipped: insufficient space (Step 2)
+
+        inst = FBCInstance.trusted(bundles, values, sizes, budget)
+        return _finish(
+            inst, chosen, safeguard=safeguard, free=frozenset(free), single=single
+        )

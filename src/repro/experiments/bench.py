@@ -1,0 +1,290 @@
+"""``repro bench`` — a recorded end-to-end performance trajectory.
+
+Two measurements, both written to ``BENCH_<name>.json`` at the repo root so
+successive commits leave a machine-readable speed trail next to the code:
+
+* **Throughput + selection latency per policy** — replay one seeded
+  synthetic workload (the paper's Section 5.1 construction) under each
+  policy, timing the whole run (jobs/sec) and every individual
+  ``on_request`` replacement decision (mean/p50/p95/max seconds).  This is
+  the paper's Section 1.2 claim — a decision "should be evaluated in an
+  almost negligible time relative to the time it takes to cache an
+  object" — made measurable.
+
+* **Warm-planner micro-benchmark** — the incremental
+  :class:`~repro.core.selection_state.SelectionState` plan path against
+  the rebuild-per-arrival path on a warm history of ``n`` candidate
+  request types, reporting seconds/plan for both and the speedup.
+
+The workloads are fully seeded, so numbers differ across machines but the
+*shape* (speedup ratios, relative policy costs) is reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.cache.registry import make_policy
+from repro.core.bundle import FileBundle
+from repro.core.history import TruncationMode
+from repro.core.optfilebundle import OptFileBundlePlanner
+from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.types import FileId, SizeBytes
+from repro.utils.tables import render_table
+from repro.workload.trace import Trace
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_POLICIES",
+    "bench_policy",
+    "planner_workload",
+    "warm_planner",
+    "warm_planner_timings",
+    "run_bench",
+    "render_bench",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+DEFAULT_POLICIES: tuple[str, ...] = ("optbundle", "landlord")
+
+# Workload knobs shared with the figure drivers (mid-range point).
+CACHE_IN_REQUESTS = 8
+MAX_FILE_FRACTION = 0.01
+POPULARITY = "zipf"
+
+# Warm-planner regime: a large low-overlap catalog (6 distinct files per
+# candidate type on average) is where the rebuild path's per-arrival
+# O(history) passes dominate; this mirrors a data grid's wide file
+# population rather than a hot shared core.
+PLANNER_FILES_PER_TYPE = 6
+PLANNER_BUNDLE_FILES = (3, 6)
+PLANNER_CANDIDATES = (200, 800)
+PLANNER_PLANS = 60
+
+
+# --------------------------------------------------------------------- #
+# per-policy throughput + selection latency
+
+
+def _instrument(policy) -> list[float]:
+    """Shadow ``policy.on_request`` with a timing wrapper; return samples."""
+    samples: list[float] = []
+    orig = policy.on_request
+
+    def timed(bundle):
+        t0 = time.perf_counter()
+        decision = orig(bundle)
+        samples.append(time.perf_counter() - t0)
+        return decision
+
+    policy.on_request = timed
+    return samples
+
+
+def _latency_stats(samples: Sequence[float]) -> dict:
+    ordered = sorted(samples)
+    n = len(ordered)
+    return {
+        "n": n,
+        "mean_s": sum(ordered) / n,
+        "p50_s": ordered[(n - 1) // 2],
+        "p95_s": ordered[int(0.95 * (n - 1))],
+        "max_s": ordered[-1],
+    }
+
+
+def bench_policy(
+    trace: Trace, policy: str, *, cache_size: SizeBytes = CACHE_SIZE
+) -> dict:
+    """Time one full simulation of ``trace`` under ``policy``.
+
+    Returns a JSON-ready record with jobs/sec for the whole run and the
+    distribution of individual ``on_request`` decision latencies.
+    """
+    instance = make_policy(policy, future=trace.bundles())
+    samples = _instrument(instance)
+    config = SimulationConfig(cache_size=cache_size, policy=policy)
+    t0 = time.perf_counter()
+    result = simulate_trace(trace, config, policy=instance)
+    elapsed = time.perf_counter() - t0
+    return {
+        "policy": policy,
+        "n_jobs": len(trace),
+        "elapsed_s": elapsed,
+        "jobs_per_sec": len(trace) / elapsed if elapsed > 0 else float("inf"),
+        "byte_miss_ratio": result.byte_miss_ratio,
+        "selection_latency": _latency_stats(samples),
+    }
+
+
+# --------------------------------------------------------------------- #
+# warm-planner micro-benchmark (incremental vs rebuild)
+
+
+def planner_workload(
+    n: int, *, seed: int = 0
+) -> tuple[dict[FileId, SizeBytes], list[FileBundle], int]:
+    """``n`` distinct candidate types over a low-overlap catalog.
+
+    Returns ``(sizes, types, capacity)`` where the capacity holds roughly
+    :data:`CACHE_IN_REQUESTS` average bundles.
+    """
+    rng = random.Random(seed)
+    files = [f"f{i:05d}" for i in range(n * PLANNER_FILES_PER_TYPE)]
+    sizes: dict[FileId, SizeBytes] = {
+        f: 1 + (i * 37) % 100 for i, f in enumerate(files)
+    }
+    types: list[FileBundle] = []
+    seen: set[frozenset[FileId]] = set()
+    while len(types) < n:
+        b = FileBundle(rng.sample(files, rng.randint(*PLANNER_BUNDLE_FILES)))
+        if b.files in seen:
+            continue
+        seen.add(b.files)
+        types.append(b)
+    avg_bundle = sum(b.size_under(sizes) for b in types) / n
+    capacity = int(avg_bundle * CACHE_IN_REQUESTS)
+    return sizes, types, capacity
+
+
+def warm_planner(
+    n: int, *, incremental: bool, seed: int = 0
+) -> tuple[OptFileBundlePlanner, list[FileBundle]]:
+    """An :class:`OptFileBundlePlanner` with a warm ``n``-candidate history."""
+    sizes, types, capacity = planner_workload(n, seed=seed)
+    planner = OptFileBundlePlanner(
+        capacity,
+        sizes,
+        truncation=TruncationMode.FULL,
+        incremental=incremental,
+    )
+    for b in types:
+        planner.history.record(b)
+    return planner, types
+
+
+def _time_plans(
+    planner: OptFileBundlePlanner, types: Sequence[FileBundle], plans: int
+) -> float:
+    """Seconds per plan over ``plans`` arrivals cycling through ``types``."""
+    resident: set[FileId] = set()
+    t0 = time.perf_counter()
+    for i in range(plans):
+        plan = planner.plan(types[i % len(types)], resident)
+        planner.commit(plan)
+        resident -= plan.evict
+        resident |= plan.load | plan.prefetch
+    return (time.perf_counter() - t0) / plans
+
+
+def warm_planner_timings(n: int, *, plans: int = PLANNER_PLANS) -> dict:
+    """Incremental vs rebuild plan latency at ``n`` warm candidates."""
+    results = {}
+    for label, incremental in (("incremental", True), ("rebuild", False)):
+        planner, types = warm_planner(n, incremental=incremental)
+        results[label] = _time_plans(planner, types, plans)
+    return {
+        "n_candidates": n,
+        "plans": plans,
+        "incremental_s_per_plan": results["incremental"],
+        "rebuild_s_per_plan": results["rebuild"],
+        "speedup": results["rebuild"] / results["incremental"],
+    }
+
+
+# --------------------------------------------------------------------- #
+# the bench driver
+
+
+def run_bench(
+    scale: str = "smoke",
+    *,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    name: str = "core",
+    out_dir: "str | Path" = ".",
+    seed: int = 0,
+    planner_candidates: Sequence[int] = PLANNER_CANDIDATES,
+) -> dict:
+    """Run the benchmark suite and write ``BENCH_<name>.json``.
+
+    Returns the written record (with the output path under ``"path"``).
+    """
+    sc = get_scale(scale)
+    trace = bundle_trace(
+        sc,
+        popularity=POPULARITY,
+        cache_in_requests=CACHE_IN_REQUESTS,
+        max_file_fraction=MAX_FILE_FRACTION,
+        seed=seed,
+    )
+    policy_records = [bench_policy(trace, p) for p in policies]
+    planner_records = [
+        warm_planner_timings(n) for n in planner_candidates
+    ]
+    record = {
+        "name": name,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scale": sc.name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "workload": {
+            "popularity": POPULARITY,
+            "cache_in_requests": CACHE_IN_REQUESTS,
+            "max_file_fraction": MAX_FILE_FRACTION,
+            "cache_size": CACHE_SIZE,
+            "n_jobs": len(trace),
+            "n_files": len(trace.catalog),
+            "seed": seed,
+        },
+        "policies": policy_records,
+        "planner": planner_records,
+    }
+    out_path = Path(out_dir) / f"BENCH_{name}.json"
+    out_path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    record["path"] = str(out_path)
+    return record
+
+
+def render_bench(record: dict) -> str:
+    """Human-readable summary of a :func:`run_bench` record."""
+    policy_rows = [
+        [
+            r["policy"],
+            r["jobs_per_sec"],
+            r["selection_latency"]["mean_s"] * 1e3,
+            r["selection_latency"]["p95_s"] * 1e3,
+            r["byte_miss_ratio"],
+        ]
+        for r in record["policies"]
+    ]
+    planner_rows = [
+        [
+            r["n_candidates"],
+            r["incremental_s_per_plan"] * 1e3,
+            r["rebuild_s_per_plan"] * 1e3,
+            r["speedup"],
+        ]
+        for r in record["planner"]
+    ]
+    parts = [
+        f"bench {record['name']!r} at scale {record['scale']} "
+        f"({record['workload']['n_jobs']} jobs)",
+        render_table(
+            ["policy", "jobs/sec", "sel mean [ms]", "sel p95 [ms]", "byte miss"],
+            policy_rows,
+        ),
+        "warm-planner: incremental vs rebuild",
+        render_table(
+            ["candidates", "incremental [ms]", "rebuild [ms]", "speedup"],
+            planner_rows,
+        ),
+    ]
+    return "\n".join(parts)

@@ -8,6 +8,8 @@ metric (byte miss ratio vs data volume per request).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.report import ExperimentOutput
 from repro.experiments.common import CACHE_SIZE, Scale, bundle_trace, get_scale
@@ -23,6 +25,21 @@ CACHE_POINTS: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
 DEFAULT_POLICIES = ("optbundle", "landlord")
 
 
+def _make_trace(scale, popularity, max_file_fraction, point, seed):
+    """Module-level (picklable) trace factory for parallel sweeps."""
+    return bundle_trace(
+        scale,
+        popularity=popularity,
+        cache_in_requests=point,
+        max_file_fraction=max_file_fraction,
+        seed=seed,
+    )
+
+
+def _make_config(point):
+    return SimulationConfig(cache_size=CACHE_SIZE, warmup=0)
+
+
 def byte_miss_sweep(
     scale: Scale,
     *,
@@ -30,29 +47,19 @@ def byte_miss_sweep(
     max_file_fraction: float,
     policies=DEFAULT_POLICIES,
     points: "tuple[int, ...] | None" = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """One panel: sweep cache-in-requests for one popularity distribution."""
     points = (points if points is not None else CACHE_POINTS)[: scale.points]
 
-    def make_trace(point, seed):
-        return bundle_trace(
-            scale,
-            popularity=popularity,
-            cache_in_requests=point,
-            max_file_fraction=max_file_fraction,
-            seed=seed,
-        )
-
-    def make_config(point):
-        return SimulationConfig(cache_size=CACHE_SIZE, warmup=0)
-
     return sweep(
         points,
         policies,
-        make_trace,
-        make_config,
+        partial(_make_trace, scale, popularity, max_file_fraction),
+        _make_config,
         seeds=scale.seeds,
         x_label="cache size [#requests]",
+        jobs=jobs,
     )
 
 
@@ -68,6 +75,7 @@ def sweep_experiment(
     volume_in_mb: bool = False,
     policies=DEFAULT_POLICIES,
     points: "tuple[int, ...] | None" = None,
+    jobs: int | None = None,
 ) -> ExperimentOutput:
     """Run both panels (uniform, Zipf) and package the output."""
     scale = get_scale(scale)
@@ -80,6 +88,7 @@ def sweep_experiment(
             max_file_fraction=max_file_fraction,
             policies=policies,
             points=points,
+            jobs=jobs,
         )
         rows = result.rows
         if volume_in_mb:

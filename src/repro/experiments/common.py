@@ -17,13 +17,24 @@ paper's own x-axis is "cache size in number of requests".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Iterable, TypeVar
 
 from repro.errors import ConfigError, WorkloadError
 from repro.types import GB, SizeBytes
 from repro.workload.generator import WorkloadSpec, generate_trace
 from repro.workload.trace import Trace
 
-__all__ = ["Scale", "SCALES", "get_scale", "CACHE_SIZE", "bundle_trace"]
+__all__ = [
+    "Scale",
+    "SCALES",
+    "get_scale",
+    "CACHE_SIZE",
+    "bundle_trace",
+    "parallel_map",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 CACHE_SIZE: SizeBytes = 1 * GB
 
@@ -57,6 +68,35 @@ def get_scale(scale: "str | Scale") -> Scale:
         raise ConfigError(
             f"unknown scale {scale!r}; known: {', '.join(SCALES)}"
         ) from None
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    jobs: int | None = None,
+) -> list[_R]:
+    """Map ``fn`` over ``items``, optionally across worker processes.
+
+    Results are returned in input order regardless of completion order
+    (``ProcessPoolExecutor.map`` merges ordered), so a parallel run is
+    byte-identical to the serial one as long as ``fn`` is deterministic —
+    which every experiment work item is, since traces are seeded.
+
+    ``jobs`` of ``None``/``0``/``1`` runs serially in-process (no executor,
+    no pickling requirement); higher values fan out over up to ``jobs``
+    processes, which requires ``fn`` to be picklable (a module-level
+    function or a :func:`functools.partial` of one).
+    """
+    work = list(items)
+    if jobs is not None and jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs in (None, 0, 1) or len(work) <= 1:
+        return [fn(item) for item in work]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work))
 
 
 def bundle_trace(

@@ -15,9 +15,11 @@ Expected shape: byte miss ratios within a small band across variants.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.report import ExperimentOutput
 from repro.core.history import TruncationMode
-from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale
+from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale, parallel_map
 from repro.sim.simulator import SimulationConfig, simulate_trace
 from repro.utils.stats import mean_confidence_interval
 from repro.utils.tables import render_table
@@ -44,38 +46,42 @@ def HISTORY_VARIANTS(n_jobs: int) -> dict[str, dict]:
     }
 
 
-def run_fig5(scale: str = "quick") -> ExperimentOutput:
+def _seed_unit(scale, popularity, variants: dict[str, dict], seed: int) -> dict[str, float]:
+    """One work item: every history variant over one seeded trace."""
+    trace = bundle_trace(
+        scale,
+        popularity=popularity,
+        cache_in_requests=CACHE_IN_REQUESTS,
+        max_file_fraction=MAX_FILE_FRACTION,
+        seed=seed,
+    )
+    return {
+        name: simulate_trace(
+            trace,
+            SimulationConfig(
+                cache_size=CACHE_SIZE, policy="optbundle", policy_kwargs=kwargs
+            ),
+        ).byte_miss_ratio
+        for name, kwargs in variants.items()
+    }
+
+
+def run_fig5(scale: str = "quick", *, jobs: int | None = None) -> ExperimentOutput:
     scale = get_scale(scale)
     variants = HISTORY_VARIANTS(scale.n_jobs)
     sections: list[tuple[str, str]] = []
     data: dict = {}
     for popularity in ("uniform", "zipf"):
-        traces = {
-            seed: bundle_trace(
-                scale,
-                popularity=popularity,
-                cache_in_requests=CACHE_IN_REQUESTS,
-                max_file_fraction=MAX_FILE_FRACTION,
-                seed=seed,
-            )
-            for seed in scale.seeds
-        }
+        per_seed = parallel_map(
+            partial(_seed_unit, scale, popularity, variants),
+            scale.seeds,
+            jobs=jobs,
+        )
         rows = []
         panel_data = []
-        for name, kwargs in variants.items():
-            results = [
-                simulate_trace(
-                    traces[seed],
-                    SimulationConfig(
-                        cache_size=CACHE_SIZE,
-                        policy="optbundle",
-                        policy_kwargs=kwargs,
-                    ),
-                )
-                for seed in scale.seeds
-            ]
+        for name in variants:
             mean, ci = mean_confidence_interval(
-                [r.byte_miss_ratio for r in results]
+                [ratios[name] for ratios in per_seed]
             )
             rows.append([name, mean, ci])
             panel_data.append(

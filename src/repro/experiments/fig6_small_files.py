@@ -16,7 +16,7 @@ __all__ = ["run_fig6", "MAX_FILE_FRACTION"]
 MAX_FILE_FRACTION = 0.01
 
 
-def run_fig6(scale: str = "quick") -> ExperimentOutput:
+def run_fig6(scale: str = "quick", *, jobs: int | None = None) -> ExperimentOutput:
     return sweep_experiment(
         "fig6",
         "Byte miss-rate for small files (<= 1% of cache)",
@@ -24,4 +24,5 @@ def run_fig6(scale: str = "quick") -> ExperimentOutput:
         "x = cache size in average requests, y = byte miss ratio.",
         scale,
         max_file_fraction=MAX_FILE_FRACTION,
+        jobs=jobs,
     )

@@ -15,7 +15,7 @@ __all__ = ["run_fig7", "MAX_FILE_FRACTION"]
 MAX_FILE_FRACTION = 0.10
 
 
-def run_fig7(scale: str = "quick") -> ExperimentOutput:
+def run_fig7(scale: str = "quick", *, jobs: int | None = None) -> ExperimentOutput:
     return sweep_experiment(
         "fig7",
         "Byte miss-rate for large files (<= 10% of cache)",
@@ -26,4 +26,5 @@ def run_fig7(scale: str = "quick") -> ExperimentOutput:
         # With files up to 10% of the cache, bundles of > cache/12 bytes
         # stop being bundles at all — the x-range is inherently shorter.
         points=(2, 3, 4, 6, 8, 12),
+        jobs=jobs,
     )

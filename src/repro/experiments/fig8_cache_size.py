@@ -13,7 +13,7 @@ from repro.experiments.byte_miss_sweeps import sweep_experiment
 __all__ = ["run_fig8"]
 
 
-def run_fig8(scale: str = "quick") -> ExperimentOutput:
+def run_fig8(scale: str = "quick", *, jobs: int | None = None) -> ExperimentOutput:
     return sweep_experiment(
         "fig8",
         "Effect of varying the cache size (volume per request)",
@@ -24,4 +24,5 @@ def run_fig8(scale: str = "quick") -> ExperimentOutput:
         metric="mean_volume_per_request",
         metric_label="MB moved / request",
         volume_in_mb=True,
+        jobs=jobs,
     )

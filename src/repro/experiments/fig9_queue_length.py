@@ -9,6 +9,8 @@ large q (q = 100).
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.report import ExperimentOutput
 from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale
@@ -32,36 +34,41 @@ def _lengths_for(points: int) -> tuple[int, ...]:
     return QUEUE_LENGTHS
 
 
-def run_fig9(scale: str = "quick") -> ExperimentOutput:
+def _make_trace(scale, popularity, point, seed):
+    """Module-level (picklable) trace factory; queue length is not a
+    workload parameter, so the trace ignores ``point``."""
+    return bundle_trace(
+        scale,
+        popularity=popularity,
+        cache_in_requests=CACHE_IN_REQUESTS,
+        max_file_fraction=MAX_FILE_FRACTION,
+        seed=seed,
+    )
+
+
+def _make_config(point):
+    return SimulationConfig(
+        cache_size=CACHE_SIZE,
+        queue_length=int(point),
+        discipline=QueueDiscipline.VALUE,
+        queue_mode="drain",
+    )
+
+
+def run_fig9(scale: str = "quick", *, jobs: int | None = None) -> ExperimentOutput:
     scale = get_scale(scale)
     lengths = _lengths_for(scale.points)
     sections: list[tuple[str, str]] = []
     data: dict = {}
     for panel, popularity in (("a", "uniform"), ("b", "zipf")):
-        def make_trace(point, seed, _pop=popularity):
-            return bundle_trace(
-                scale,
-                popularity=_pop,
-                cache_in_requests=CACHE_IN_REQUESTS,
-                max_file_fraction=MAX_FILE_FRACTION,
-                seed=seed,
-            )
-
-        def make_config(point):
-            return SimulationConfig(
-                cache_size=CACHE_SIZE,
-                queue_length=int(point),
-                discipline=QueueDiscipline.VALUE,
-                queue_mode="drain",
-            )
-
         result = sweep(
             lengths,
             ("optbundle",),
-            make_trace,
-            make_config,
+            partial(_make_trace, scale, popularity),
+            _make_config,
             seeds=scale.seeds,
             x_label="queue length",
+            jobs=jobs,
         )
         sections.append(
             (

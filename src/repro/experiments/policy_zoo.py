@@ -8,8 +8,10 @@ landscape is visible.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.analysis.report import ExperimentOutput
-from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale
+from repro.experiments.common import CACHE_SIZE, bundle_trace, get_scale, parallel_map
 from repro.sim.simulator import SimulationConfig, simulate_trace
 from repro.utils.stats import mean_confidence_interval
 from repro.utils.tables import render_table
@@ -33,36 +35,40 @@ CACHE_IN_REQUESTS = 8
 MAX_FILE_FRACTION = 0.01
 
 
-def run_zoo(scale: str = "quick") -> ExperimentOutput:
+def _seed_unit(scale, popularity, seed: int) -> dict[str, tuple[float, float]]:
+    """One work item: every zoo policy over one seeded trace."""
+    trace = bundle_trace(
+        scale,
+        popularity=popularity,
+        cache_in_requests=CACHE_IN_REQUESTS,
+        max_file_fraction=MAX_FILE_FRACTION,
+        seed=seed,
+    )
+    out: dict[str, tuple[float, float]] = {}
+    for policy in ZOO_POLICIES:
+        r = simulate_trace(
+            trace, SimulationConfig(cache_size=CACHE_SIZE, policy=policy)
+        )
+        out[policy] = (r.byte_miss_ratio, r.request_hit_ratio)
+    return out
+
+
+def run_zoo(scale: str = "quick", *, jobs: int | None = None) -> ExperimentOutput:
     scale = get_scale(scale)
     sections: list[tuple[str, str]] = []
     data: dict = {}
     for popularity in ("uniform", "zipf"):
-        traces = {
-            seed: bundle_trace(
-                scale,
-                popularity=popularity,
-                cache_in_requests=CACHE_IN_REQUESTS,
-                max_file_fraction=MAX_FILE_FRACTION,
-                seed=seed,
-            )
-            for seed in scale.seeds
-        }
+        per_seed = parallel_map(
+            partial(_seed_unit, scale, popularity), scale.seeds, jobs=jobs
+        )
         rows = []
         panel: dict = {}
         for policy in ZOO_POLICIES:
-            results = [
-                simulate_trace(
-                    traces[seed],
-                    SimulationConfig(cache_size=CACHE_SIZE, policy=policy),
-                )
-                for seed in scale.seeds
-            ]
             bmr, bmr_ci = mean_confidence_interval(
-                [r.byte_miss_ratio for r in results]
+                [res[policy][0] for res in per_seed]
             )
             hit, hit_ci = mean_confidence_interval(
-                [r.request_hit_ratio for r in results]
+                [res[policy][1] for res in per_seed]
             )
             rows.append([policy, bmr, bmr_ci, hit, hit_ci])
             panel[policy] = {"byte_miss_ratio": bmr, "request_hit_ratio": hit}

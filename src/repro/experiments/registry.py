@@ -41,12 +41,26 @@ EXPERIMENTS: dict[str, Callable[[str], ExperimentOutput]] = {
 }
 
 
-def run_experiment(exp_id: str, scale: str = "quick") -> ExperimentOutput:
-    """Run one experiment by id at the given scale."""
+def run_experiment(
+    exp_id: str, scale: str = "quick", *, jobs: int | None = None
+) -> ExperimentOutput:
+    """Run one experiment by id at the given scale.
+
+    ``jobs`` fans sweep points × seeds out over worker processes for the
+    drivers that support it (the figure sweeps and the zoo); drivers
+    without a ``jobs`` parameter simply run serially.
+    """
     try:
         driver = EXPERIMENTS[exp_id]
     except KeyError:
         raise ConfigError(
             f"unknown experiment {exp_id!r}; known: {', '.join(EXPERIMENTS)}"
         ) from None
+    if jobs is not None and jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    if jobs is not None and jobs > 1:
+        import inspect
+
+        if "jobs" in inspect.signature(driver).parameters:
+            return driver(scale, jobs=jobs)
     return driver(scale)

@@ -77,6 +77,43 @@ def run_replications(
     return [simulate_trace(make_trace(seed), config) for seed in seeds]
 
 
+def _sweep_unit(
+    make_trace: TraceFactory,
+    make_config: ConfigFactory,
+    policies: Sequence[str],
+    extra: dict[str, dict[str, Any]],
+    metrics: Sequence[str],
+    item: tuple[Any, int],
+) -> list[dict[str, float]]:
+    """Run one (point, seed) work item: all policies over one trace.
+
+    Module-level (not a closure) so :func:`repro.experiments.common.parallel_map`
+    can ship it to worker processes as a :func:`functools.partial`; returns
+    only plain metric floats so nothing heavyweight crosses the process
+    boundary.
+    """
+    point, seed = item
+    base = make_config(point)
+    trace = make_trace(point, seed)
+    out: list[dict[str, float]] = []
+    for policy in policies:
+        kwargs = dict(base.policy_kwargs)
+        kwargs.update(extra.get(policy, {}))
+        config = SimulationConfig(
+            cache_size=base.cache_size,
+            policy=policy,
+            policy_kwargs=kwargs,
+            queue_length=base.queue_length,
+            discipline=base.discipline,
+            queue_mode=base.queue_mode,
+            warmup=base.warmup,
+            check_invariants=base.check_invariants,
+        )
+        result = simulate_trace(trace, config)
+        out.append({m: getattr(result.metrics, m) for m in metrics})
+    return out
+
+
 def sweep(
     points: Sequence[Any],
     policies: Sequence[str],
@@ -87,37 +124,41 @@ def sweep(
     x_label: str = "x",
     policy_kwargs: dict[str, dict[str, Any]] | None = None,
     metrics: Sequence[str] = ("byte_miss_ratio", "request_hit_ratio", "mean_volume_per_request"),
+    jobs: int | None = None,
 ) -> SweepResult:
     """Run ``points × policies × seeds`` simulations and aggregate.
 
     ``make_trace(point, seed)`` builds the workload; ``make_config(point)``
     the base configuration, whose policy/name is overridden per policy.
     Per-policy extra constructor arguments go in ``policy_kwargs``.
+
+    ``jobs`` fans the (point, seed) work items out over that many worker
+    processes; the ordered merge and fixed aggregation order guarantee the
+    result is identical to a serial run (``jobs=None``).  Parallel runs
+    require ``make_trace``/``make_config`` to be picklable (module-level
+    functions or partials of them, not closures).
     """
+    from functools import partial
+
+    from repro.experiments.common import parallel_map
+
     if not points or not policies:
         raise ConfigError("points and policies must be non-empty")
-    rows: list[dict[str, Any]] = []
     extra = policy_kwargs or {}
-    for point in points:
-        base = make_config(point)
-        traces = {seed: make_trace(point, seed) for seed in seeds}
-        for policy in policies:
-            kwargs = dict(base.policy_kwargs)
-            kwargs.update(extra.get(policy, {}))
-            config = SimulationConfig(
-                cache_size=base.cache_size,
-                policy=policy,
-                policy_kwargs=kwargs,
-                queue_length=base.queue_length,
-                discipline=base.discipline,
-                queue_mode=base.queue_mode,
-                warmup=base.warmup,
-                check_invariants=base.check_invariants,
-            )
-            results = [simulate_trace(traces[seed], config) for seed in seeds]
-            row: dict[str, Any] = {"x": point, "policy": policy, "seeds": len(seeds)}
+    items = [(point, seed) for point in points for seed in seeds]
+    unit = partial(
+        _sweep_unit, make_trace, make_config, tuple(policies), extra, tuple(metrics)
+    )
+    outputs = parallel_map(unit, items, jobs=jobs)
+
+    rows: list[dict[str, Any]] = []
+    n_seeds = len(seeds)
+    for pi, point in enumerate(points):
+        per_seed = outputs[pi * n_seeds : (pi + 1) * n_seeds]
+        for pj, policy in enumerate(policies):
+            row: dict[str, Any] = {"x": point, "policy": policy, "seeds": n_seeds}
             for metric in metrics:
-                values = [getattr(r.metrics, metric) for r in results]
+                values = [per_seed[si][pj][metric] for si in range(n_seeds)]
                 mean, ci = mean_confidence_interval(values)
                 row[metric] = mean
                 row[f"{metric}_ci"] = ci

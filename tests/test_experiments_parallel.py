@@ -1,0 +1,87 @@
+"""Parallel sweep fan-out: identical results, deterministic ordering.
+
+``parallel_map`` promises that a ``--jobs N`` run is byte-identical to a
+serial one; these tests pin that down for the primitive itself and
+end-to-end for two figure drivers.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import parallel_map
+from repro.experiments.fig5_history import run_fig5
+from repro.experiments.fig6_small_files import run_fig6
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _square(x):  # module-level: picklable for worker processes
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_modes(self):
+        items = list(range(10))
+        expected = [x * x for x in items]
+        for jobs in (None, 0, 1):
+            assert parallel_map(_square, items, jobs=jobs) == expected
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, jobs=3) == parallel_map(
+            _square, items
+        )
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            parallel_map(_square, [1, 2], jobs=-1)
+
+    def test_single_item_stays_in_process(self):
+        assert parallel_map(_square, [4], jobs=8) == [16]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+class TestRegistryJobs:
+    def test_jobs_forwarded_to_supporting_driver(self, monkeypatch):
+        calls = {}
+
+        def fake(scale, *, jobs=None):
+            calls["jobs"] = jobs
+            return "out"
+
+        monkeypatch.setitem(EXPERIMENTS, "fig6", fake)
+        assert run_experiment("fig6", "smoke", jobs=3) == "out"
+        assert calls["jobs"] == 3
+
+    def test_jobs_dropped_for_serial_only_driver(self, monkeypatch):
+        def fake(scale):
+            return "serial"
+
+        monkeypatch.setitem(EXPERIMENTS, "tables", fake)
+        assert run_experiment("tables", "smoke", jobs=3) == "serial"
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment("fig6", "smoke", jobs=-2)
+
+
+@pytest.mark.slow
+class TestDriversIdenticalUnderJobs:
+    """--jobs N must reproduce the serial outputs exactly (two drivers)."""
+
+    def test_fig6_parallel_equals_serial(self):
+        serial = run_fig6("smoke")
+        fanned = run_fig6("smoke", jobs=2)
+        assert fanned.data == serial.data
+        assert fanned.sections == serial.sections
+
+    def test_fig5_parallel_equals_serial(self):
+        serial = run_fig5("smoke")
+        fanned = run_fig5("smoke", jobs=2)
+        assert fanned.data == serial.data
+        assert fanned.sections == serial.sections
