@@ -106,6 +106,16 @@ class LandlordPolicy(PerFilePolicy):
         self._stored.pop(file_id, None)
         self._version.pop(file_id, None)
 
+    def _evict_detail(self, file_id: FileId) -> dict | None:
+        # The victim's effective credit and the global stamp of its last
+        # credit refresh (lower = refreshed longer ago) — under the
+        # paper's cost = size model the minimum stamp IS the LRU victim,
+        # which is what a trace reader needs to explain a Landlord choice.
+        return {
+            "credit": self.credit(file_id),
+            "last_refresh": self._version.get(file_id, -1),
+        }
+
     def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
         # Step 4: loaded files get full credit; re-referenced files are
         # refreshed to full credit as well (Landlord permits any value up to

@@ -17,6 +17,7 @@ from repro.core.bundle import FileBundle
 from repro.core.history import RequestHistory, TruncationMode
 from repro.core.optfilebundle import LoadPlan, OptFileBundlePlanner
 from repro.errors import PolicyError
+from repro.telemetry import FileEvicted, PlanComputed
 from repro.types import FileId, SizeBytes
 
 __all__ = ["OptFileBundlePolicy"]
@@ -83,6 +84,29 @@ class OptFileBundlePolicy(ReplacementPolicy):
             set(self.cache.residents()),
             pinned=self.cache.pinned_files(),
         )
+        rec = self._recorder
+        if rec.active:
+            degree = self.planner.history.degree
+            for f in sorted(plan.evict):
+                # degree is read pre-commit: the candidate support that
+                # justified dropping f, before this arrival re-records it
+                rec.emit(
+                    FileEvicted(
+                        file=str(f),
+                        bytes=self.sizes[f],
+                        policy=self.name,
+                        detail={"degree": degree(f)},
+                    )
+                )
+            rec.emit(
+                PlanComputed(
+                    policy=self.name,
+                    loads=len(plan.load),
+                    prefetches=len(plan.prefetch),
+                    evictions=len(plan.evict),
+                    hit=plan.request_hit,
+                )
+            )
         for f in plan.evict:
             self.cache.evict(f)
         # Commit (Algorithm 2 Step 4) immediately: the decision was taken

@@ -29,6 +29,8 @@ from typing import Mapping
 from repro.cache.state import CacheState
 from repro.core.bundle import FileBundle
 from repro.errors import PolicyError
+from repro.telemetry import FileEvicted, current_recorder
+from repro.telemetry.recorder import NULL_RECORDER, TraceRecorder
 from repro.types import FileId, SizeBytes
 
 __all__ = ["PolicyDecision", "ReplacementPolicy", "PerFilePolicy"]
@@ -56,15 +58,22 @@ class ReplacementPolicy(abc.ABC):
     def __init__(self) -> None:
         self._cache: CacheState | None = None
         self._sizes: Mapping[FileId, SizeBytes] | None = None
+        self._recorder: TraceRecorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ #
 
     def bind(self, cache: CacheState, sizes: Mapping[FileId, SizeBytes]) -> None:
-        """Attach the policy to a cache and a file-size oracle (once)."""
+        """Attach the policy to a cache and a file-size oracle (once).
+
+        The ambient telemetry recorder is captured here (binding happens
+        inside the simulator's recorder context), so per-decision events
+        cost one attribute check when telemetry is off.
+        """
         if self._cache is not None:
             raise PolicyError(f"policy {self.name!r} is already bound")
         self._cache = cache
         self._sizes = sizes
+        self._recorder = current_recorder()
 
     @property
     def cache(self) -> CacheState:
@@ -97,10 +106,16 @@ class ReplacementPolicy(abc.ABC):
         """
         return None
 
+    @property
+    def recorder(self) -> TraceRecorder:
+        """The telemetry recorder captured at :meth:`bind` time."""
+        return self._recorder
+
     def reset(self) -> None:
         """Detach from the cache so the policy object can be re-bound."""
         self._cache = None
         self._sizes = None
+        self._recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ #
     # shared helpers
@@ -121,6 +136,7 @@ class PerFilePolicy(ReplacementPolicy):
 
     def on_request(self, bundle: FileBundle) -> PolicyDecision:
         cache = self.cache
+        rec = self._recorder
         needed = self._needed_bytes(bundle)
         evicted: set[FileId] = set()
         pinned = cache.pinned_files()
@@ -135,6 +151,16 @@ class PerFilePolicy(ReplacementPolicy):
             if victim in bundle:
                 raise PolicyError(
                     f"{self.name}: attempted to evict requested file {victim!r}"
+                )
+            if rec.active:
+                # detail must be read before the bookkeeping hook drops it
+                rec.emit(
+                    FileEvicted(
+                        file=str(victim),
+                        bytes=self.sizes[victim],
+                        policy=self.name,
+                        detail=self._evict_detail(victim),
+                    )
                 )
             cache.evict(victim)
             evicted.add(victim)
@@ -158,3 +184,12 @@ class PerFilePolicy(ReplacementPolicy):
 
     def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
         """Bookkeeping hook: a requested file was accessed (hit or load)."""
+
+    def _evict_detail(self, file_id: FileId) -> dict | None:
+        """Telemetry hook: the policy's rationale for evicting ``file_id``.
+
+        Called just before the eviction (while per-file state is still
+        present) and only when tracing is on.  Values must be
+        deterministic functions of the simulation (no host state).
+        """
+        return None

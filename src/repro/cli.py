@@ -4,7 +4,9 @@ Subcommands
 -----------
 * ``list``      — list experiments and policies.
 * ``run``       — run a paper experiment at a chosen scale (``--jobs N``
-  fans sweep work items out over worker processes, same results).
+  fans sweep work items out over worker processes, same results;
+  ``--telemetry jsonl:<path>`` records an event trace alongside).
+* ``trace``     — run an experiment with a JSONL event trace + span profile.
 * ``bench``     — record jobs/sec + selection latency to ``BENCH_<name>.json``.
 * ``simulate``  — one-off simulation of a synthetic workload.
 * ``generate``  — write a synthetic trace to a JSONL file.
@@ -50,6 +52,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for sweep fan-out (default: serial); "
         "results are identical to a serial run",
+    )
+    p_run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="SPEC",
+        help="event-trace sink: 'null', 'jsonl:<path>' or 'ring[:capacity]' "
+        "(default: no tracing)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="run an experiment with a JSONL event trace"
+    )
+    p_trace.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_trace.add_argument(
+        "--scale", default="smoke", choices=("smoke", "quick", "paper")
+    )
+    p_trace.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep fan-out; the trace is identical "
+        "to a serial run",
+    )
+    p_trace.add_argument(
+        "--out",
+        default=None,
+        help="trace path (default: TRACE_<experiment>.jsonl)",
+    )
+    p_trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every trace line against the event schema after the run",
     )
 
     p_bench = sub.add_parser(
@@ -229,11 +263,70 @@ def main(argv: Sequence[str] | None = None) -> int:
             for name in sorted(POLICY_REGISTRY):
                 print(f"  {name}")
         elif args.command == "run":
-            print(
-                run_experiment(
-                    args.experiment, args.scale, jobs=args.jobs
-                ).render()
+            if args.telemetry:
+                from repro.telemetry import recorder_from_spec, use_recorder
+
+                recorder = recorder_from_spec(args.telemetry)
+                try:
+                    with use_recorder(recorder):
+                        output = run_experiment(
+                            args.experiment, args.scale, jobs=args.jobs
+                        )
+                finally:
+                    recorder.close()
+                print(output.render())
+                if recorder.active:
+                    print(
+                        f"telemetry: {recorder.events_emitted} events "
+                        f"({args.telemetry})"
+                    )
+            else:
+                print(
+                    run_experiment(
+                        args.experiment, args.scale, jobs=args.jobs
+                    ).render()
+                )
+        elif args.command == "trace":
+            from repro.telemetry import (
+                JsonlSink,
+                TraceRecorder,
+                span_profile,
+                use_recorder,
+                validate_trace_file,
             )
+
+            out = args.out or f"TRACE_{args.experiment}.jsonl"
+            recorder = TraceRecorder(JsonlSink(out))
+            try:
+                with use_recorder(recorder):
+                    output = run_experiment(
+                        args.experiment, args.scale, jobs=args.jobs
+                    )
+            finally:
+                recorder.close()
+            print(output.render())
+            print(f"wrote {recorder.events_emitted} events to {out}")
+            profile_rows = span_profile(recorder.registry)
+            if profile_rows:
+                print(
+                    render_table(
+                        ["span", "calls", "mean [s]", "max [s]", "total [s]"],
+                        [
+                            [
+                                r["span"],
+                                r["calls"],
+                                r["mean_s"],
+                                r["max_s"],
+                                r["total_s"],
+                            ]
+                            for r in profile_rows
+                        ],
+                        title="profiling spans (host time, not in the trace)",
+                    )
+                )
+            if args.validate:
+                n = validate_trace_file(out)
+                print(f"validated {n} events against the schema")
         elif args.command == "bench":
             from repro.experiments.bench import render_bench, run_bench
 

@@ -47,6 +47,7 @@ from repro.core.optcacheselect import (
 )
 from repro.core.selection_state import SelectionState
 from repro.errors import CacheCapacityError, ConfigError
+from repro.telemetry import current_recorder
 from repro.types import FileId, SizeBytes
 
 __all__ = ["LoadPlan", "OptFileBundlePlanner"]
@@ -142,6 +143,10 @@ class OptFileBundlePlanner:
         self._eager = eager_evict
         self._degree_blind = degree_blind
         self._history = RequestHistory(truncation, window=window, decay=decay)
+        # Planners are constructed inside the simulator's recorder
+        # context (policy.bind), so capturing the ambient recorder here
+        # keeps the per-plan profiling span off the ContextVar lookup.
+        self._recorder = current_recorder()
         self._state: SelectionState | None = None
         if incremental and refine and not degree_blind:
             self._state = SelectionState(self._history, sizes)
@@ -198,19 +203,20 @@ class OptFileBundlePlanner:
         missing = bundle.missing_from(resident)
         budget = self._capacity - bundle_size
 
-        if self._state is not None:
-            selection = self._state.select(
-                budget, free=bundle.files, safeguard=self._safeguard
-            )
-        else:
-            inst = FBCInstance.from_history(self._history, self._sizes, budget)
-            selection = opt_cache_select(
-                inst,
-                refine=self._refine,
-                safeguard=self._safeguard,
-                free_files=bundle.files,
-                degree_blind=self._degree_blind,
-            )
+        with self._recorder.span("optbundle.plan"):
+            if self._state is not None:
+                selection = self._state.select(
+                    budget, free=bundle.files, safeguard=self._safeguard
+                )
+            else:
+                inst = FBCInstance.from_history(self._history, self._sizes, budget)
+                selection = opt_cache_select(
+                    inst,
+                    refine=self._refine,
+                    safeguard=self._safeguard,
+                    free_files=bundle.files,
+                    degree_blind=self._degree_blind,
+                )
 
         keep = frozenset(selection.files | bundle.files)
         prefetch = frozenset(selection.files - resident - bundle.files)

@@ -45,6 +45,7 @@ from repro.core.optcacheselect import (
     _empty_selection,
     _finish,
 )
+from repro.telemetry import current_recorder
 from repro.types import FileId, SizeBytes
 
 __all__ = ["SelectionState"]
@@ -74,6 +75,7 @@ class SelectionState:
     def __init__(self, history: RequestHistory, sizes: Mapping[FileId, SizeBytes]):
         self._history = history
         self._sizes = sizes
+        self._recorder = current_recorder()
         # s(f) / d(f) under the *global* degrees; refreshed on degree change
         self._adj_size: dict[FileId, float] = {}
         # file -> eids of entries containing it, in eid (first-seen) order
@@ -143,6 +145,16 @@ class SelectionState:
         candidates sharing a file with ``free`` (the arriving bundle) have
         their residuals recomputed for this call.
         """
+        with self._recorder.span("optbundle.select"):
+            return self._select(budget, free=free, safeguard=safeguard)
+
+    def _select(
+        self,
+        budget: SizeBytes,
+        *,
+        free: AbstractSet[FileId] = frozenset(),
+        safeguard: bool = True,
+    ) -> CacheSelection:
         history = self._history
         entries = history.candidates()
         if not entries or budget <= 0:

@@ -21,6 +21,7 @@ __all__ = [
     "FaultInjectionError",
     "StagingTimeoutError",
     "RetryExhaustedError",
+    "TelemetryError",
 ]
 
 
@@ -99,6 +100,14 @@ class StagingTimeoutError(ReproError):
         if message is None:
             message = f"staging of {file_id!r} exceeded {self.timeout} s"
         super().__init__(message)
+
+
+class TelemetryError(ReproError, ValueError):
+    """The telemetry layer was misused or a trace failed validation.
+
+    Raised e.g. for malformed JSONL trace lines, unknown event kinds,
+    metric name collisions across types, or decreasing counters.
+    """
 
 
 class RetryExhaustedError(ReproError):

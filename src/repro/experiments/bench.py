@@ -16,6 +16,12 @@ successive commits leave a machine-readable speed trail next to the code:
   the rebuild-per-arrival path on a warm history of ``n`` candidate
   request types, reporting seconds/plan for both and the speedup.
 
+* **Telemetry overhead** — the same seeded replay with no recorder,
+  with the inert :class:`~repro.telemetry.sinks.NullSink` recorder and
+  with a live :class:`~repro.telemetry.sinks.JsonlSink`; the NullSink
+  column is the cost of having instrumentation compiled into the hot
+  paths at all (contract: ≤ 3% over the no-recorder baseline).
+
 The workloads are fully seeded, so numbers differ across machines but the
 *shape* (speedup ratios, relative policy costs) is reproducible.
 """
@@ -46,12 +52,13 @@ __all__ = [
     "planner_workload",
     "warm_planner",
     "warm_planner_timings",
+    "telemetry_overhead",
     "run_bench",
     "render_bench",
 ]
 
 #: Bump when the JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 DEFAULT_POLICIES: tuple[str, ...] = ("optbundle", "landlord")
 
@@ -201,6 +208,69 @@ def warm_planner_timings(n: int, *, plans: int = PLANNER_PLANS) -> dict:
 
 
 # --------------------------------------------------------------------- #
+# telemetry overhead
+
+
+def telemetry_overhead(
+    trace: Trace,
+    *,
+    policy: str = "optbundle",
+    cache_size: SizeBytes = CACHE_SIZE,
+    repeats: int = 3,
+) -> dict:
+    """Best-of-``repeats`` replay times under each telemetry mode.
+
+    The instrumentation cannot be compiled out, so the interesting
+    number is NullSink-vs-no-recorder: both hit the same ``rec.active``
+    guards, the baseline through the module :data:`NULL_RECORDER` and
+    the NullSink run through an explicitly installed inert recorder.
+    Best-of-N is used because scheduler noise only ever adds time.
+    """
+    import os
+    import tempfile
+
+    from repro.telemetry import JsonlSink, NullSink, TraceRecorder
+
+    config = SimulationConfig(cache_size=cache_size, policy=policy)
+
+    def best(run) -> float:
+        times = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    baseline_s = best(lambda: simulate_trace(trace, config))
+    nullsink_s = best(
+        lambda: simulate_trace(
+            trace, config, recorder=TraceRecorder(NullSink(), profile=False)
+        )
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench_trace.jsonl")
+
+        def jsonl_run() -> None:
+            rec = TraceRecorder(JsonlSink(path))
+            try:
+                simulate_trace(trace, config, recorder=rec)
+            finally:
+                rec.close()
+
+        jsonl_s = best(jsonl_run)
+    return {
+        "policy": policy,
+        "n_jobs": len(trace),
+        "repeats": repeats,
+        "baseline_s": baseline_s,
+        "nullsink_s": nullsink_s,
+        "jsonl_s": jsonl_s,
+        "nullsink_overhead": nullsink_s / baseline_s - 1.0,
+        "jsonl_overhead": jsonl_s / baseline_s - 1.0,
+    }
+
+
+# --------------------------------------------------------------------- #
 # the bench driver
 
 
@@ -229,6 +299,7 @@ def run_bench(
     planner_records = [
         warm_planner_timings(n) for n in planner_candidates
     ]
+    telemetry_record = telemetry_overhead(trace)
     record = {
         "name": name,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -246,6 +317,7 @@ def run_bench(
         },
         "policies": policy_records,
         "planner": planner_records,
+        "telemetry": telemetry_record,
     }
     out_path = Path(out_dir) / f"BENCH_{name}.json"
     out_path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
@@ -287,4 +359,17 @@ def render_bench(record: dict) -> str:
             planner_rows,
         ),
     ]
+    tel = record.get("telemetry")
+    if tel:
+        parts.append(f"telemetry overhead ({tel['policy']}, best of {tel['repeats']})")
+        parts.append(
+            render_table(
+                ["mode", "run [s]", "overhead"],
+                [
+                    ["no recorder", tel["baseline_s"], 0.0],
+                    ["NullSink", tel["nullsink_s"], tel["nullsink_overhead"]],
+                    ["JsonlSink", tel["jsonl_s"], tel["jsonl_overhead"]],
+                ],
+            )
+        )
     return "\n".join(parts)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, TypeVar
 
 from repro.errors import ConfigError, WorkloadError
+from repro.telemetry import RingSink, TraceRecorder, current_recorder, use_recorder
 from repro.types import GB, SizeBytes
 from repro.workload.generator import WorkloadSpec, generate_trace
 from repro.workload.trace import Trace
@@ -70,6 +71,20 @@ def get_scale(scale: "str | Scale") -> Scale:
         ) from None
 
 
+def _traced_item(fn: Callable[[_T], _R], item: _T) -> "tuple[_R, list]":
+    """Worker-side wrapper: run one item under a buffering recorder.
+
+    Module-level so :func:`parallel_map` can ship it as a partial.  The
+    worker's events come back with the result and are replayed into the
+    parent recorder in input order — the same grouping a serial run
+    produces naturally, so traces are byte-identical either way.
+    """
+    sink = RingSink()
+    with use_recorder(TraceRecorder(sink, profile=False)):
+        result = fn(item)
+    return result, list(sink.events)
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
@@ -87,6 +102,12 @@ def parallel_map(
     no pickling requirement); higher values fan out over up to ``jobs``
     processes, which requires ``fn`` to be picklable (a module-level
     function or a :func:`functools.partial` of one).
+
+    When the ambient telemetry recorder is active, each worker buffers
+    its trace events in memory and the parent replays the buffers in
+    input order, so ``jobs=N`` emits the same event stream as a serial
+    run.  Worker-side profiling spans are not merged (their registries
+    die with the worker).
     """
     work = list(items)
     if jobs is not None and jobs < 0:
@@ -94,9 +115,17 @@ def parallel_map(
     if jobs in (None, 0, 1) or len(work) <= 1:
         return [fn(item) for item in work]
     from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
 
+    recorder = current_recorder()
     with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-        return list(pool.map(fn, work))
+        if not recorder.active:
+            return list(pool.map(fn, work))
+        results: list[_R] = []
+        for result, events in pool.map(partial(_traced_item, fn), work):
+            recorder.replay(events)
+            results.append(result)
+        return results
 
 
 def bundle_trace(

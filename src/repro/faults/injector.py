@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.errors import FaultInjectionError
 from repro.faults.spec import FaultSpec
+from repro.telemetry import FaultInjected, current_recorder
 
 __all__ = ["FaultInjector"]
 
@@ -37,6 +38,10 @@ class FaultInjector:
 
     def __init__(self, spec: FaultSpec):
         self.spec = spec
+        # Injectors are built inside the run's recorder context; fault
+        # decisions happen deep in event callbacks, so the recorder is
+        # captured once here rather than looked up per decision.
+        self._recorder = current_recorder()
         self._streams: dict[str, np.random.Generator] = {}
         # per-site downtime schedule: sorted down windows + horizon generated
         self._down_windows: dict[str, list[tuple[float, float]]] = {}
@@ -78,6 +83,8 @@ class FaultInjector:
         if rng.random() >= rate:
             return None
         self.drive_faults += 1
+        if self._recorder.active:
+            self._recorder.emit(FaultInjected(fault="drive", component=component))
         return float(rng.uniform(0.05, 0.95))
 
     def transfer_fault(self, component: str) -> float | None:
@@ -93,6 +100,8 @@ class FaultInjector:
         if rng.random() >= rate:
             return None
         self.transfer_faults += 1
+        if self._recorder.active:
+            self._recorder.emit(FaultInjected(fault="transfer", component=component))
         return float(rng.uniform(0.05, 0.95))
 
     def latency_spike(self, component: str) -> float:
@@ -104,6 +113,10 @@ class FaultInjector:
         if rng.random() >= rate:
             return 1.0
         self.latency_spikes += 1
+        if self._recorder.active:
+            self._recorder.emit(
+                FaultInjected(fault="latency_spike", component=component)
+            )
         return self.spec.latency_spike_factor
 
     # ------------------------------------------------------------------ #

@@ -55,14 +55,28 @@ from repro.grid.mss import MassStorageSystem
 from repro.grid.network import NetworkLink
 from repro.grid.site import ReplicaCatalog
 from repro.sim.engine import EventEngine
+from repro.telemetry import (
+    MetricsRegistry,
+    StageCompleted,
+    StageFailedOver,
+    StageRetried,
+    StageStarted,
+    current_recorder,
+    use_recorder,
+)
+from repro.telemetry.recorder import TraceRecorder
 from repro.types import MB, FileId, SizeBytes
-from repro.utils.stats import RunningStats
 from repro.workload.trace import Trace
 
 __all__ = ["SRMConfig", "SRMResult", "StorageResourceManager", "run_timed_simulation"]
 
 #: Upper bound on retained fault-log entries (observability, not accounting).
 _FAULT_LOG_LIMIT = 200
+
+#: simulated response times: 0.1 s .. ~30 000 s, half-decade steps
+_RESPONSE_TIME_BUCKETS: tuple[float, ...] = tuple(
+    0.1 * (10 ** (i / 2)) for i in range(12)
+)
 
 
 @dataclass(frozen=True)
@@ -224,10 +238,16 @@ class StorageResourceManager:
         *,
         replicas: ReplicaCatalog | None = None,
         future_bundles=None,
+        registry: MetricsRegistry | None = None,
     ):
         self.engine = engine
         self.sizes = sizes
         self.config = config
+        # Each SRM owns its registry (never the recorder's shared one) so
+        # counters cannot leak across runs; the recorder is captured once
+        # because staging decisions happen deep inside event callbacks.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._recorder = current_recorder()
         self.cache = CacheState(config.cache_size)
         self.policy = make_policy(
             config.policy, future=future_bundles, **config.policy_kwargs
@@ -260,21 +280,101 @@ class StorageResourceManager:
         self._token_seq = itertools.count()
         self._requeued_ids: set[int] = set()
 
-        self.response_times = RunningStats()
-        self.bytes_staged: SizeBytes = 0
-        self.bytes_requested: SizeBytes = 0
-        self.jobs_done = 0
-        self.request_hits = 0
-        self.unserviceable = 0
-        self.deferred_starts = 0
-        self.retries = 0
-        self.failovers = 0
-        self.timeouts = 0
-        self.requeues = 0
-        self.failed_jobs = 0
-        self.time_lost_to_faults = 0.0
+        reg = self.registry
+        self.response_times = reg.histogram(
+            "srm_response_time_seconds",
+            "job completion minus arrival, simulated seconds",
+            buckets=_RESPONSE_TIME_BUCKETS,
+        )
+        self._bytes_staged = reg.counter(
+            "srm_bytes_staged_total", "bytes fetched into the disk cache"
+        )
+        self._bytes_requested = reg.counter(
+            "srm_bytes_requested_total", "bundle bytes of completed jobs"
+        )
+        self._jobs_done = reg.counter("srm_jobs_done_total", "jobs completed")
+        self._request_hits = reg.counter(
+            "srm_request_hits_total", "jobs whose bundle was fully resident"
+        )
+        self._unserviceable = reg.counter(
+            "srm_unserviceable_total", "jobs larger than the cache"
+        )
+        self._deferred_starts = reg.counter(
+            "srm_deferred_starts_total", "job starts blocked by pinned files"
+        )
+        self._retries = reg.counter(
+            "srm_retries_total", "staging attempts retried after a fault"
+        )
+        self._failovers = reg.counter(
+            "srm_failovers_total", "staging attempts moved to another replica site"
+        )
+        self._timeouts = reg.counter(
+            "srm_timeouts_total", "staging attempts abandoned by the watchdog"
+        )
+        self._requeues = reg.counter(
+            "srm_requeues_total", "jobs re-submitted after exhausting retries"
+        )
+        self._failed_jobs = reg.counter(
+            "srm_failed_jobs_total", "jobs abandoned after their requeue"
+        )
+        self._time_lost = reg.gauge(
+            "srm_time_lost_to_faults_seconds",
+            "simulated time spent in failed attempts, backoff and spikes",
+        )
         self.fault_log: list[Exception] = []
         self.last_completion = 0.0
+
+    # ------------------------------------------------------------------ #
+    # counter faces: the public attribute names tests and result builders
+    # read, now backed by the metrics registry
+
+    @property
+    def bytes_staged(self) -> SizeBytes:
+        return int(self._bytes_staged.value)
+
+    @property
+    def bytes_requested(self) -> SizeBytes:
+        return int(self._bytes_requested.value)
+
+    @property
+    def jobs_done(self) -> int:
+        return int(self._jobs_done.value)
+
+    @property
+    def request_hits(self) -> int:
+        return int(self._request_hits.value)
+
+    @property
+    def unserviceable(self) -> int:
+        return int(self._unserviceable.value)
+
+    @property
+    def deferred_starts(self) -> int:
+        return int(self._deferred_starts.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value)
+
+    @property
+    def failovers(self) -> int:
+        return int(self._failovers.value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value)
+
+    @property
+    def requeues(self) -> int:
+        return int(self._requeues.value)
+
+    @property
+    def failed_jobs(self) -> int:
+        return int(self._failed_jobs.value)
+
+    @property
+    def time_lost_to_faults(self) -> float:
+        return float(self._time_lost.value)
 
     # ------------------------------------------------------------------ #
 
@@ -296,7 +396,7 @@ class StorageResourceManager:
                 f"{exc.args[0] if exc.args else '?'!r}"
             ) from None
         if bundle_size > self.cache.capacity:
-            self.unserviceable += 1
+            self._unserviceable.inc()
             return
         self._queue.append((request, self.engine.now))
         self._maybe_start()
@@ -331,7 +431,7 @@ class StorageResourceManager:
         except (PolicyError, CacheCapacityError):
             # Pinned files of jobs in their compute phase block eviction;
             # retry when a completion releases pins.
-            self.deferred_starts += 1
+            self._deferred_starts.inc()
             return False
 
         to_stage = set(missing)
@@ -388,6 +488,11 @@ class StorageResourceManager:
         )
 
     def _stage_file(self, file_id: FileId) -> None:
+        with self._recorder.span("srm.stage"):
+            self._dispatch_stage(file_id)
+
+    def _dispatch_stage(self, file_id: FileId) -> None:
+        """Synchronous part of one staging attempt: resolve source, dispatch."""
         ctx = self._staging
         assert ctx is not None
         size = self._size(file_id)
@@ -406,12 +511,32 @@ class StorageResourceManager:
             site = self.replicas.best_source(file_id, size, exclude=down)
             previous = ctx.sites.get(file_id)
             if previous is not None and site.name != previous:
-                self.failovers += 1
-            ctx.sites[file_id] = site.name
+                self._failovers.inc()
+                if self._recorder.active:
+                    self._recorder.emit(
+                        StageFailedOver(
+                            file=str(file_id),
+                            from_site=previous,
+                            to_site=site.name,
+                            t=started,
+                        )
+                    )
             mss, link, component = site.mss, site.link, site.name
         else:
             assert self.mss is not None
             mss, link, component = self.mss, self.config.link, self.mss.name
+        # remembered for failover detection and the StageCompleted event
+        ctx.sites[file_id] = component
+        if self._recorder.active:
+            self._recorder.emit(
+                StageStarted(
+                    file=str(file_id),
+                    bytes=size,
+                    site=component,
+                    attempt=ctx.attempts.get(file_id, 0) + 1,
+                    t=started,
+                )
+            )
 
         if self.config.staging_timeout is not None:
             self.engine.schedule(
@@ -434,7 +559,7 @@ class StorageResourceManager:
                     return
                 spike = self.injector.latency_spike(component)
                 if spike != 1.0:
-                    self.time_lost_to_faults += base * (spike - 1.0)
+                    self._time_lost.inc(base * (spike - 1.0))
                     base = link.transfer_time(self.sizes[fid], spike=spike)
             self.engine.schedule(
                 base, lambda: self._file_arrived(ctx, fid, token)
@@ -455,7 +580,7 @@ class StorageResourceManager:
     ) -> None:
         if not self._current(ctx, file_id, token):
             return  # the attempt finished (or already failed) in time
-        self.timeouts += 1
+        self._timeouts.inc()
         self._log_fault(
             StagingTimeoutError(file_id, self.config.staging_timeout or 0.0)
         )
@@ -467,7 +592,7 @@ class StorageResourceManager:
         """One staging attempt died: back off and retry, or give up."""
         if not self._current(ctx, file_id, token):
             return  # a different failure path won the race
-        self.time_lost_to_faults += self.engine.now - started
+        self._time_lost.inc(self.engine.now - started)
 
         failures = ctx.attempts.get(file_id, 0) + 1
         ctx.attempts[file_id] = failures
@@ -476,7 +601,7 @@ class StorageResourceManager:
             self._job_failed(ctx)
             return
 
-        self.retries += 1
+        self._retries.inc()
         delay = min(
             self.config.backoff_cap,
             self.config.retry_backoff * (2.0 ** (failures - 1)),
@@ -485,7 +610,16 @@ class StorageResourceManager:
             delay += (
                 delay * self.config.backoff_jitter * float(self._jitter_rng.random())
             )
-        self.time_lost_to_faults += delay
+        self._time_lost.inc(delay)
+        if self._recorder.active:
+            self._recorder.emit(
+                StageRetried(
+                    file=str(file_id),
+                    attempt=failures,
+                    delay=delay,
+                    t=self.engine.now,
+                )
+            )
         retry_token = next(self._token_seq)
         ctx.tokens[file_id] = retry_token
         self.engine.schedule(
@@ -514,10 +648,10 @@ class StorageResourceManager:
         request_id = ctx.request.request_id
         if request_id not in self._requeued_ids:
             self._requeued_ids.add(request_id)
-            self.requeues += 1
+            self._requeues.inc()
             self._queue.append((ctx.request, ctx.arrived))
         else:
-            self.failed_jobs += 1
+            self._failed_jobs.inc()
         self._maybe_start()
 
     def _log_fault(self, exc: Exception) -> None:
@@ -535,7 +669,16 @@ class StorageResourceManager:
         size = self._size(file_id)
         self.cache.load(file_id, size)
         self.cache.pin(file_id)
-        self.bytes_staged += size
+        self._bytes_staged.inc(size)
+        if self._recorder.active:
+            self._recorder.emit(
+                StageCompleted(
+                    file=str(file_id),
+                    bytes=size,
+                    site=ctx.sites.get(file_id, ""),
+                    t=self.engine.now,
+                )
+            )
         ctx.pinned.add(file_id)
         ctx.loaded.add(file_id)
         ctx.awaiting.discard(file_id)
@@ -557,9 +700,9 @@ class StorageResourceManager:
             self.cache.unpin(f)
         self._active.remove(ctx)
         self.response_times.push(self.engine.now - ctx.arrived)
-        self.jobs_done += 1
-        self.request_hits += int(ctx.hit)
-        self.bytes_requested += bundle.size_under(self.sizes)
+        self._jobs_done.inc()
+        self._request_hits.inc(int(ctx.hit))
+        self._bytes_requested.inc(bundle.size_under(self.sizes))
         self.last_completion = self.engine.now
         self._maybe_start()
 
@@ -569,6 +712,7 @@ def run_timed_simulation(
     config: SRMConfig,
     *,
     replicas: ReplicaCatalog | None = None,
+    recorder: TraceRecorder | None = None,
 ) -> SRMResult:
     """Replay a timed trace through an SRM and summarise.
 
@@ -581,7 +725,14 @@ def run_timed_simulation(
     failures are retried, failed over, or — after the per-job requeue —
     reported in ``SRMResult.failed_jobs``; the run itself never raises
     because of an injected fault.
+
+    ``recorder`` overrides the ambient telemetry recorder for this run;
+    staging lifecycle events (``StageStarted``/``Retried``/``FailedOver``/
+    ``Completed``, ``FaultInjected``) carry only simulated time.
     """
+    if recorder is not None:
+        with use_recorder(recorder):
+            return run_timed_simulation(trace, config, replicas=replicas)
     engine = EventEngine()
     srm = StorageResourceManager(
         engine,

@@ -8,6 +8,12 @@ For a workload of jobs each requesting a bundle:
 * **byte hit ratio** — ``1 − byte miss ratio`` of the demand traffic;
 * **volume per request** — average bytes moved into the cache per job,
   the quantity plotted in Fig. 8.
+
+The collector's counters are backed by a per-run
+:class:`~repro.telemetry.metrics.MetricsRegistry`, so the same numbers
+the :class:`MetricsSnapshot` reports are exportable as Prometheus text or
+JSON via :attr:`MetricsCollector.registry`.  The snapshot dataclass keeps
+its exact public shape.
 """
 
 from __future__ import annotations
@@ -15,10 +21,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.telemetry.metrics import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.types import SizeBytes
-from repro.utils.stats import RunningStats
 
-__all__ = ["MetricsCollector", "MetricsSnapshot"]
+__all__ = [
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "WindowAccumulator",
+    "ratio_of",
+]
+
+
+def ratio_of(numerator: float, denominator: float, *, empty: float = 0.0) -> float:
+    """``numerator / denominator`` with a single, shared zero guard.
+
+    Every ratio this module reports (hit ratios, miss ratios, windowed
+    ratios) funnels through here so the empty-denominator convention is
+    defined in exactly one place: ``empty`` is returned when no traffic
+    was observed.
+    """
+    return numerator / denominator if denominator else empty
 
 
 @dataclass(frozen=True)
@@ -36,7 +58,7 @@ class MetricsSnapshot:
 
     @property
     def request_hit_ratio(self) -> float:
-        return self.request_hits / self.jobs if self.jobs else 0.0
+        return ratio_of(self.request_hits, self.jobs)
 
     @property
     def request_miss_ratio(self) -> float:
@@ -56,23 +78,19 @@ class MetricsSnapshot:
         misses (they are speculative transfers, tracked separately by
         :attr:`byte_movement_ratio`).
         """
-        if self.bytes_requested == 0:
-            return 0.0
-        return self.bytes_demand_loaded / self.bytes_requested
+        return ratio_of(self.bytes_demand_loaded, self.bytes_requested)
 
     @property
     def byte_movement_ratio(self) -> float:
         """All bytes moved into the cache (incl. prefetch) over requested."""
-        if self.bytes_requested == 0:
-            return 0.0
-        return self.bytes_loaded / self.bytes_requested
+        return ratio_of(self.bytes_loaded, self.bytes_requested)
 
     @property
     def byte_hit_ratio(self) -> float:
         """Fraction of *demanded* bytes found resident."""
-        if self.bytes_requested == 0:
-            return 1.0
-        return 1.0 - self.bytes_demand_loaded / self.bytes_requested
+        return 1.0 - ratio_of(
+            self.bytes_demand_loaded, self.bytes_requested, empty=0.0
+        )
 
     def as_dict(self) -> dict:
         return {
@@ -91,6 +109,48 @@ class MetricsSnapshot:
         }
 
 
+class WindowAccumulator:
+    """Aggregates one window of jobs into the standard ratios.
+
+    The windowed learning-curve code (:mod:`repro.sim.timeseries`) and
+    any other consumer of per-window ratios share this accumulator, so
+    the zero-traffic conventions stay identical to the end-of-run
+    :class:`MetricsSnapshot` (both delegate to :func:`ratio_of`).
+    """
+
+    __slots__ = ("jobs", "hits", "bytes_requested", "bytes_loaded")
+
+    def __init__(self) -> None:
+        self.jobs = 0
+        self.hits = 0
+        self.bytes_requested: SizeBytes = 0
+        self.bytes_loaded: SizeBytes = 0
+
+    def add(
+        self, *, requested_bytes: SizeBytes, loaded_bytes: SizeBytes, hit: bool
+    ) -> None:
+        """Record one serviced job into the current window."""
+        self.jobs += 1
+        self.hits += int(hit)
+        self.bytes_requested += requested_bytes
+        self.bytes_loaded += loaded_bytes
+
+    @property
+    def byte_miss_ratio(self) -> float:
+        return ratio_of(self.bytes_loaded, self.bytes_requested)
+
+    @property
+    def request_hit_ratio(self) -> float:
+        return ratio_of(self.hits, self.jobs)
+
+    def reset(self) -> None:
+        """Start the next window."""
+        self.jobs = 0
+        self.hits = 0
+        self.bytes_requested = 0
+        self.bytes_loaded = 0
+
+
 class MetricsCollector:
     """Accumulates per-job observations during a simulation run.
 
@@ -98,24 +158,47 @@ class MetricsCollector:
     reported metrics, so steady-state ratios are not polluted by the
     initially empty cache (the paper's long runs make warm-up negligible;
     short test runs benefit from excluding it explicitly).
+
+    Counters live in a :class:`MetricsRegistry` — one per collector, so
+    concurrent runs never share counts — exposed via :attr:`registry`
+    for Prometheus/JSON export.
     """
 
-    def __init__(self, warmup: int = 0):
+    def __init__(self, warmup: int = 0, *, registry: MetricsRegistry | None = None):
         if warmup < 0:
             raise SimulationError(f"warmup must be non-negative, got {warmup}")
         self._warmup = warmup
         self._seen = 0
-        self._jobs = 0
-        self._hits = 0
-        self._unserviceable = 0
-        self._bytes_requested = 0
-        self._bytes_demand = 0
-        self._bytes_prefetch = 0
-        self._volume = RunningStats()
+        reg = registry if registry is not None else MetricsRegistry()
+        self._registry = reg
+        self._jobs = reg.counter("sim_jobs_total", "jobs serviced (post-warmup)")
+        self._hits = reg.counter("sim_request_hits_total", "fully-resident bundles")
+        self._unserviceable = reg.counter(
+            "sim_unserviceable_total", "jobs whose bundle exceeds the cache"
+        )
+        self._bytes_requested = reg.counter(
+            "sim_bytes_requested_total", "bytes demanded by serviced jobs"
+        )
+        self._bytes_demand = reg.counter(
+            "sim_bytes_demand_loaded_total", "missing bytes loaded on demand"
+        )
+        self._bytes_prefetch = reg.counter(
+            "sim_bytes_prefetched_total", "bytes loaded speculatively"
+        )
+        self._volume = reg.histogram(
+            "sim_volume_per_request_bytes",
+            "bytes moved into the cache per job",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
 
     @property
     def warmup(self) -> int:
         return self._warmup
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry backing this collector's counters."""
+        return self._registry
 
     def record_job(
         self,
@@ -133,28 +216,29 @@ class MetricsCollector:
         self._seen += 1
         if self._seen <= self._warmup:
             return
-        self._jobs += 1
-        self._hits += int(hit)
-        self._bytes_requested += requested_bytes
-        self._bytes_demand += demand_loaded_bytes
-        self._bytes_prefetch += prefetched_bytes
-        self._volume.push(float(demand_loaded_bytes + prefetched_bytes))
+        self._jobs.inc()
+        if hit:
+            self._hits.inc()
+        self._bytes_requested.inc(requested_bytes)
+        self._bytes_demand.inc(demand_loaded_bytes)
+        self._bytes_prefetch.inc(prefetched_bytes)
+        self._volume.observe(float(demand_loaded_bytes + prefetched_bytes))
 
     def record_unserviceable(self) -> None:
         """A job whose bundle cannot fit the cache at all."""
         self._seen += 1
         if self._seen <= self._warmup:
             return
-        self._unserviceable += 1
+        self._unserviceable.inc()
 
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
-            jobs=self._jobs,
-            request_hits=self._hits,
-            unserviceable=self._unserviceable,
-            bytes_requested=self._bytes_requested,
-            bytes_demand_loaded=self._bytes_demand,
-            bytes_prefetched=self._bytes_prefetch,
-            mean_volume_per_request=self._volume.mean if self._volume.count else 0.0,
-            max_volume_per_request=self._volume.max if self._volume.count else 0.0,
+            jobs=int(self._jobs.value),
+            request_hits=int(self._hits.value),
+            unserviceable=int(self._unserviceable.value),
+            bytes_requested=int(self._bytes_requested.value),
+            bytes_demand_loaded=int(self._bytes_demand.value),
+            bytes_prefetched=int(self._bytes_prefetch.value),
+            mean_volume_per_request=self._volume.mean,
+            max_volume_per_request=self._volume.max,
         )

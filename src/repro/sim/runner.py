@@ -14,6 +14,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigError
 from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_trace
+from repro.telemetry import span
 from repro.utils.stats import mean_confidence_interval
 from repro.utils.tables import render_table
 from repro.workload.trace import Trace
@@ -149,7 +150,8 @@ def sweep(
     unit = partial(
         _sweep_unit, make_trace, make_config, tuple(policies), extra, tuple(metrics)
     )
-    outputs = parallel_map(unit, items, jobs=jobs)
+    with span("runner.sweep"):
+        outputs = parallel_map(unit, items, jobs=jobs)
 
     rows: list[dict[str, Any]] = []
     n_seeds = len(seeds)

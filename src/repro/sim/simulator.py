@@ -25,6 +25,8 @@ from repro.core.request import Request
 from repro.errors import ConfigError, SimulationError, UnknownFileError
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot
 from repro.sim.queueing import AdmissionQueue, QueueDiscipline
+from repro.telemetry import FileAdmitted, JobArrived, current_recorder, use_recorder
+from repro.telemetry.recorder import TraceRecorder
 from repro.types import SizeBytes
 from repro.workload.trace import Trace
 
@@ -119,12 +121,23 @@ def simulate_trace(
     config: SimulationConfig,
     *,
     policy: ReplacementPolicy | None = None,
+    recorder: TraceRecorder | None = None,
 ) -> SimulationResult:
     """Replay a trace against a cache under one policy.
 
     Jobs whose bundle exceeds the cache capacity are counted as
     unserviceable and skipped (the paper's generator precludes them).
+
+    ``recorder`` overrides the ambient telemetry recorder for this run;
+    with the default inert recorder, instrumentation costs one attribute
+    check per site.  Emitted per-file events are sorted by file id so a
+    trace is byte-identical across processes (set iteration order is
+    hash-seed dependent; the simulation itself never depends on it).
     """
+    if recorder is not None:
+        with use_recorder(recorder):
+            return simulate_trace(trace, config, policy=policy)
+    rec = current_recorder()
     sizes = trace.catalog.as_dict()
     cache = CacheState(config.cache_size)
     if policy is None:
@@ -153,7 +166,7 @@ def simulate_trace(
                 f"file {file_id!r} is not in the size catalog"
             ) from None
 
-    for request in requests:
+    for job_index, request in enumerate(requests):
         bundle = request.bundle
         try:
             requested = bundle.size_under(sizes)
@@ -162,11 +175,21 @@ def simulate_trace(
                 f"request {request.request_id} references unknown file "
                 f"{exc.args[0] if exc.args else '?'!r}"
             ) from None
+        if rec.active:
+            rec.emit(
+                JobArrived(
+                    job=job_index,
+                    request_id=request.request_id,
+                    n_files=len(bundle),
+                    bytes_requested=requested,
+                )
+            )
         if requested > cache.capacity:
             metrics.record_unserviceable()
             continue
         missing = cache.missing(bundle)
-        decision = policy.on_request(bundle)
+        with rec.span("policy.on_request"):
+            decision = policy.on_request(bundle)
 
         demand_bytes = sum(_size(f) for f in missing)
         to_prefetch = {
@@ -183,6 +206,11 @@ def simulate_trace(
             cache.load(f, sizes[f])
         for f in to_prefetch:
             cache.load(f, sizes[f])
+        if rec.active:
+            for f in sorted(missing):
+                rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="demand"))
+            for f in sorted(to_prefetch):
+                rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="prefetch"))
         hit = not missing
         policy.on_serviced(bundle, frozenset(missing | to_prefetch), hit)
         metrics.record_job(

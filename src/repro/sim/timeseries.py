@@ -13,8 +13,9 @@ from repro.cache.policy import ReplacementPolicy
 from repro.cache.registry import make_policy
 from repro.cache.state import CacheState
 from repro.errors import ConfigError
+from repro.sim.metrics import WindowAccumulator
 from repro.sim.simulator import SimulationConfig
-from repro.types import SizeBytes
+from repro.telemetry import WindowRolled, current_recorder
 from repro.workload.trace import Trace
 
 __all__ = ["WindowPoint", "byte_miss_timeseries"]
@@ -56,26 +57,30 @@ def byte_miss_timeseries(
         )
     policy.bind(cache, sizes)
 
+    recorder = current_recorder()
     points: list[WindowPoint] = []
-    w_jobs = w_hits = 0
-    w_requested: SizeBytes = 0
-    w_loaded: SizeBytes = 0
+    acc = WindowAccumulator()
 
     def flush(index: int) -> None:
-        nonlocal w_jobs, w_hits, w_requested, w_loaded
-        if w_jobs == 0:
+        if acc.jobs == 0:
             return
-        points.append(
-            WindowPoint(
-                window_index=index,
-                jobs=w_jobs,
-                byte_miss_ratio=(w_loaded / w_requested) if w_requested else 0.0,
-                request_hit_ratio=w_hits / w_jobs,
-            )
+        point = WindowPoint(
+            window_index=index,
+            jobs=acc.jobs,
+            byte_miss_ratio=acc.byte_miss_ratio,
+            request_hit_ratio=acc.request_hit_ratio,
         )
-        w_jobs = w_hits = 0
-        w_requested = 0
-        w_loaded = 0
+        points.append(point)
+        if recorder.active:
+            recorder.emit(
+                WindowRolled(
+                    index=point.window_index,
+                    jobs=point.jobs,
+                    byte_miss_ratio=point.byte_miss_ratio,
+                    request_hit_ratio=point.request_hit_ratio,
+                )
+            )
+        acc.reset()
 
     for i, request in enumerate(trace):
         bundle = request.bundle
@@ -93,11 +98,12 @@ def byte_miss_timeseries(
         hit = not missing
         policy.on_serviced(bundle, frozenset(loaded), hit)
 
-        w_jobs += 1
-        w_hits += int(hit)
-        w_requested += requested
-        w_loaded += sum(sizes[f] for f in missing)
-        if w_jobs == window:
+        acc.add(
+            requested_bytes=requested,
+            loaded_bytes=sum(sizes[f] for f in missing),
+            hit=hit,
+        )
+        if acc.jobs == window:
             flush(len(points))
     flush(len(points))
     return points

@@ -1,0 +1,323 @@
+"""Typed trace events and their line schema.
+
+Every observable decision in the stack — a job arriving, a plan being
+computed, files moving in and out of the cache, staging attempts on the
+timed grid, injected faults, metric windows rolling over — is one frozen
+dataclass below.  Events are *pure data*: no wall-clock timestamps, no
+machine identifiers, nothing that is not a deterministic function of the
+(seeded) simulation.  That is what makes a JSONL trace byte-identical
+across reruns and across serial vs. ``--jobs N`` execution.
+
+Simulated time (``t``) on the grid events *is* deterministic and is
+included; host time never is, so profiling data lives in the
+:class:`~repro.telemetry.metrics.MetricsRegistry` instead of the trace.
+
+``EVENT_SCHEMA`` is the single source of truth for the serialized line
+format; :func:`validate_event` / :func:`validate_trace_file` check
+arbitrary JSONL against it (used by the CI trace smoke job).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "TraceEvent",
+    "JobArrived",
+    "PlanComputed",
+    "FileAdmitted",
+    "FileEvicted",
+    "StageStarted",
+    "StageRetried",
+    "StageFailedOver",
+    "StageCompleted",
+    "FaultInjected",
+    "WindowRolled",
+    "EVENT_TYPES",
+    "EVENT_SCHEMA",
+    "event_to_dict",
+    "event_from_dict",
+    "validate_event",
+    "validate_trace_file",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class of all trace events (never emitted itself)."""
+
+    #: machine name of the event class, stable across versions
+    kind = "abstract"
+
+
+@dataclass(frozen=True)
+class JobArrived(TraceEvent):
+    """A request entered the service loop (before admission checks)."""
+
+    kind = "JobArrived"
+    job: int  # 0-based arrival index within the run
+    request_id: int
+    n_files: int
+    bytes_requested: int
+
+
+@dataclass(frozen=True)
+class PlanComputed(TraceEvent):
+    """A replacement policy finished its decision for one request."""
+
+    kind = "PlanComputed"
+    policy: str
+    loads: int
+    prefetches: int
+    evictions: int
+    hit: bool
+
+
+@dataclass(frozen=True)
+class FileAdmitted(TraceEvent):
+    """A file entered the cache (``cause``: demand | prefetch | staged)."""
+
+    kind = "FileAdmitted"
+    file: str
+    bytes: int
+    cause: str
+
+
+@dataclass(frozen=True)
+class FileEvicted(TraceEvent):
+    """A policy removed a file to make room.
+
+    ``detail`` carries the policy's own eviction rationale — Landlord's
+    residual credit, OptFileBundle's history degree — so divergent
+    decisions between algorithms can be explained from the trace alone.
+    """
+
+    kind = "FileEvicted"
+    file: str
+    bytes: int
+    policy: str
+    detail: dict | None = None
+
+
+@dataclass(frozen=True)
+class StageStarted(TraceEvent):
+    """The SRM began one staging attempt for a file."""
+
+    kind = "StageStarted"
+    file: str
+    bytes: int
+    site: str
+    attempt: int  # 1-based attempt number
+    t: float  # simulated time
+
+
+@dataclass(frozen=True)
+class StageRetried(TraceEvent):
+    """A staging attempt failed; a retry was scheduled after ``delay``."""
+
+    kind = "StageRetried"
+    file: str
+    attempt: int  # failed attempts so far
+    delay: float
+    t: float
+
+
+@dataclass(frozen=True)
+class StageFailedOver(TraceEvent):
+    """A retry re-resolved a file to a different replica site."""
+
+    kind = "StageFailedOver"
+    file: str
+    from_site: str
+    to_site: str
+    t: float
+
+
+@dataclass(frozen=True)
+class StageCompleted(TraceEvent):
+    """A file finished staging into the disk cache."""
+
+    kind = "StageCompleted"
+    file: str
+    bytes: int
+    site: str
+    t: float
+
+
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """The fault injector fired (``fault``: drive | transfer | latency_spike)."""
+
+    kind = "FaultInjected"
+    fault: str
+    component: str
+
+
+@dataclass(frozen=True)
+class WindowRolled(TraceEvent):
+    """A metrics window closed (learning-curve time series)."""
+
+    kind = "WindowRolled"
+    index: int
+    jobs: int
+    byte_miss_ratio: float
+    request_hit_ratio: float
+
+
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        JobArrived,
+        PlanComputed,
+        FileAdmitted,
+        FileEvicted,
+        StageStarted,
+        StageRetried,
+        StageFailedOver,
+        StageCompleted,
+        FaultInjected,
+        WindowRolled,
+    )
+}
+
+#: field name -> allowed JSON types, per event kind.  ``bool`` is listed
+#: before ``int`` checks because bool is an int subclass in Python.
+_INT = (int,)
+_NUM = (int, float)
+_STR = (str,)
+_BOOL = (bool,)
+_DICT_OR_NULL = (dict, type(None))
+
+EVENT_SCHEMA: dict[str, dict[str, tuple[type, ...]]] = {
+    "JobArrived": {
+        "job": _INT,
+        "request_id": _INT,
+        "n_files": _INT,
+        "bytes_requested": _INT,
+    },
+    "PlanComputed": {
+        "policy": _STR,
+        "loads": _INT,
+        "prefetches": _INT,
+        "evictions": _INT,
+        "hit": _BOOL,
+    },
+    "FileAdmitted": {"file": _STR, "bytes": _INT, "cause": _STR},
+    "FileEvicted": {
+        "file": _STR,
+        "bytes": _INT,
+        "policy": _STR,
+        "detail": _DICT_OR_NULL,
+    },
+    "StageStarted": {
+        "file": _STR,
+        "bytes": _INT,
+        "site": _STR,
+        "attempt": _INT,
+        "t": _NUM,
+    },
+    "StageRetried": {"file": _STR, "attempt": _INT, "delay": _NUM, "t": _NUM},
+    "StageFailedOver": {
+        "file": _STR,
+        "from_site": _STR,
+        "to_site": _STR,
+        "t": _NUM,
+    },
+    "StageCompleted": {"file": _STR, "bytes": _INT, "site": _STR, "t": _NUM},
+    "FaultInjected": {"fault": _STR, "component": _STR},
+    "WindowRolled": {
+        "index": _INT,
+        "jobs": _INT,
+        "byte_miss_ratio": _NUM,
+        "request_hit_ratio": _NUM,
+    },
+}
+
+_ADMIT_CAUSES = frozenset({"demand", "prefetch", "staged"})
+_FAULT_KINDS = frozenset({"drive", "transfer", "latency_spike"})
+
+
+def event_to_dict(seq: int, event: TraceEvent) -> dict[str, Any]:
+    """The serialized (JSONL line) form of one event."""
+    out: dict[str, Any] = {"seq": seq, "kind": event.kind}
+    out.update(asdict(event))
+    return out
+
+
+def event_from_dict(record: Mapping[str, Any]) -> TraceEvent:
+    """Rebuild a typed event from its serialized form (validates first)."""
+    validate_event(record)
+    cls = EVENT_TYPES[record["kind"]]
+    return cls(**{f.name: record[f.name] for f in fields(cls)})
+
+
+def validate_event(record: Mapping[str, Any]) -> None:
+    """Check one serialized event against :data:`EVENT_SCHEMA`.
+
+    Raises :class:`~repro.errors.TelemetryError` naming the first
+    violation; returns ``None`` on success.
+    """
+    kind = record.get("kind")
+    if kind not in EVENT_SCHEMA:
+        raise TelemetryError(f"unknown event kind {kind!r}")
+    schema = EVENT_SCHEMA[kind]
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise TelemetryError(f"{kind}: 'seq' must be a non-negative int, got {seq!r}")
+    for name, allowed in schema.items():
+        if name not in record:
+            raise TelemetryError(f"{kind}: missing field {name!r}")
+        value = record[name]
+        if isinstance(value, bool) and bool not in allowed:
+            raise TelemetryError(f"{kind}.{name}: bool is not a valid value")
+        if not isinstance(value, allowed):
+            raise TelemetryError(
+                f"{kind}.{name}: expected {'/'.join(t.__name__ for t in allowed)}, "
+                f"got {type(value).__name__}"
+            )
+    extra = set(record) - set(schema) - {"seq", "kind"}
+    if extra:
+        raise TelemetryError(f"{kind}: unexpected fields {sorted(extra)}")
+    if kind == "FileAdmitted" and record["cause"] not in _ADMIT_CAUSES:
+        raise TelemetryError(
+            f"FileAdmitted.cause must be one of {sorted(_ADMIT_CAUSES)}, "
+            f"got {record['cause']!r}"
+        )
+    if kind == "FaultInjected" and record["fault"] not in _FAULT_KINDS:
+        raise TelemetryError(
+            f"FaultInjected.fault must be one of {sorted(_FAULT_KINDS)}, "
+            f"got {record['fault']!r}"
+        )
+
+
+def validate_trace_file(path) -> int:
+    """Validate every line of a JSONL trace; return the event count.
+
+    Also checks that ``seq`` is a contiguous 0-based sequence, which any
+    single-recorder trace must satisfy.
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            try:
+                validate_event(record)
+            except TelemetryError as exc:
+                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
+            if record["seq"] != count:
+                raise TelemetryError(
+                    f"{path}:{lineno}: seq {record['seq']} out of order "
+                    f"(expected {count})"
+                )
+            count += 1
+    return count

@@ -1,0 +1,287 @@
+"""Metrics registry: named counters, gauges and histograms with exporters.
+
+The simulation layers used to thread ad-hoc integer attributes through
+result dataclasses (``SRMResult.retries`` and friends).  A
+:class:`MetricsRegistry` gives those values names, help strings and a
+uniform export surface — Prometheus text exposition and JSON — while the
+public result dataclasses keep their exact shape (they now read their
+numbers out of a registry).
+
+Histograms track count/sum/min/max plus cumulative bucket counts, which
+is what the profiling spans need (mean and tail latency) and what the
+Prometheus format expects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+]
+
+#: span timings: 1 µs .. 10 s, exponential
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    1e-6 * (10 ** (i / 2)) for i in range(15)
+)
+
+#: byte volumes: 1 KiB .. 4 GiB, powers of four
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = tuple(
+    1024.0 * (4.0**i) for i in range(12)
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise TelemetryError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically non-decreasing value (int or float increments)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._value: "int | float" = 0
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> "int | float":
+        return self._value
+
+
+class Gauge:
+    """A value that may go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._value: "int | float" = 0
+
+    def set(self, value: "int | float") -> None:
+        self._value = value
+
+    def inc(self, amount: "int | float" = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: "int | float" = 1) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> "int | float":
+        return self._value
+
+
+class Histogram:
+    """Streaming distribution: count/sum/min/max + cumulative buckets.
+
+    Exposes :attr:`mean` and :attr:`max` so it can stand in for the
+    ad-hoc ``RunningStats`` accumulators the result dataclasses used to
+    read (mean response time, max response time, …).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "_counts", "_n", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise TelemetryError(f"histogram {name!r} needs at least one bucket")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._n = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+        self._n += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    # RunningStats-compatible face -------------------------------------- #
+
+    def push(self, value: float) -> None:
+        """Alias for :meth:`observe` (RunningStats drop-in)."""
+        self.observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._n else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs ending with ``(inf, n)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.buckets, self._counts):
+            running += c
+            out.append((bound, running))
+        out.append((math.inf, self._n))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with uniform exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TelemetryError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # ------------------------------------------------------------------ #
+    # access
+
+    def get(self, name: str) -> "Counter | Gauge | Histogram":
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise TelemetryError(f"no metric named {name!r}") from None
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(sorted(self._metrics))
+
+    # ------------------------------------------------------------------ #
+    # exporters
+
+    def as_dict(self) -> dict[str, dict]:
+        """JSON-ready snapshot of every metric, sorted by name."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                out[name] = {
+                    "type": m.kind,
+                    "count": m.count,
+                    "sum": m.sum,
+                    "mean": m.mean,
+                    "min": m.min,
+                    "max": m.max,
+                    "buckets": [
+                        ["+Inf" if math.isinf(le) else le, c]
+                        for le, c in m.bucket_counts()
+                    ],
+                }
+            else:
+                out[name] = {"type": m.kind, "value": m.value}
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4), sorted by name."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            lines.append(f"# TYPE {name} {m.kind}")
+            if isinstance(m, Histogram):
+                for le, c in m.bucket_counts():
+                    label = "+Inf" if math.isinf(le) else repr(le)
+                    lines.append(f'{name}_bucket{{le="{label}"}} {c}')
+                lines.append(f"{name}_sum {m.sum!r}")
+                lines.append(f"{name}_count {m.count}")
+            else:
+                lines.append(f"{name} {m.value!r}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def merge_counters(self, other: "MetricsRegistry | Mapping[str, dict]") -> None:
+        """Add another registry's counter values into this one.
+
+        Gauges and histograms are skipped (their merge semantics are
+        context-dependent); used when folding per-worker registries back
+        into a session registry.
+        """
+        if isinstance(other, MetricsRegistry):
+            items: Iterable[tuple[str, dict]] = (
+                (n, {"type": m.kind, "value": m.value})
+                for n, m in other._metrics.items()
+            )
+        else:
+            items = other.items()
+        for name, payload in items:
+            if payload.get("type") == "counter":
+                self.counter(name).inc(payload["value"])

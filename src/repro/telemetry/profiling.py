@@ -1,0 +1,68 @@
+"""Profiling hooks: ambient ``span()`` blocks and a ``timed()`` decorator.
+
+Timings are host wall-clock and therefore never enter the deterministic
+event stream — they land in the ambient recorder's
+:class:`~repro.telemetry.metrics.MetricsRegistry` as
+``span_<name>_seconds`` histograms, exported by ``repro-fbc trace`` and
+the registry's Prometheus/JSON exporters.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, TypeVar
+
+from repro.telemetry.recorder import current_recorder
+
+__all__ = ["span", "timed", "span_profile"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def span(name: str):
+    """Time a ``with`` block into the ambient recorder's registry.
+
+    A no-op (one context-var read) when no profiling recorder is
+    installed::
+
+        with span("optbundle.plan"):
+            plan = planner.plan(bundle, resident)
+    """
+    return current_recorder().span(name)
+
+
+def timed(name: str) -> Callable[[_F], _F]:
+    """Decorator form of :func:`span` (hook point for coarse call sites)."""
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with current_recorder().span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def span_profile(registry) -> list[dict]:
+    """Tabulate the ``span_*_seconds`` histograms of a registry.
+
+    Returns one row per span: name, call count, mean/max seconds —
+    the summary ``repro-fbc trace`` prints.
+    """
+    rows: list[dict] = []
+    for name in registry.names():
+        if not (name.startswith("span_") and name.endswith("_seconds")):
+            continue
+        hist = registry.get(name)
+        rows.append(
+            {
+                "span": name[len("span_") : -len("_seconds")],
+                "calls": hist.count,
+                "mean_s": hist.mean,
+                "max_s": hist.max,
+                "total_s": hist.sum,
+            }
+        )
+    return rows

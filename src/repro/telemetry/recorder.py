@@ -1,0 +1,215 @@
+"""The :class:`TraceRecorder`: sequenced event emission + ambient context.
+
+A recorder binds a :class:`~repro.telemetry.sinks.TraceSink` to a
+monotonic sequence counter and a :class:`~repro.telemetry.metrics.MetricsRegistry`
+for profiling spans.  Instrumentation sites obtain the *ambient*
+recorder (a :mod:`contextvars` variable, installed with
+:func:`use_recorder`) and guard construction on :attr:`TraceRecorder.active`::
+
+    rec = current_recorder()
+    ...
+    if rec.active:
+        rec.emit(FileAdmitted(file=f, bytes=size, cause="demand"))
+
+With the default :data:`NULL_RECORDER` the guard is a single attribute
+read, so uninstrumented runs pay effectively nothing.
+
+Determinism
+-----------
+Events carry no host state; the recorder assigns ``seq`` in emission
+order.  Worker processes buffer their events (see
+:func:`repro.experiments.common.parallel_map`) and the parent replays the
+buffers in work-item order through :meth:`TraceRecorder.replay`, so a
+``--jobs N`` run writes byte-for-byte the trace a serial run writes.
+
+Profiling spans record *host* durations and therefore go to the metrics
+registry, never into the event stream.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.telemetry.sinks import JsonlSink, NullSink, RingSink, TraceSink
+
+__all__ = [
+    "TraceRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "use_recorder",
+    "recorder_from_spec",
+]
+
+
+class _NoopSpan:
+    """Reusable do-nothing context manager for inactive profiling."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Times one ``with`` block into a registry histogram."""
+
+    __slots__ = ("_hist", "_t0")
+
+    def __init__(self, hist):
+        self._hist = hist
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(time.perf_counter() - self._t0)
+        return None
+
+
+class TraceRecorder:
+    """Sequenced event emission plus span profiling.
+
+    Parameters
+    ----------
+    sink:
+        Where events go; ``None`` (or a :class:`NullSink`) disables event
+        emission entirely.
+    registry:
+        Profiling/metrics registry; created on demand when omitted.
+    profile:
+        Enable :meth:`span` timing.  Defaults to ``True`` whenever the
+        sink is active or a registry was supplied, ``False`` otherwise
+        (so the null recorder is a true no-op).
+    """
+
+    __slots__ = ("sink", "_registry", "_profile", "_seq", "active")
+
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        profile: bool | None = None,
+    ):
+        self.sink = sink if sink is not None else NullSink()
+        self._registry = registry
+        self.active = self.sink.active
+        if profile is None:
+            profile = self.active or registry is not None
+        self._profile = profile
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # events
+
+    def emit(self, event: TraceEvent) -> None:
+        """Write one event with the next sequence number (if active)."""
+        if not self.active:
+            return
+        self.sink.emit(self._seq, event)
+        self._seq += 1
+
+    def replay(self, events: Iterable[TraceEvent]) -> None:
+        """Re-emit buffered events, assigning fresh sequence numbers."""
+        for event in events:
+            self.emit(event)
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    def close(self) -> None:
+        self.sink.close()
+
+    # ------------------------------------------------------------------ #
+    # profiling
+
+    @property
+    def profiling(self) -> bool:
+        return self._profile
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        if self._registry is None:
+            self._registry = MetricsRegistry()
+        return self._registry
+
+    def span(self, name: str) -> "_Span | _NoopSpan":
+        """A context manager timing its block into ``span_<name>_seconds``."""
+        if not self._profile:
+            return _NOOP_SPAN
+        hist = self.registry.histogram(
+            f"span_{name.replace('.', '_')}_seconds",
+            f"duration of {name}",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        return _Span(hist)
+
+
+#: the inert default recorder: inactive sink, no profiling
+NULL_RECORDER = TraceRecorder(NullSink(), profile=False)
+
+_current: ContextVar[TraceRecorder] = ContextVar(
+    "repro_telemetry_recorder", default=NULL_RECORDER
+)
+
+
+def current_recorder() -> TraceRecorder:
+    """The ambient recorder (the :data:`NULL_RECORDER` unless installed)."""
+    return _current.get()
+
+
+@contextmanager
+def use_recorder(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
+    """Install ``recorder`` as the ambient recorder for the ``with`` block."""
+    token = _current.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _current.reset(token)
+
+
+def recorder_from_spec(spec: str) -> TraceRecorder:
+    """Build a recorder from a CLI spec string.
+
+    * ``null`` / ``none`` / ``off`` — inert recorder;
+    * ``jsonl:<path>`` — write a JSONL trace to ``<path>``;
+    * ``ring`` / ``ring:<capacity>`` — in-memory buffer.
+    """
+    kind, _, arg = spec.partition(":")
+    kind = kind.strip().lower()
+    if kind in ("null", "none", "off"):
+        return TraceRecorder(NullSink(), profile=False)
+    if kind == "jsonl":
+        if not arg:
+            raise ConfigError("telemetry spec 'jsonl:' needs a path")
+        return TraceRecorder(JsonlSink(arg))
+    if kind == "ring":
+        if arg:
+            try:
+                capacity: int | None = int(arg)
+            except ValueError:
+                raise ConfigError(
+                    f"telemetry ring capacity must be an int, got {arg!r}"
+                ) from None
+        else:
+            capacity = None
+        return TraceRecorder(RingSink(capacity))
+    raise ConfigError(
+        f"unknown telemetry spec {spec!r}; expected null, jsonl:<path> or "
+        "ring[:<capacity>]"
+    )

@@ -1,0 +1,98 @@
+"""Trace sinks: where a :class:`~repro.telemetry.recorder.TraceRecorder` writes.
+
+* :class:`NullSink` — the default; marks the recorder inactive so
+  instrumentation sites skip event construction entirely (near-zero
+  overhead — one attribute check per site).
+* :class:`JsonlSink` — one canonical JSON object per line.  Keys are
+  sorted and separators fixed, so a deterministic event stream yields a
+  byte-identical file.
+* :class:`RingSink` — an in-memory (optionally bounded) buffer of typed
+  events; used by tests and by the per-worker buffering that keeps
+  ``--jobs N`` traces deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.telemetry.events import TraceEvent, event_to_dict
+
+__all__ = ["TraceSink", "NullSink", "JsonlSink", "RingSink"]
+
+
+class TraceSink(abc.ABC):
+    """Destination for a sequenced event stream."""
+
+    #: recorders short-circuit all emission when the sink is inactive
+    active: bool = True
+
+    @abc.abstractmethod
+    def emit(self, seq: int, event: TraceEvent) -> None:
+        """Consume one event; ``seq`` is the recorder-assigned sequence."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(TraceSink):
+    """Discards everything; the recorder never even constructs events."""
+
+    active = False
+
+    def emit(self, seq: int, event: TraceEvent) -> None:  # pragma: no cover
+        pass
+
+
+class JsonlSink(TraceSink):
+    """Appends canonical JSON lines to ``path`` (truncates on open)."""
+
+    def __init__(self, path: "str | Path"):
+        self.path = Path(path)
+        self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
+        self.lines_written = 0
+
+    def emit(self, seq: int, event: TraceEvent) -> None:
+        self._fh.write(
+            json.dumps(
+                event_to_dict(seq, event), sort_keys=True, separators=(",", ":")
+            )
+        )
+        self._fh.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class RingSink(TraceSink):
+    """Keeps the last ``capacity`` events in memory (``None`` = unbounded)."""
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ConfigError(f"RingSink capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[tuple[int, TraceEvent]] = deque(maxlen=capacity)
+
+    def emit(self, seq: int, event: TraceEvent) -> None:
+        self._events.append((seq, event))
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        return [event for _seq, event in self._events]
+
+    @property
+    def sequenced(self) -> list[tuple[int, TraceEvent]]:
+        """Retained ``(seq, event)`` pairs, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -166,6 +166,61 @@ class TestNewCommands:
         assert "paired across seeds" in out and "optbundle" in out
 
 
+class TestTelemetryCommands:
+    def test_trace_writes_and_validates(self, tmp_path, capsys):
+        out_path = str(tmp_path / "trace.jsonl")
+        assert (
+            main(
+                [
+                    "trace",
+                    "fig5",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    out_path,
+                    "--validate",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"events to {out_path}" in out
+        assert "validated" in out and "against the schema" in out
+        assert "profiling spans" in out
+        first = (tmp_path / "trace.jsonl").read_text().splitlines()[0]
+        assert '"seq":0' in first
+
+    def test_run_with_jsonl_telemetry(self, tmp_path, capsys):
+        out_path = str(tmp_path / "run.jsonl")
+        assert (
+            main(
+                [
+                    "run",
+                    "fig5",
+                    "--scale",
+                    "smoke",
+                    "--telemetry",
+                    f"jsonl:{out_path}",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"(jsonl:{out_path})" in out and "telemetry:" in out
+        assert (tmp_path / "run.jsonl").stat().st_size > 0
+
+    def test_run_with_null_telemetry_prints_no_counter(self, capsys):
+        assert main(["run", "tables", "--scale", "smoke", "--telemetry", "null"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+    def test_bad_telemetry_spec_errors(self, capsys):
+        assert (
+            main(["run", "tables", "--scale", "smoke", "--telemetry", "xml:nope"])
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+
 class TestChaosCommand:
     def test_chaos_table(self, capsys):
         args = [

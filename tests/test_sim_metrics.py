@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.metrics import MetricsCollector
+from repro.sim.metrics import MetricsCollector, WindowAccumulator, ratio_of
 
 
 class TestRecording:
@@ -83,6 +83,64 @@ class TestWarmup:
     def test_negative_warmup_rejected(self):
         with pytest.raises(SimulationError):
             MetricsCollector(warmup=-1)
+
+
+class TestRatioOf:
+    def test_plain_division(self):
+        assert ratio_of(3, 4) == 0.75
+
+    def test_zero_denominator_defaults_to_zero(self):
+        assert ratio_of(0, 0) == 0.0
+        assert ratio_of(5, 0) == 0.0
+
+    def test_empty_override(self):
+        assert ratio_of(0, 0, empty=1.0) == 1.0
+
+
+class TestBoundaries:
+    def test_zero_jobs_snapshot_conventions(self):
+        s = MetricsCollector().snapshot()
+        assert s.byte_miss_ratio == 0.0
+        assert s.byte_movement_ratio == 0.0
+        assert s.byte_hit_ratio == 1.0
+        assert s.request_hit_ratio == 0.0
+        assert s.request_miss_ratio == 1.0
+        assert s.mean_volume_per_request == 0.0
+        assert s.max_volume_per_request == 0.0
+
+    def test_zero_byte_jobs(self):
+        m = MetricsCollector()
+        m.record_job(requested_bytes=0, demand_loaded_bytes=0, hit=True)
+        s = m.snapshot()
+        assert s.jobs == 1 and s.bytes_requested == 0
+        assert s.byte_miss_ratio == 0.0
+        assert s.byte_hit_ratio == 1.0
+        assert s.request_hit_ratio == 1.0
+
+    def test_window_accumulator_empty(self):
+        w = WindowAccumulator()
+        assert w.jobs == 0
+        assert w.byte_miss_ratio == 0.0
+        assert w.request_hit_ratio == 0.0
+
+    def test_window_accumulator_matches_snapshot_ratios(self):
+        w = WindowAccumulator()
+        m = MetricsCollector()
+        for requested, loaded, hit in ((100, 60, False), (50, 0, True)):
+            w.add(requested_bytes=requested, loaded_bytes=loaded, hit=hit)
+            m.record_job(
+                requested_bytes=requested, demand_loaded_bytes=loaded, hit=hit
+            )
+        s = m.snapshot()
+        assert w.byte_miss_ratio == pytest.approx(s.byte_miss_ratio)
+        assert w.request_hit_ratio == pytest.approx(s.request_hit_ratio)
+
+    def test_window_accumulator_reset(self):
+        w = WindowAccumulator()
+        w.add(requested_bytes=10, loaded_bytes=10, hit=False)
+        w.reset()
+        assert w.jobs == 0 and w.bytes_requested == 0
+        assert w.byte_miss_ratio == 0.0
 
 
 class TestSnapshot:

@@ -1,0 +1,251 @@
+"""Unit tests for the telemetry package: events, sinks, metrics, recorder."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigError, TelemetryError
+from repro.telemetry import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    Counter,
+    FileAdmitted,
+    FileEvicted,
+    Histogram,
+    JobArrived,
+    JsonlSink,
+    MetricsRegistry,
+    NullSink,
+    RingSink,
+    StageRetried,
+    TraceRecorder,
+    WindowRolled,
+    current_recorder,
+    event_from_dict,
+    event_to_dict,
+    recorder_from_spec,
+    span,
+    span_profile,
+    timed,
+    use_recorder,
+    validate_event,
+    validate_trace_file,
+)
+from repro.telemetry.recorder import NULL_RECORDER
+
+
+class TestEvents:
+    def test_every_kind_has_a_schema(self):
+        assert set(EVENT_TYPES) == set(EVENT_SCHEMA)
+
+    def test_round_trip(self):
+        ev = JobArrived(job=3, request_id=17, n_files=2, bytes_requested=512)
+        record = event_to_dict(9, ev)
+        assert record["seq"] == 9 and record["kind"] == "JobArrived"
+        assert event_from_dict(record) == ev
+
+    def test_round_trip_with_detail(self):
+        ev = FileEvicted(file="f1", bytes=10, policy="landlord", detail={"credit": 0.5})
+        assert event_from_dict(event_to_dict(0, ev)) == ev
+
+    def test_validate_rejects_unknown_kind(self):
+        with pytest.raises(TelemetryError, match="unknown event kind"):
+            validate_event({"seq": 0, "kind": "Nope"})
+
+    def test_validate_rejects_bad_seq(self):
+        record = event_to_dict(0, FileAdmitted(file="f", bytes=1, cause="demand"))
+        record["seq"] = -1
+        with pytest.raises(TelemetryError, match="seq"):
+            validate_event(record)
+        record["seq"] = True  # bool is not an acceptable int here
+        with pytest.raises(TelemetryError, match="seq"):
+            validate_event(record)
+
+    def test_validate_rejects_missing_and_extra_fields(self):
+        record = event_to_dict(0, FileAdmitted(file="f", bytes=1, cause="demand"))
+        missing = dict(record)
+        del missing["cause"]
+        with pytest.raises(TelemetryError, match="missing field"):
+            validate_event(missing)
+        extra = dict(record)
+        extra["host"] = "laptop"
+        with pytest.raises(TelemetryError, match="unexpected fields"):
+            validate_event(extra)
+
+    def test_validate_rejects_bad_enums(self):
+        record = event_to_dict(0, FileAdmitted(file="f", bytes=1, cause="magic"))
+        with pytest.raises(TelemetryError, match="cause"):
+            validate_event(record)
+
+    def test_validate_trace_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = [
+            FileAdmitted(file="a", bytes=1, cause="demand"),
+            WindowRolled(index=0, jobs=5, byte_miss_ratio=0.5, request_hit_ratio=0.2),
+        ]
+        path.write_text(
+            "".join(
+                json.dumps(event_to_dict(i, e), sort_keys=True) + "\n"
+                for i, e in enumerate(events)
+            )
+        )
+        assert validate_trace_file(path) == 2
+
+    def test_validate_trace_file_rejects_seq_gap(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        ev = event_to_dict(1, FileAdmitted(file="a", bytes=1, cause="demand"))
+        path.write_text(json.dumps(ev) + "\n")
+        with pytest.raises(TelemetryError, match="out of order"):
+            validate_trace_file(path)
+
+
+class TestSinks:
+    def test_null_sink_is_inactive(self):
+        assert NullSink().active is False
+
+    def test_jsonl_sink_writes_canonical_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(0, FileAdmitted(file="a", bytes=3, cause="demand"))
+        sink.close()
+        line = path.read_text().strip()
+        assert json.loads(line) == {
+            "seq": 0,
+            "kind": "FileAdmitted",
+            "file": "a",
+            "bytes": 3,
+            "cause": "demand",
+        }
+        assert " " not in line  # compact separators, reproducible bytes
+
+    def test_ring_sink_capacity(self):
+        sink = RingSink(capacity=2)
+        for i in range(5):
+            sink.emit(i, FileAdmitted(file=f"f{i}", bytes=1, cause="demand"))
+        assert len(sink) == 2
+        assert [e.file for e in sink.events] == ["f3", "f4"]
+        assert [s for s, _ in sink.sequenced] == [3, 4]
+
+
+class TestRecorder:
+    def test_null_recorder_is_inert(self):
+        assert NULL_RECORDER.active is False
+        NULL_RECORDER.emit(FileAdmitted(file="f", bytes=1, cause="demand"))
+        assert NULL_RECORDER.events_emitted == 0
+
+    def test_sequencing_and_replay(self):
+        sink = RingSink()
+        rec = TraceRecorder(sink)
+        a = FileAdmitted(file="a", bytes=1, cause="demand")
+        b = FileAdmitted(file="b", bytes=2, cause="prefetch")
+        rec.emit(a)
+        rec.replay([b, a])
+        assert [s for s, _ in sink.sequenced] == [0, 1, 2]
+        assert [e for _, e in sink.sequenced] == [a, b, a]
+
+    def test_ambient_recorder_nesting(self):
+        assert current_recorder() is NULL_RECORDER
+        outer = TraceRecorder(RingSink())
+        inner = TraceRecorder(RingSink())
+        with use_recorder(outer):
+            assert current_recorder() is outer
+            with use_recorder(inner):
+                assert current_recorder() is inner
+            assert current_recorder() is outer
+        assert current_recorder() is NULL_RECORDER
+
+    def test_recorder_from_spec(self, tmp_path):
+        assert recorder_from_spec("null").active is False
+        assert recorder_from_spec("off").active is False
+        jsonl = recorder_from_spec(f"jsonl:{tmp_path / 'x.jsonl'}")
+        assert jsonl.active and isinstance(jsonl.sink, JsonlSink)
+        jsonl.close()
+        ring = recorder_from_spec("ring:64")
+        assert isinstance(ring.sink, RingSink)
+        for bad in ("jsonl:", "ring:many", "carrier-pigeon"):
+            with pytest.raises(ConfigError):
+                recorder_from_spec(bad)
+
+    def test_span_records_into_registry(self):
+        rec = TraceRecorder(RingSink())
+        with rec.span("unit.test"):
+            pass
+        hist = rec.registry.get("span_unit_test_seconds")
+        assert hist.count == 1 and hist.max >= 0.0
+
+    def test_null_recorder_span_is_noop(self):
+        rec = TraceRecorder(NullSink(), profile=False)
+        with rec.span("unit.test"):
+            pass
+        assert rec.profiling is False
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        c = Counter("x_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_histogram_stats_and_buckets(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(55.5 / 3)
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.bucket_counts() == [(1.0, 1), (10.0, 2), (math.inf, 3)]
+
+    def test_registry_get_or_create_and_collision(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.gauge("a_total")
+
+    def test_exporters(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs").inc(3)
+        reg.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        text = reg.to_prometheus()
+        assert "# TYPE jobs_total counter" in text
+        assert "jobs_total 3" in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        as_dict = reg.as_dict()
+        assert as_dict["jobs_total"] == {"type": "counter", "value": 3}
+        assert as_dict["lat_seconds"]["count"] == 1
+
+    def test_merge_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n_total").inc(1)
+        b.counter("n_total").inc(2)
+        b.gauge("g").set(9)
+        a.merge_counters(b)
+        assert a.counter("n_total").value == 3
+        assert "g" not in a  # gauges are not merged
+
+
+class TestProfiling:
+    def test_ambient_span_and_timed(self):
+        rec = TraceRecorder(RingSink())
+        with use_recorder(rec):
+            with span("outer.block"):
+                pass
+
+            @timed("inner.fn")
+            def f(x):
+                return x + 1
+
+            assert f(1) == 2
+        rows = span_profile(rec.registry)
+        names = {r["span"] for r in rows}
+        assert names == {"outer_block", "inner_fn"}
+        assert all(r["calls"] == 1 for r in rows)
+
+
+class TestEventEmissionHelpers:
+    def test_stage_retried_schema_accepts_floats(self):
+        record = event_to_dict(0, StageRetried(file="f", attempt=1, delay=2.5, t=7.0))
+        validate_event(record)
