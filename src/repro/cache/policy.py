@@ -29,7 +29,7 @@ from typing import Mapping
 from repro.cache.state import CacheState
 from repro.core.bundle import FileBundle
 from repro.errors import PolicyError
-from repro.telemetry import FileEvicted, current_recorder
+from repro.telemetry import FileEvicted, PlanComputed, current_recorder
 from repro.telemetry.recorder import NULL_RECORDER, TraceRecorder
 from repro.types import FileId, SizeBytes
 
@@ -165,6 +165,21 @@ class PerFilePolicy(ReplacementPolicy):
             cache.evict(victim)
             evicted.add(victim)
             self._note_evicted(victim)
+        if rec.active:
+            # Per-file policies never prefetch; loads is what the simulator
+            # will admit for this bundle.  Emitting the same PlanComputed
+            # event OptFileBundle emits keeps traces of *all* policies
+            # alignable by the forensics diff tool.
+            missing = cache.missing(bundle)
+            rec.emit(
+                PlanComputed(
+                    policy=self.name,
+                    loads=len(missing),
+                    prefetches=0,
+                    evictions=len(evicted),
+                    hit=not missing,
+                )
+            )
         return PolicyDecision(evicted=frozenset(evicted))
 
     def on_serviced(

@@ -8,10 +8,25 @@ Subcommands
   ``--telemetry jsonl:<path>`` records an event trace alongside).
 * ``trace``     — run an experiment with a JSONL event trace + span profile.
 * ``bench``     — record jobs/sec + selection latency to ``BENCH_<name>.json``.
-* ``simulate``  — one-off simulation of a synthetic workload.
-* ``generate``  — write a synthetic trace to a JSONL file.
-* ``replay``    — replay a JSONL trace under one or more policies.
+* ``simulate``  — one-off simulation of a synthetic workload
+  (``--telemetry jsonl:TRACE_{policy}.jsonl`` records one telemetry
+  trace per policy).
+* ``generate``  — write a synthetic workload trace to a JSONL file.
+* ``replay``    — replay a JSONL workload trace under one or more policies.
 * ``chaos``     — policy comparison under seeded grid fault injection.
+* ``analyze``   — forensics on a recorded telemetry trace: cache-state
+  reconstruction, invariant checks, anomaly detection.
+* ``diff-traces``   — first divergent decision between two same-workload
+  telemetry traces.
+* ``export-chrome`` — convert a telemetry trace to Chrome trace-event
+  JSON (Perfetto / ``chrome://tracing``).
+
+Two kinds of JSONL file flow through this tool and the metavars keep
+them apart: a ``WORKLOAD_TRACE`` is an *input* to simulation (requests +
+file catalog, written by ``generate``, consumed by ``replay`` /
+``profile``), while a ``TELEMETRY_TRACE`` is an *output* of simulation
+(the event log written by ``trace`` / ``--telemetry``, consumed by
+``analyze`` / ``diff-traces`` / ``export-chrome``).
 """
 
 from __future__ import annotations
@@ -21,7 +36,7 @@ import sys
 from typing import Sequence
 
 from repro.cache.registry import POLICY_REGISTRY
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.sim.simulator import SimulationConfig, simulate_trace
 from repro.utils.tables import render_table
@@ -78,7 +93,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--out",
         default=None,
-        help="trace path (default: TRACE_<experiment>.jsonl)",
+        metavar="TELEMETRY_TRACE",
+        help="telemetry trace path (default: TRACE_<experiment>.jsonl)",
     )
     p_trace.add_argument(
         "--validate",
@@ -117,9 +133,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--max-bundle-frac", type=float, default=0.125)
     p_sim.add_argument("--queue-length", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="SPEC",
+        help="per-policy event-trace sink: 'null', 'jsonl:<path>' or "
+        "'ring[:capacity]'; a '{policy}' placeholder in a jsonl path is "
+        "replaced by each policy name (required when simulating more "
+        "than one policy to a jsonl sink)",
+    )
 
-    p_gen = sub.add_parser("generate", help="write a synthetic trace (JSONL)")
-    p_gen.add_argument("output")
+    p_gen = sub.add_parser(
+        "generate", help="write a synthetic workload trace (JSONL)"
+    )
+    p_gen.add_argument(
+        "output",
+        metavar="WORKLOAD_TRACE",
+        help="output path for the workload trace (requests + file catalog; "
+        "not a telemetry event trace)",
+    )
     p_gen.add_argument("--cache-size", default="1GB")
     p_gen.add_argument("--jobs", type=int, default=2000)
     p_gen.add_argument("--files", type=int, default=300)
@@ -131,8 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--arrival-rate", type=float, default=None)
     p_gen.add_argument("--seed", type=int, default=0)
 
-    p_rep = sub.add_parser("replay", help="replay a JSONL trace")
-    p_rep.add_argument("trace")
+    p_rep = sub.add_parser("replay", help="replay a JSONL workload trace")
+    p_rep.add_argument(
+        "trace",
+        metavar="WORKLOAD_TRACE",
+        help="workload trace written by 'generate' (not a telemetry "
+        "event trace — analyze those with 'analyze')",
+    )
     p_rep.add_argument("--cache-size", default="1GB")
     p_rep.add_argument(
         "--policy", action="append", choices=sorted(POLICY_REGISTRY), default=None
@@ -188,8 +225,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument("--seed", type=int, default=0)
 
-    p_prof = sub.add_parser("profile", help="profile a JSONL trace")
-    p_prof.add_argument("trace")
+    p_prof = sub.add_parser("profile", help="profile a JSONL workload trace")
+    p_prof.add_argument(
+        "trace",
+        metavar="WORKLOAD_TRACE",
+        help="workload trace written by 'generate' (not a telemetry "
+        "event trace)",
+    )
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="forensics on a telemetry trace: reconstruction, invariant "
+        "checks, anomaly detection",
+    )
+    p_an.add_argument(
+        "trace",
+        metavar="TELEMETRY_TRACE",
+        help="telemetry event trace written by 'trace' or '--telemetry'",
+    )
+    p_an.add_argument(
+        "--capacity",
+        default=None,
+        help="cache capacity (e.g. '1GB') enabling the occupancy invariant",
+    )
+    p_an.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="exit non-zero if the trace violates any invariant",
+    )
+    p_an.add_argument(
+        "--split-on-time-reset",
+        action="store_true",
+        help="treat simulated time running backwards as a run boundary "
+        "(concatenated timed-SRM runs) instead of a violation",
+    )
+    p_an.add_argument("--anomaly-window", type=int, default=9)
+    p_an.add_argument("--anomaly-threshold", type=float, default=3.5)
+
+    p_diff = sub.add_parser(
+        "diff-traces",
+        help="first divergent decision between two same-workload "
+        "telemetry traces",
+    )
+    p_diff.add_argument("trace_a", metavar="TELEMETRY_TRACE_A")
+    p_diff.add_argument("trace_b", metavar="TELEMETRY_TRACE_B")
+    p_diff.add_argument(
+        "--segment",
+        type=int,
+        default=0,
+        help="trace segment (simulation run) to compare (default: 0)",
+    )
+
+    p_chrome = sub.add_parser(
+        "export-chrome",
+        help="convert a telemetry trace to Chrome trace-event JSON "
+        "(Perfetto / chrome://tracing)",
+    )
+    p_chrome.add_argument(
+        "trace",
+        metavar="TELEMETRY_TRACE",
+        help="telemetry event trace written by 'trace' or '--telemetry'",
+    )
+    p_chrome.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: <TELEMETRY_TRACE stem>.chrome.json)",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="paired statistical comparison of two policies"
@@ -224,17 +325,41 @@ def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
     )
 
 
-def _report(trace: Trace, cache_size: int, policies, queue_length: int) -> str:
+def _report(
+    trace: Trace,
+    cache_size: int,
+    policies,
+    queue_length: int,
+    *,
+    telemetry: str | None = None,
+) -> str:
+    if (
+        telemetry
+        and telemetry.startswith("jsonl:")
+        and len(policies) > 1
+        and "{policy}" not in telemetry
+    ):
+        raise ConfigError(
+            "simulating multiple policies to one jsonl telemetry path would "
+            "overwrite it; add a '{policy}' placeholder, e.g. "
+            "--telemetry jsonl:TRACE_{policy}.jsonl"
+        )
     rows = []
     for policy in policies:
-        result = simulate_trace(
-            trace,
-            SimulationConfig(
-                cache_size=cache_size,
-                policy=policy,
-                queue_length=queue_length,
-            ),
+        config = SimulationConfig(
+            cache_size=cache_size,
+            policy=policy,
+            queue_length=queue_length,
         )
+        if telemetry:
+            from repro.telemetry import recorder_from_spec, use_recorder
+
+            spec = telemetry.replace("{policy}", policy)
+            with recorder_from_spec(spec) as recorder:
+                with use_recorder(recorder):
+                    result = simulate_trace(trace, config, recorder=recorder)
+        else:
+            result = simulate_trace(trace, config)
         m = result.metrics
         rows.append(
             [
@@ -266,14 +391,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.telemetry:
                 from repro.telemetry import recorder_from_spec, use_recorder
 
-                recorder = recorder_from_spec(args.telemetry)
-                try:
+                # the recorder context manager closes (and flushes a
+                # JsonlSink) even when the run raises mid-experiment
+                with recorder_from_spec(args.telemetry) as recorder:
                     with use_recorder(recorder):
                         output = run_experiment(
                             args.experiment, args.scale, jobs=args.jobs
                         )
-                finally:
-                    recorder.close()
                 print(output.render())
                 if recorder.active:
                     print(
@@ -296,14 +420,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
 
             out = args.out or f"TRACE_{args.experiment}.jsonl"
-            recorder = TraceRecorder(JsonlSink(out))
-            try:
+            with TraceRecorder(JsonlSink(out)) as recorder:
                 with use_recorder(recorder):
                     output = run_experiment(
                         args.experiment, args.scale, jobs=args.jobs
                     )
-            finally:
-                recorder.close()
             print(output.render())
             print(f"wrote {recorder.events_emitted} events to {out}")
             profile_rows = span_profile(recorder.registry)
@@ -349,9 +470,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             print(
                 _report(
-                    trace, parse_size(args.cache_size), policies, args.queue_length
+                    trace,
+                    parse_size(args.cache_size),
+                    policies,
+                    args.queue_length,
+                    telemetry=args.telemetry,
                 )
             )
+            if args.telemetry and args.telemetry.startswith("jsonl:"):
+                for policy in policies:
+                    path = args.telemetry.replace("{policy}", policy)[
+                        len("jsonl:") :
+                    ]
+                    print(f"telemetry ({policy}): {path}")
         elif args.command == "generate":
             trace = generate_trace(_spec_from_args(args))
             trace.dump(args.output)
@@ -466,6 +597,57 @@ def main(argv: Sequence[str] | None = None) -> int:
             if drift:
                 mean_drift = sum(drift) / len(drift)
                 print(f"hot-set stability (windowed Jaccard): {mean_drift:.3f}")
+        elif args.command == "analyze":
+            from repro.telemetry.forensics import (
+                TraceLog,
+                reconstruct,
+                window_anomalies,
+            )
+
+            log = TraceLog.load(args.trace)
+            capacity = parse_size(args.capacity) if args.capacity else None
+            report = reconstruct(
+                log,
+                capacity=capacity,
+                split_on_time_reset=args.split_on_time_reset,
+            )
+            print(f"trace: {args.trace}")
+            print(report.render())
+            anomalies = window_anomalies(
+                log,
+                window=args.anomaly_window,
+                threshold=args.anomaly_threshold,
+            )
+            if anomalies:
+                print(f"anomalies ({len(anomalies)}):")
+                for wa in anomalies:
+                    a = wa.anomaly
+                    print(
+                        f"  run {wa.run} window {wa.window_index}: "
+                        f"byte_miss_ratio {a.value:.4f} vs median "
+                        f"{a.median:.4f} (robust z = {a.score:.1f})"
+                    )
+            elif log.windows():
+                print("anomalies: none")
+            if args.check_invariants:
+                report.raise_if_violations()
+                print("invariants: ok")
+        elif args.command == "diff-traces":
+            from repro.telemetry.forensics import diff_traces
+
+            print(
+                diff_traces(
+                    args.trace_a, args.trace_b, segment=args.segment
+                ).render()
+            )
+        elif args.command == "export-chrome":
+            from pathlib import Path
+
+            from repro.telemetry.forensics import export_chrome
+
+            out = args.out or str(Path(args.trace).with_suffix("")) + ".chrome.json"
+            n = export_chrome(args.trace, out)
+            print(f"wrote {n} Chrome trace events to {out}")
         elif args.command == "compare":
             from repro.analysis.compare import compare_paired
 

@@ -22,6 +22,8 @@ __all__ = [
     "StagingTimeoutError",
     "RetryExhaustedError",
     "TelemetryError",
+    "TraceValidationError",
+    "TraceInvariantError",
 ]
 
 
@@ -108,6 +110,43 @@ class TelemetryError(ReproError, ValueError):
     Raised e.g. for malformed JSONL trace lines, unknown event kinds,
     metric name collisions across types, or decreasing counters.
     """
+
+
+class TraceValidationError(TelemetryError):
+    """A serialized telemetry trace failed schema validation.
+
+    Carries the location of the first invalid record: ``path`` (when the
+    record came from a file), the 1-based ``lineno``, and the offending
+    ``field`` name (``None`` when the whole line is at fault, e.g. broken
+    JSON or an unknown event kind).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        lineno: int | None = None,
+        field: str | None = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.lineno = lineno
+        self.field = field
+
+
+class TraceInvariantError(TelemetryError):
+    """A recorded trace describes an impossible simulation.
+
+    Raised by the forensics reconstructor when replaying a trace violates
+    a cache-state invariant (occupancy over capacity, eviction of a
+    non-resident file, a plan not satisfied by its admissions, sim-time
+    running backwards).  Carries the list of violations found.
+    """
+
+    def __init__(self, message: str, violations: list | None = None):
+        super().__init__(message)
+        self.violations = violations or []
 
 
 class RetryExhaustedError(ReproError):

@@ -15,7 +15,12 @@ from repro.cache.state import CacheState
 from repro.errors import ConfigError
 from repro.sim.metrics import WindowAccumulator
 from repro.sim.simulator import SimulationConfig
-from repro.telemetry import WindowRolled, current_recorder
+from repro.telemetry import (
+    FileAdmitted,
+    JobArrived,
+    WindowRolled,
+    current_recorder,
+)
 from repro.workload.trace import Trace
 
 __all__ = ["WindowPoint", "byte_miss_timeseries"]
@@ -85,6 +90,15 @@ def byte_miss_timeseries(
     for i, request in enumerate(trace):
         bundle = request.bundle
         requested = bundle.size_under(sizes)
+        if recorder.active:
+            recorder.emit(
+                JobArrived(
+                    job=i,
+                    request_id=request.request_id,
+                    n_files=len(bundle),
+                    bytes_requested=requested,
+                )
+            )
         if requested > cache.capacity:
             continue
         missing = cache.missing(bundle)
@@ -95,6 +109,17 @@ def byte_miss_timeseries(
                 loaded.add(f)
         for f in loaded:
             cache.load(f, sizes[f])
+        if recorder.active:
+            # same ordering contract as simulate_trace: per-file events are
+            # sorted so the trace is independent of set iteration order
+            for f in sorted(missing):
+                recorder.emit(
+                    FileAdmitted(file=str(f), bytes=sizes[f], cause="demand")
+                )
+            for f in sorted(loaded - missing):
+                recorder.emit(
+                    FileAdmitted(file=str(f), bytes=sizes[f], cause="prefetch")
+                )
         hit = not missing
         policy.on_serviced(bundle, frozenset(loaded), hit)
 

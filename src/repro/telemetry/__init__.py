@@ -17,6 +17,12 @@ Three cooperating pieces:
   (:mod:`repro.telemetry.profiling`) time the hot paths (planning,
   selection, ``on_request``, SRM staging) into span histograms, kept out
   of the deterministic event stream by design.
+* **Forensics** — :mod:`repro.telemetry.forensics` consumes recorded
+  traces after the fact: indexed reading (:class:`TraceLog`),
+  cache-state reconstruction with invariant checks, cross-policy
+  divergence diffing, byte-miss anomaly detection, and Chrome
+  trace-event export (``repro-fbc analyze / diff-traces /
+  export-chrome``).
 
 See the README's *Observability* section for a guided tour and
 ``repro-fbc trace`` for the CLI entry point.

@@ -23,7 +23,7 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Mapping
 
-from repro.errors import TelemetryError
+from repro.errors import TelemetryError, TraceValidationError
 
 __all__ = [
     "TraceEvent",
@@ -258,39 +258,52 @@ def event_from_dict(record: Mapping[str, Any]) -> TraceEvent:
 def validate_event(record: Mapping[str, Any]) -> None:
     """Check one serialized event against :data:`EVENT_SCHEMA`.
 
-    Raises :class:`~repro.errors.TelemetryError` naming the first
-    violation; returns ``None`` on success.
+    Raises :class:`~repro.errors.TraceValidationError` naming the first
+    violation (with the offending field on its ``field`` attribute);
+    returns ``None`` on success.
     """
     kind = record.get("kind")
     if kind not in EVENT_SCHEMA:
-        raise TelemetryError(f"unknown event kind {kind!r}")
+        raise TraceValidationError(f"unknown event kind {kind!r}", field="kind")
     schema = EVENT_SCHEMA[kind]
     seq = record.get("seq")
     if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
-        raise TelemetryError(f"{kind}: 'seq' must be a non-negative int, got {seq!r}")
+        raise TraceValidationError(
+            f"{kind}: 'seq' must be a non-negative int, got {seq!r}", field="seq"
+        )
     for name, allowed in schema.items():
         if name not in record:
-            raise TelemetryError(f"{kind}: missing field {name!r}")
+            raise TraceValidationError(
+                f"{kind}: missing field {name!r}", field=name
+            )
         value = record[name]
         if isinstance(value, bool) and bool not in allowed:
-            raise TelemetryError(f"{kind}.{name}: bool is not a valid value")
+            raise TraceValidationError(
+                f"{kind}.{name}: bool is not a valid value", field=name
+            )
         if not isinstance(value, allowed):
-            raise TelemetryError(
+            raise TraceValidationError(
                 f"{kind}.{name}: expected {'/'.join(t.__name__ for t in allowed)}, "
-                f"got {type(value).__name__}"
+                f"got {type(value).__name__}",
+                field=name,
             )
     extra = set(record) - set(schema) - {"seq", "kind"}
     if extra:
-        raise TelemetryError(f"{kind}: unexpected fields {sorted(extra)}")
+        first = sorted(extra)[0]
+        raise TraceValidationError(
+            f"{kind}: unexpected fields {sorted(extra)}", field=first
+        )
     if kind == "FileAdmitted" and record["cause"] not in _ADMIT_CAUSES:
-        raise TelemetryError(
+        raise TraceValidationError(
             f"FileAdmitted.cause must be one of {sorted(_ADMIT_CAUSES)}, "
-            f"got {record['cause']!r}"
+            f"got {record['cause']!r}",
+            field="cause",
         )
     if kind == "FaultInjected" and record["fault"] not in _FAULT_KINDS:
-        raise TelemetryError(
+        raise TraceValidationError(
             f"FaultInjected.fault must be one of {sorted(_FAULT_KINDS)}, "
-            f"got {record['fault']!r}"
+            f"got {record['fault']!r}",
+            field="fault",
         )
 
 
@@ -298,7 +311,10 @@ def validate_trace_file(path) -> int:
     """Validate every line of a JSONL trace; return the event count.
 
     Also checks that ``seq`` is a contiguous 0-based sequence, which any
-    single-recorder trace must satisfy.
+    single-recorder trace must satisfy.  On failure raises
+    :class:`~repro.errors.TraceValidationError` locating the first invalid
+    record: the message (and the exception's ``lineno``/``field``
+    attributes) carry the 1-based line number and the offending field.
     """
     count = 0
     with open(path, "r", encoding="utf-8") as fh:
@@ -309,15 +325,28 @@ def validate_trace_file(path) -> int:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise TelemetryError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+                raise TraceValidationError(
+                    f"{path}: line {lineno}: not valid JSON: {exc}",
+                    path=str(path),
+                    lineno=lineno,
+                ) from None
             try:
                 validate_event(record)
-            except TelemetryError as exc:
-                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
+            except TraceValidationError as exc:
+                field = f" (field {exc.field!r})" if exc.field else ""
+                raise TraceValidationError(
+                    f"{path}: line {lineno}{field}: {exc}",
+                    path=str(path),
+                    lineno=lineno,
+                    field=exc.field,
+                ) from None
             if record["seq"] != count:
-                raise TelemetryError(
-                    f"{path}:{lineno}: seq {record['seq']} out of order "
-                    f"(expected {count})"
-                )
+                raise TraceValidationError(
+                    f"{path}: line {lineno} (field 'seq'): seq {record['seq']} "
+                    f"out of order (expected {count})",
+                    path=str(path),
+                    lineno=lineno,
+                    field="seq",
+                ) from None
             count += 1
     return count

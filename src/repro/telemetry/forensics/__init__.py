@@ -1,0 +1,77 @@
+"""repro.telemetry.forensics — consuming recorded telemetry traces.
+
+PR 3 made every run *recordable* (typed JSONL events, deterministic to
+the byte); this package makes the recordings *usable*:
+
+* :mod:`~repro.telemetry.forensics.tracelog` — an indexed
+  :class:`TraceLog` reader (per-job, per-file and per-window timelines)
+  plus :func:`iter_trace` streaming iteration for traces too large to
+  hold in memory.
+* :mod:`~repro.telemetry.forensics.reconstruct` — replays admission /
+  eviction / staging events into a cache-residency timeline, checking
+  invariants as it goes ("trace lint"): occupancy never exceeds
+  capacity, no eviction of non-resident files, every ``PlanComputed``
+  satisfied by the admissions that follow it, sim-time monotone.  A
+  recorded run becomes self-verifying against the live simulator's final
+  :class:`~repro.cache.state.CacheState`.
+* :mod:`~repro.telemetry.forensics.diff` — aligns two same-workload
+  traces (e.g. landlord vs. optbundle on one seed), finds the first
+  divergent replacement decision and reports both policies' rationale
+  fields and the cache contents each policy faced.
+* :mod:`~repro.telemetry.forensics.anomaly` — rolling median + MAD
+  outlier detection over ``WindowRolled`` byte-miss-ratio series.
+* :mod:`~repro.telemetry.forensics.export` — Chrome trace-event (JSON)
+  export; load the result in Perfetto / ``chrome://tracing`` to see jobs,
+  cache churn and staging lifecycles on a timeline.
+
+CLI entry points: ``repro-fbc analyze``, ``diff-traces``,
+``export-chrome``.
+"""
+
+from repro.telemetry.forensics.anomaly import (
+    Anomaly,
+    WindowAnomaly,
+    detect_anomalies,
+    window_anomalies,
+)
+from repro.telemetry.forensics.diff import Divergence, TraceDiff, diff_traces
+from repro.telemetry.forensics.export import export_chrome, to_chrome_trace
+from repro.telemetry.forensics.reconstruct import (
+    InvariantViolation,
+    ReconstructionReport,
+    SegmentState,
+    reconstruct,
+    verify_against_cache,
+)
+from repro.telemetry.forensics.tracelog import (
+    JobWindow,
+    Segment,
+    TraceLog,
+    iter_trace,
+)
+
+__all__ = [
+    # tracelog
+    "TraceLog",
+    "JobWindow",
+    "Segment",
+    "iter_trace",
+    # reconstruct
+    "reconstruct",
+    "verify_against_cache",
+    "ReconstructionReport",
+    "SegmentState",
+    "InvariantViolation",
+    # diff
+    "diff_traces",
+    "TraceDiff",
+    "Divergence",
+    # anomaly
+    "detect_anomalies",
+    "window_anomalies",
+    "Anomaly",
+    "WindowAnomaly",
+    # export
+    "to_chrome_trace",
+    "export_chrome",
+]

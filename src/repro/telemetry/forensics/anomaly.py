@@ -1,0 +1,137 @@
+"""Windowed anomaly detection over recorded metric series.
+
+Learning-curve runs emit one ``WindowRolled`` event per window of jobs;
+the byte-miss-ratio series is normally smooth (warm-up decay, then a
+steady-state plateau).  A sudden spike — a fault burst, a workload phase
+change, a policy pathology — stands out against the recent past.
+
+The detector is deliberately simple and dependency-free: a *trailing*
+rolling median with a median-absolute-deviation (MAD) scale, flagging
+points whose robust z-score
+
+    z = 0.6745 * (x - median) / MAD
+
+exceeds a threshold (default 3.5, the usual Iglewicz–Hoaglin cut-off).
+Median/MAD rather than mean/stddev so that the anomalies being hunted do
+not drag the baseline toward themselves, and *trailing* (only points
+before the current one) so a point is never judged against a window that
+already contains it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.telemetry.forensics.tracelog import TraceLog
+
+__all__ = ["detect_anomalies", "window_anomalies", "Anomaly", "WindowAnomaly"]
+
+#: scale factor making MAD consistent with stddev for normal data
+_MAD_K = 0.6745
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged point of a metric series."""
+
+    index: int
+    value: float
+    median: float
+    mad: float
+    score: float
+
+
+@dataclass(frozen=True)
+class WindowAnomaly:
+    """An :class:`Anomaly` located in a trace's ``WindowRolled`` series."""
+
+    run: int
+    window_index: int
+    jobs: int
+    anomaly: Anomaly
+
+
+def detect_anomalies(
+    values: Iterable[float],
+    *,
+    window: int = 9,
+    threshold: float = 3.5,
+    min_history: int = 5,
+    min_mad: float = 1e-9,
+) -> list[Anomaly]:
+    """Flag outliers in a series by trailing rolling median + MAD.
+
+    For each point, the baseline is the median of the up-to-``window``
+    *preceding* points and the scale is their MAD; the point is flagged
+    when ``0.6745 * |x - median| / max(MAD, min_mad)`` exceeds
+    ``threshold``.  The first ``min_history`` points are never flagged
+    (no baseline to judge against).  ``min_mad`` floors the scale so a
+    perfectly flat history (MAD = 0) does not turn any infinitesimal
+    wiggle into an "anomaly" of infinite score — with the floor, a flat
+    history still flags only genuine jumps.
+    """
+    if window < 2:
+        raise ConfigError(f"window must be >= 2, got {window}")
+    if min_history < 2:
+        raise ConfigError(f"min_history must be >= 2, got {min_history}")
+    if threshold <= 0:
+        raise ConfigError(f"threshold must be > 0, got {threshold}")
+    if min_mad <= 0:
+        raise ConfigError(f"min_mad must be > 0, got {min_mad}")
+
+    series = [float(v) for v in values]
+    anomalies: list[Anomaly] = []
+    for i, x in enumerate(series):
+        if i < min_history:
+            continue
+        history: Sequence[float] = series[max(0, i - window) : i]
+        med = statistics.median(history)
+        mad = statistics.median(abs(h - med) for h in history)
+        scale = max(mad, min_mad)
+        score = _MAD_K * abs(x - med) / scale
+        if score > threshold:
+            anomalies.append(
+                Anomaly(index=i, value=x, median=med, mad=mad, score=score)
+            )
+    return anomalies
+
+
+def window_anomalies(
+    log: TraceLog,
+    *,
+    window: int = 9,
+    threshold: float = 3.5,
+    min_history: int = 5,
+    min_mad: float = 1e-9,
+) -> list[WindowAnomaly]:
+    """Run :func:`detect_anomalies` over every ``WindowRolled`` run of a
+    trace's byte-miss-ratio series.
+
+    Each learning-curve run (window index restarting at 0) is analysed
+    independently so one run's steady state is never compared against
+    another run's warm-up.  Traces without ``WindowRolled`` events yield
+    an empty list.
+    """
+    results: list[WindowAnomaly] = []
+    for run_index, run in enumerate(log.windows()):
+        found = detect_anomalies(
+            (w.byte_miss_ratio for w in run),
+            window=window,
+            threshold=threshold,
+            min_history=min_history,
+            min_mad=min_mad,
+        )
+        for a in found:
+            rolled = run[a.index]
+            results.append(
+                WindowAnomaly(
+                    run=run_index,
+                    window_index=rolled.index,
+                    jobs=rolled.jobs,
+                    anomaly=a,
+                )
+            )
+    return results

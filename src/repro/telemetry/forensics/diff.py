@@ -1,0 +1,315 @@
+"""Cross-policy divergence analysis of two same-workload traces.
+
+Two policies replaying the *same seeded workload* produce event streams
+that agree job for job until the first replacement decision where they
+part ways; everything after that (residency, hits, byte traffic) is
+downstream of that first divergence.  :func:`diff_traces` aligns the two
+streams on job windows, finds that first divergent decision, and reports:
+
+* the divergent event pair (e.g. Landlord's ``FileEvicted`` of a file
+  OptFileBundle kept) with each policy's own rationale fields — the
+  Landlord residual ``credit``/``last_refresh`` against the OptFileBundle
+  history ``degree``;
+* the cache contents each policy faced at that instant (the reconstructed
+  residency at the start of the job window);
+* each policy's ``PlanComputed`` for the job.
+
+This automates the manual trace-grepping walkthrough EXPERIMENTS.md used
+to carry; ``repro-fbc diff-traces A B`` prints the rendered report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.telemetry.events import (
+    FileAdmitted,
+    FileEvicted,
+    JobArrived,
+    PlanComputed,
+    event_to_dict,
+)
+from repro.telemetry.forensics.tracelog import JobWindow, TraceLog
+
+__all__ = ["diff_traces", "TraceDiff", "Divergence", "CacheSnapshot"]
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Reconstructed residency at one instant of one trace."""
+
+    files: int
+    used: int
+    residents: tuple[str, ...]  # sorted file ids
+
+    @classmethod
+    def of(cls, residency: dict[str, int]) -> "CacheSnapshot":
+        return cls(
+            files=len(residency),
+            used=sum(residency.values()),
+            residents=tuple(sorted(residency)),
+        )
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first decision where two traces disagree.
+
+    ``a_event``/``b_event`` are the serialized divergent events (``None``
+    when one side simply has no counterpart, e.g. one policy evicted and
+    the other did not).  ``kind`` classifies the disagreement:
+    ``eviction`` / ``admission`` / ``plan`` / ``workload`` /
+    ``trailing-jobs``.
+    """
+
+    kind: str
+    job: int
+    request_id: int
+    a_event: dict | None
+    b_event: dict | None
+    a_plan: dict | None
+    b_plan: dict | None
+    a_cache: CacheSnapshot
+    b_cache: CacheSnapshot
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Result of :func:`diff_traces`."""
+
+    policy_a: str
+    policy_b: str
+    jobs_compared: int
+    divergence: Divergence | None
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def render(self) -> str:
+        head = (
+            f"diff: {self.policy_a or '?'} vs {self.policy_b or '?'} "
+            f"({self.jobs_compared} jobs aligned)"
+        )
+        d = self.divergence
+        if d is None:
+            return head + "\nno divergent decision: the traces agree."
+        lines = [
+            head,
+            f"first divergence: job {d.job} (request {d.request_id}), "
+            f"kind: {d.kind}",
+        ]
+
+        def _side(label: str, policy: str, event, plan, cache) -> None:
+            lines.append(f"  [{label}] {policy or '?'}:")
+            if event is not None:
+                detail = event.get("detail")
+                rationale = f"  rationale: {detail}" if detail else ""
+                lines.append(f"    event: {_fmt_event(event)}{rationale}")
+            else:
+                lines.append("    event: (no counterpart)")
+            if plan is not None:
+                lines.append(
+                    f"    plan: loads={plan['loads']} "
+                    f"prefetches={plan['prefetches']} "
+                    f"evictions={plan['evictions']} hit={plan['hit']}"
+                )
+            lines.append(
+                f"    cache at decision: {cache.files} files / {cache.used} bytes"
+            )
+
+        _side("a", self.policy_a, d.a_event, d.a_plan, d.a_cache)
+        _side("b", self.policy_b, d.b_event, d.b_plan, d.b_cache)
+        only_a = sorted(set(d.a_cache.residents) - set(d.b_cache.residents))
+        only_b = sorted(set(d.b_cache.residents) - set(d.a_cache.residents))
+        if only_a or only_b:
+            lines.append(
+                f"  residency delta before decision: "
+                f"only-{self.policy_a or 'a'}={_clip(only_a)} "
+                f"only-{self.policy_b or 'b'}={_clip(only_b)}"
+            )
+        return "\n".join(lines)
+
+
+def _clip(names: list[str], limit: int = 8) -> str:
+    if len(names) <= limit:
+        return "[" + ",".join(names) + "]"
+    return "[" + ",".join(names[:limit]) + f",... +{len(names) - limit}]"
+
+
+def _fmt_event(record: dict) -> str:
+    parts = [record["kind"]]
+    for key in ("file", "bytes", "cause", "policy"):
+        if key in record:
+            parts.append(f"{key}={record[key]}")
+    return f"seq {record['seq']}: " + " ".join(parts)
+
+
+def _serialize(seq: int, event) -> dict:
+    return event_to_dict(seq, event)
+
+
+def _policy_name(log: TraceLog) -> str:
+    for event in log:
+        if isinstance(event, (PlanComputed, FileEvicted)):
+            return event.policy
+    return ""
+
+
+def _window_decisions(log: TraceLog, window: JobWindow):
+    """(evictions, admissions, plan) event triples of one job window."""
+    evictions: list[tuple[int, FileEvicted]] = []
+    admissions: list[tuple[int, FileAdmitted]] = []
+    plan: tuple[int, PlanComputed] | None = None
+    for i in range(window.start + 1, window.end):
+        event = log.event(i)
+        if isinstance(event, FileEvicted):
+            evictions.append((log.seq(i), event))
+        elif isinstance(event, FileAdmitted):
+            admissions.append((log.seq(i), event))
+        elif isinstance(event, PlanComputed) and plan is None:
+            plan = (log.seq(i), event)
+    return evictions, admissions, plan
+
+
+def _first_unmatched(events, other_files):
+    for seq, event in events:
+        if event.file not in other_files:
+            return _serialize(seq, event)
+    return None
+
+
+def _apply(residency: dict[str, int], log: TraceLog, window: JobWindow) -> None:
+    """Advance a residency reconstruction across one job window."""
+    for i in range(window.start, window.end):
+        event = log.event(i)
+        if isinstance(event, FileAdmitted):
+            residency[event.file] = event.bytes
+        elif isinstance(event, FileEvicted):
+            residency.pop(event.file, None)
+
+
+def diff_traces(
+    a: Union[TraceLog, str, Path],
+    b: Union[TraceLog, str, Path],
+    *,
+    segment: int = 0,
+) -> TraceDiff:
+    """Find the first divergent decision between two same-workload traces.
+
+    Both traces must record the same seeded workload (the tool verifies
+    job arrivals agree — a mismatch is reported as a ``workload``
+    divergence rather than silently comparing apples to oranges).
+    Eviction/admission order *within* one job is not significant: the
+    decision compared is the per-job set of files evicted and admitted.
+    """
+    log_a = a if isinstance(a, TraceLog) else TraceLog.load(a)
+    log_b = b if isinstance(b, TraceLog) else TraceLog.load(b)
+    policy_a, policy_b = _policy_name(log_a), _policy_name(log_b)
+
+    jobs_a, jobs_b = log_a.jobs(segment), log_b.jobs(segment)
+    residency_a: dict[str, int] = {}
+    residency_b: dict[str, int] = {}
+    jobs_compared = 0
+
+    for wa, wb in zip(jobs_a, jobs_b):
+        arr_a = log_a.event(wa.start)
+        arr_b = log_b.event(wb.start)
+        assert isinstance(arr_a, JobArrived) and isinstance(arr_b, JobArrived)
+        snap_a, snap_b = CacheSnapshot.of(residency_a), CacheSnapshot.of(residency_b)
+        ev_a, ad_a, plan_a = _window_decisions(log_a, wa)
+        ev_b, ad_b, plan_b = _window_decisions(log_b, wb)
+        plan_a_d = _serialize(*plan_a) if plan_a else None
+        plan_b_d = _serialize(*plan_b) if plan_b else None
+
+        def _diverge(kind, a_event, b_event):
+            return TraceDiff(
+                policy_a=policy_a,
+                policy_b=policy_b,
+                jobs_compared=jobs_compared,
+                divergence=Divergence(
+                    kind=kind,
+                    job=arr_a.job,
+                    request_id=arr_a.request_id,
+                    a_event=a_event,
+                    b_event=b_event,
+                    a_plan=plan_a_d,
+                    b_plan=plan_b_d,
+                    a_cache=snap_a,
+                    b_cache=snap_b,
+                ),
+            )
+
+        if (arr_a.request_id, arr_a.n_files, arr_a.bytes_requested) != (
+            arr_b.request_id,
+            arr_b.n_files,
+            arr_b.bytes_requested,
+        ):
+            return _diverge(
+                "workload",
+                _serialize(log_a.seq(wa.start), arr_a),
+                _serialize(log_b.seq(wb.start), arr_b),
+            )
+
+        evict_files_a = {e.file for _, e in ev_a}
+        evict_files_b = {e.file for _, e in ev_b}
+        if evict_files_a != evict_files_b:
+            return _diverge(
+                "eviction",
+                _first_unmatched(ev_a, evict_files_b),
+                _first_unmatched(ev_b, evict_files_a),
+            )
+        admit_files_a = {e.file for _, e in ad_a}
+        admit_files_b = {e.file for _, e in ad_b}
+        if admit_files_a != admit_files_b:
+            return _diverge(
+                "admission",
+                _first_unmatched(ad_a, admit_files_b),
+                _first_unmatched(ad_b, admit_files_a),
+            )
+        pa = plan_a[1] if plan_a else None
+        pb = plan_b[1] if plan_b else None
+        if (pa is None) != (pb is None) or (
+            pa is not None
+            and pb is not None
+            and (pa.loads, pa.prefetches, pa.evictions, pa.hit)
+            != (pb.loads, pb.prefetches, pb.evictions, pb.hit)
+        ):
+            return _diverge("plan", plan_a_d, plan_b_d)
+
+        _apply(residency_a, log_a, wa)
+        _apply(residency_b, log_b, wb)
+        jobs_compared += 1
+
+    if len(jobs_a) != len(jobs_b):
+        longer, log, windows = (
+            ("a", log_a, jobs_a) if len(jobs_a) > len(jobs_b) else ("b", log_b, jobs_b)
+        )
+        w = windows[jobs_compared]
+        arr = log.event(w.start)
+        trailing = _serialize(log.seq(w.start), arr)
+        return TraceDiff(
+            policy_a=policy_a,
+            policy_b=policy_b,
+            jobs_compared=jobs_compared,
+            divergence=Divergence(
+                kind="trailing-jobs",
+                job=arr.job,
+                request_id=arr.request_id,
+                a_event=trailing if longer == "a" else None,
+                b_event=trailing if longer == "b" else None,
+                a_plan=None,
+                b_plan=None,
+                a_cache=CacheSnapshot.of(residency_a),
+                b_cache=CacheSnapshot.of(residency_b),
+            ),
+        )
+
+    return TraceDiff(
+        policy_a=policy_a,
+        policy_b=policy_b,
+        jobs_compared=jobs_compared,
+        divergence=None,
+    )

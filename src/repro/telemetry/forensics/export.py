@@ -1,0 +1,288 @@
+"""Chrome trace-event export: view a telemetry trace on a timeline.
+
+:func:`to_chrome_trace` converts a recorded trace into the Chrome
+trace-event JSON format, loadable in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``.  The mapping:
+
+* each trace *segment* (one simulation run) becomes a process (pid),
+* four tracks (tids) per segment: job service, cache churn, staging
+  lifecycles, injected faults,
+* jobs render as duration ("X") slices spanning until the next arrival,
+* admissions / evictions / plans / retries / fail-overs / faults render
+  as instant ("i") events carrying their full payload in ``args``,
+* staging attempts render as async begin/end ("b"/"e") pairs keyed by
+  ``file/attempt`` — a retried file shows stacked failed attempts before
+  the completing one,
+* ``WindowRolled`` renders as counter ("C") series of the byte-miss and
+  request-hit ratios.
+
+Timestamps are microseconds.  Timed (SRM) segments use simulated time
+``t * 1e6`` with carry-forward for untimed events between staging events;
+untimed segments use the event index as a synthetic 1µs-per-event clock.
+Segments are laid end to end and the clock is clamped monotone, so the
+export never violates the format's non-decreasing-time expectation even
+on a trace whose segments restart ``t`` at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import (
+    FaultInjected,
+    FileAdmitted,
+    FileEvicted,
+    JobArrived,
+    PlanComputed,
+    StageCompleted,
+    StageFailedOver,
+    StageRetried,
+    StageStarted,
+    WindowRolled,
+)
+from repro.telemetry.forensics.tracelog import TraceLog
+
+__all__ = ["to_chrome_trace", "export_chrome"]
+
+#: track (thread) ids within each segment's process
+_TID_JOBS = 1
+_TID_CACHE = 2
+_TID_STAGING = 3
+_TID_FAULTS = 4
+_TID_METRICS = 5
+
+_TRACK_NAMES = {
+    _TID_JOBS: "jobs",
+    _TID_CACHE: "cache",
+    _TID_STAGING: "staging",
+    _TID_FAULTS: "faults",
+    _TID_METRICS: "metrics",
+}
+
+
+def _timestamps(log: TraceLog) -> list[float]:
+    """Per-event microsecond timestamps, globally monotone non-decreasing."""
+    ts = [0.0] * len(log)
+    cursor = 0.0
+    for seg in log.segments():
+        offset = cursor
+        for i in range(seg.start, seg.end):
+            event = log.event(i)
+            t = getattr(event, "t", None)
+            if seg.timed:
+                candidate = offset + t * 1e6 if t is not None else cursor
+            else:
+                candidate = offset + float(i - seg.start)
+            cursor = max(cursor, candidate)
+            ts[i] = cursor
+    return ts
+
+
+def _base(
+    name: str, ph: str, ts: float, pid: int, tid: int, cat: str
+) -> dict[str, Any]:
+    return {"name": name, "ph": ph, "ts": ts, "pid": pid, "tid": tid, "cat": cat}
+
+
+def to_chrome_trace(log: TraceLog) -> dict[str, Any]:
+    """Convert an indexed trace into a Chrome trace-event JSON object."""
+    events: list[dict[str, Any]] = []
+    ts = _timestamps(log)
+    segments = log.segments()
+
+    for seg in segments:
+        pid = seg.index + 1
+        flavour = "timed" if seg.timed else "untimed"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": pid,
+                "tid": 0,
+                "cat": "__metadata",
+                "args": {"name": f"segment {seg.index} ({flavour})"},
+            }
+        )
+        for tid, label in _TRACK_NAMES.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0.0,
+                    "pid": pid,
+                    "tid": tid,
+                    "cat": "__metadata",
+                    "args": {"name": label},
+                }
+            )
+
+    # job "X" slices need each arrival's end time: the next arrival in the
+    # same segment, or the segment end
+    job_end: dict[int, float] = {}
+    for seg in segments:
+        previous: int | None = None
+        for i in range(seg.start, seg.end):
+            if isinstance(log.event(i), JobArrived):
+                if previous is not None:
+                    job_end[previous] = ts[i]
+                previous = i
+        if previous is not None:
+            job_end[previous] = ts[seg.end - 1]
+
+    for seg in segments:
+        pid = seg.index + 1
+        open_attempt: dict[str, int] = {}
+        for i in range(seg.start, seg.end):
+            event = log.event(i)
+            t_us = ts[i]
+            if isinstance(event, JobArrived):
+                record = _base(f"job {event.job}", "X", t_us, pid, _TID_JOBS, "job")
+                record["dur"] = max(job_end.get(i, t_us) - t_us, 1.0)
+                record["args"] = {
+                    "request_id": event.request_id,
+                    "n_files": event.n_files,
+                    "bytes_requested": event.bytes_requested,
+                }
+                events.append(record)
+            elif isinstance(event, PlanComputed):
+                record = _base("plan", "i", t_us, pid, _TID_JOBS, "job")
+                record["s"] = "t"
+                record["args"] = {
+                    "policy": event.policy,
+                    "loads": event.loads,
+                    "prefetches": event.prefetches,
+                    "evictions": event.evictions,
+                    "hit": event.hit,
+                }
+                events.append(record)
+            elif isinstance(event, FileAdmitted):
+                record = _base(
+                    f"admit {event.file}", "i", t_us, pid, _TID_CACHE, "cache"
+                )
+                record["s"] = "t"
+                record["args"] = {"bytes": event.bytes, "cause": event.cause}
+                events.append(record)
+            elif isinstance(event, FileEvicted):
+                record = _base(
+                    f"evict {event.file}", "i", t_us, pid, _TID_CACHE, "cache"
+                )
+                record["s"] = "t"
+                record["args"] = {
+                    "bytes": event.bytes,
+                    "policy": event.policy,
+                    "detail": event.detail,
+                }
+                events.append(record)
+            elif isinstance(event, StageStarted):
+                stale = open_attempt.pop(event.file, None)
+                if stale is not None:
+                    # an earlier attempt was abandoned without a retry or
+                    # completion event (e.g. the job failed and was
+                    # requeued) — close it so async pairs stay balanced
+                    closer = _base(
+                        f"stage {event.file}",
+                        "e",
+                        t_us,
+                        pid,
+                        _TID_STAGING,
+                        "staging",
+                    )
+                    closer["id"] = f"{event.file}/{stale}"
+                    events.append(closer)
+                open_attempt[event.file] = event.attempt
+                record = _base(
+                    f"stage {event.file}", "b", t_us, pid, _TID_STAGING, "staging"
+                )
+                record["id"] = f"{event.file}/{event.attempt}"
+                record["args"] = {
+                    "bytes": event.bytes,
+                    "site": event.site,
+                    "attempt": event.attempt,
+                }
+                events.append(record)
+            elif isinstance(event, StageRetried):
+                attempt = open_attempt.pop(event.file, event.attempt)
+                record = _base(
+                    f"stage {event.file}", "e", t_us, pid, _TID_STAGING, "staging"
+                )
+                record["id"] = f"{event.file}/{attempt}"
+                events.append(record)
+                mark = _base(
+                    f"retry {event.file}", "i", t_us, pid, _TID_STAGING, "staging"
+                )
+                mark["s"] = "t"
+                mark["args"] = {"attempt": event.attempt, "delay": event.delay}
+                events.append(mark)
+            elif isinstance(event, StageFailedOver):
+                record = _base(
+                    f"failover {event.file}", "i", t_us, pid, _TID_STAGING, "staging"
+                )
+                record["s"] = "t"
+                record["args"] = {
+                    "from_site": event.from_site,
+                    "to_site": event.to_site,
+                }
+                events.append(record)
+            elif isinstance(event, StageCompleted):
+                attempt = open_attempt.pop(event.file, 1)
+                record = _base(
+                    f"stage {event.file}", "e", t_us, pid, _TID_STAGING, "staging"
+                )
+                record["id"] = f"{event.file}/{attempt}"
+                record["args"] = {"bytes": event.bytes, "site": event.site}
+                events.append(record)
+            elif isinstance(event, FaultInjected):
+                record = _base(
+                    f"fault {event.fault}", "i", t_us, pid, _TID_FAULTS, "fault"
+                )
+                record["s"] = "t"
+                record["args"] = {"component": event.component}
+                events.append(record)
+            elif isinstance(event, WindowRolled):
+                for metric in ("byte_miss_ratio", "request_hit_ratio"):
+                    record = _base(metric, "C", t_us, pid, _TID_METRICS, "metric")
+                    record["args"] = {"value": getattr(event, metric)}
+                    events.append(record)
+
+        # attempts still open at segment end (the run stopped mid-stage)
+        end_ts = ts[seg.end - 1] if seg.end > seg.start else 0.0
+        for file, attempt in sorted(open_attempt.items()):
+            closer = _base(f"stage {file}", "e", end_ts, pid, _TID_STAGING, "staging")
+            closer["id"] = f"{file}/{attempt}"
+            events.append(closer)
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": str(log.path) if log.path else "<memory>",
+            "events": len(log),
+            "segments": len(segments),
+        },
+    }
+
+
+def export_chrome(
+    source: Union[TraceLog, str, Path], out_path: str | Path
+) -> int:
+    """Write a trace's Chrome trace-event JSON to ``out_path``.
+
+    Returns the number of exported trace events.
+    """
+    log = source if isinstance(source, TraceLog) else TraceLog.load(source)
+    doc = to_chrome_trace(log)
+    out = Path(out_path)
+    try:
+        fh = open(out, "w", encoding="utf-8")
+    except OSError as exc:
+        raise TelemetryError(
+            f"cannot write Chrome trace {out}: {exc.strerror or exc}"
+        ) from None
+    with fh:
+        json.dump(doc, fh, separators=(",", ":"), sort_keys=True)
+        fh.write("\n")
+    return len(doc["traceEvents"])

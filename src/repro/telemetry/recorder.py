@@ -135,6 +135,15 @@ class TraceRecorder:
     def close(self) -> None:
         self.sink.close()
 
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        # Closing on the error path too guarantees a JsonlSink is flushed
+        # even when the traced run raises (the partial trace stays usable).
+        self.close()
+        return None
+
     # ------------------------------------------------------------------ #
     # profiling
 

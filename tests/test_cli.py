@@ -221,6 +221,213 @@ class TestTelemetryCommands:
         assert "error:" in capsys.readouterr().err
 
 
+def _simulate_with_telemetry(tmp_path, spec_template):
+    """Record two same-seed per-policy telemetry traces via the CLI."""
+    assert (
+        main(
+            [
+                "simulate",
+                "--jobs",
+                "120",
+                "--files",
+                "80",
+                "--request-types",
+                "60",
+                "--cache-size",
+                "200MB",
+                "--max-file-frac",
+                "0.05",
+                "--max-bundle-frac",
+                "0.25",
+                "--seed",
+                "11",
+                "--policy",
+                "landlord",
+                "--policy",
+                "optbundle",
+                "--telemetry",
+                spec_template,
+            ]
+        )
+        == 0
+    )
+
+
+class TestForensicsCommands:
+    def test_simulate_records_per_policy_traces(self, tmp_path, capsys):
+        template = f"jsonl:{tmp_path}/T_{{policy}}.jsonl"
+        _simulate_with_telemetry(tmp_path, template)
+        out = capsys.readouterr().out
+        assert "telemetry (landlord):" in out
+        assert (tmp_path / "T_landlord.jsonl").stat().st_size > 0
+        assert (tmp_path / "T_optbundle.jsonl").stat().st_size > 0
+
+    def test_simulate_multi_policy_single_jsonl_path_errors(
+        self, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--jobs",
+                    "20",
+                    "--files",
+                    "30",
+                    "--request-types",
+                    "20",
+                    "--cache-size",
+                    "64MB",
+                    "--policy",
+                    "lru",
+                    "--policy",
+                    "fifo",
+                    "--telemetry",
+                    f"jsonl:{tmp_path}/one.jsonl",
+                ]
+            )
+            == 2
+        )
+        assert "{policy}" in capsys.readouterr().err
+
+    def test_analyze_clean_trace(self, tmp_path, capsys):
+        template = f"jsonl:{tmp_path}/T_{{policy}}.jsonl"
+        _simulate_with_telemetry(tmp_path, template)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "analyze",
+                    f"{tmp_path}/T_landlord.jsonl",
+                    "--capacity",
+                    "200MB",
+                    "--check-invariants",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "violations: 0" in out
+        assert "invariants: ok" in out
+
+    def test_analyze_corrupted_trace_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        template = f"jsonl:{tmp_path}/T_{{policy}}.jsonl"
+        _simulate_with_telemetry(tmp_path, template)
+        capsys.readouterr()
+        path = tmp_path / "T_landlord.jsonl"
+        lines = path.read_text().splitlines()
+        at = next(i for i, l in enumerate(lines) if '"kind":"FileEvicted"' in l)
+        record = json.loads(lines[at])
+        record["file"] = "ghost"
+        lines[at] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        assert (
+            main(["analyze", str(path), "--check-invariants"])
+            == 2
+        )
+        assert "evict-nonresident" in capsys.readouterr().err
+
+    def test_diff_traces_reports_rationales(self, tmp_path, capsys):
+        template = f"jsonl:{tmp_path}/T_{{policy}}.jsonl"
+        _simulate_with_telemetry(tmp_path, template)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "diff-traces",
+                    f"{tmp_path}/T_landlord.jsonl",
+                    f"{tmp_path}/T_optbundle.jsonl",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "credit" in out and "degree" in out
+
+    def test_export_chrome_default_output(self, tmp_path, capsys):
+        template = f"jsonl:{tmp_path}/T_{{policy}}.jsonl"
+        _simulate_with_telemetry(tmp_path, template)
+        capsys.readouterr()
+        assert main(["export-chrome", f"{tmp_path}/T_landlord.jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert "Chrome trace events" in out
+        import json
+
+        doc = json.loads((tmp_path / "T_landlord.chrome.json").read_text())
+        assert doc["traceEvents"]
+
+    def test_jsonl_sink_flushed_on_cli_error_path(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """When the traced run raises a ReproError mid-flight the CLI
+        still closes the sink: events emitted before the failure are on
+        disk and the trace validates."""
+        import repro.cli as cli_module
+        from repro.errors import ReproError
+        from repro.telemetry import (
+            FileAdmitted,
+            current_recorder,
+            validate_trace_file,
+        )
+
+        def exploding_run_experiment(name, scale, jobs=None):
+            rec = current_recorder()
+            rec.emit(FileAdmitted(file="pre-crash", bytes=1, cause="demand"))
+            raise ReproError("injected failure")
+
+        monkeypatch.setattr(
+            cli_module, "run_experiment", exploding_run_experiment
+        )
+        out_path = tmp_path / "partial.jsonl"
+        assert (
+            main(
+                ["trace", "fig5", "--scale", "smoke", "--out", str(out_path)]
+            )
+            == 2
+        )
+        assert "injected failure" in capsys.readouterr().err
+        assert validate_trace_file(out_path) == 1
+        assert "pre-crash" in out_path.read_text()
+
+    def test_run_telemetry_sink_flushed_on_error_path(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+        from repro.errors import ReproError
+        from repro.telemetry import (
+            FileAdmitted,
+            current_recorder,
+            validate_trace_file,
+        )
+
+        def exploding_run_experiment(name, scale, jobs=None):
+            current_recorder().emit(
+                FileAdmitted(file="pre-crash", bytes=1, cause="demand")
+            )
+            raise ReproError("injected failure")
+
+        monkeypatch.setattr(
+            cli_module, "run_experiment", exploding_run_experiment
+        )
+        out_path = tmp_path / "partial.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "tables",
+                    "--scale",
+                    "smoke",
+                    "--telemetry",
+                    f"jsonl:{out_path}",
+                ]
+            )
+            == 2
+        )
+        assert validate_trace_file(out_path) == 1
+
+
 class TestChaosCommand:
     def test_chaos_table(self, capsys):
         args = [

@@ -1,0 +1,90 @@
+"""Rolling median + MAD anomaly detection over metric series."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry.events import WindowRolled
+from repro.telemetry.forensics import TraceLog, detect_anomalies, window_anomalies
+
+
+def rolled(values, start_index=0):
+    return [
+        WindowRolled(
+            index=start_index + i,
+            jobs=10,
+            byte_miss_ratio=v,
+            request_hit_ratio=1.0 - v,
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+class TestDetectAnomalies:
+    def test_flags_spike_against_flat_history(self):
+        series = [0.5] * 20 + [0.9] + [0.5] * 10
+        found = detect_anomalies(series)
+        assert [a.index for a in found] == [20]
+        a = found[0]
+        assert a.value == 0.9
+        assert a.median == pytest.approx(0.5)
+        assert a.score > 3.5
+
+    def test_quiet_series_has_no_anomalies(self):
+        series = [0.5 + 0.01 * (i % 3) for i in range(40)]
+        assert detect_anomalies(series) == []
+
+    def test_noisy_baseline_absorbs_small_jumps(self):
+        # cycling 0.4/0.5/0.6 gives median 0.5 and MAD 0.1; a 0.7 is only
+        # 0.6745 * 0.2 / 0.1 = 1.3 robust z away
+        series = [0.4, 0.5, 0.6] * 7 + [0.7]
+        assert detect_anomalies(series) == []
+        # ... but a 2.0 is 10 z away
+        assert [a.index for a in detect_anomalies(series[:-1] + [2.0])] == [21]
+
+    def test_first_points_never_flagged(self):
+        series = [0.5, 9.9, 0.5, 0.5, 0.5, 0.5]
+        found = detect_anomalies(series, min_history=5)
+        assert all(a.index >= 5 for a in found)
+
+    def test_trailing_window_keeps_anomaly_out_of_its_own_baseline(self):
+        # the spike is judged against the points before it only; the
+        # points after it are judged against a history containing the
+        # spike, which the median shrugs off
+        series = [0.5] * 10 + [5.0] + [0.5] * 10
+        found = detect_anomalies(series)
+        assert [a.index for a in found] == [10]
+
+    def test_threshold_is_respected(self):
+        series = [0.5] * 10 + [0.9]
+        assert detect_anomalies(series, threshold=1e12, min_mad=1.0) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            detect_anomalies([1.0], window=1)
+        with pytest.raises(ConfigError):
+            detect_anomalies([1.0], min_history=1)
+        with pytest.raises(ConfigError):
+            detect_anomalies([1.0], threshold=0.0)
+        with pytest.raises(ConfigError):
+            detect_anomalies([1.0], min_mad=0.0)
+
+
+class TestWindowAnomalies:
+    def test_locates_anomaly_in_trace_windows(self):
+        log = TraceLog(rolled([0.5] * 12 + [0.95] + [0.5] * 3))
+        found = window_anomalies(log)
+        assert len(found) == 1
+        wa = found[0]
+        assert wa.run == 0
+        assert wa.window_index == 12
+        assert wa.jobs == 10
+        assert wa.anomaly.value == 0.95
+
+    def test_runs_are_analysed_independently(self):
+        # run 0 settles at 0.8, run 1 at 0.2: neither level is anomalous
+        # within its own run even though each would be against the other
+        log = TraceLog(rolled([0.8] * 15) + rolled([0.2] * 15))
+        assert window_anomalies(log) == []
+
+    def test_trace_without_windows_is_empty(self):
+        assert window_anomalies(TraceLog([])) == []

@@ -1,0 +1,109 @@
+"""Cross-policy trace diffing: first divergent decision with rationale."""
+
+import pytest
+
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.telemetry import JsonlSink, TraceRecorder, use_recorder
+from repro.telemetry.forensics import TraceLog, diff_traces
+from repro.workload.generator import WorkloadSpec, generate_trace
+
+SPEC = WorkloadSpec(
+    cache_size=200_000_000,
+    n_files=80,
+    n_request_types=60,
+    n_jobs=150,
+    popularity="zipf",
+    max_file_fraction=0.05,
+    max_bundle_fraction=0.25,
+    seed=11,
+)
+
+
+def record(tmp_path, policy, *, seed=11, name=None):
+    workload = generate_trace(SPEC.with_seed(seed))
+    path = tmp_path / f"{name or policy}.jsonl"
+    with TraceRecorder(JsonlSink(path)) as rec:
+        with use_recorder(rec):
+            simulate_trace(
+                workload,
+                SimulationConfig(cache_size=SPEC.cache_size, policy=policy),
+                recorder=rec,
+            )
+    return path
+
+
+@pytest.fixture(scope="module")
+def landlord_vs_optbundle(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("diff")
+    return record(tmp, "landlord"), record(tmp, "optbundle")
+
+
+class TestFirstDivergence:
+    def test_reports_divergent_pair_with_both_rationales(
+        self, landlord_vs_optbundle
+    ):
+        a, b = landlord_vs_optbundle
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        assert diff.policy_a == "landlord" and diff.policy_b == "optbundle"
+        d = diff.divergence
+        assert d.kind == "eviction"
+        # the divergent pair carries each policy's own eviction rationale:
+        # Landlord's residual credit vs. OptFileBundle's history degree
+        assert d.a_event["kind"] == "FileEvicted"
+        assert d.b_event["kind"] == "FileEvicted"
+        assert "credit" in d.a_event["detail"]
+        assert "last_refresh" in d.a_event["detail"]
+        assert "degree" in d.b_event["detail"]
+        assert d.a_event["file"] != d.b_event["file"]
+
+    def test_caches_agree_up_to_the_divergence(self, landlord_vs_optbundle):
+        a, b = landlord_vs_optbundle
+        d = diff_traces(a, b).divergence
+        # before the first divergent decision both policies saw the exact
+        # same cache: same files, same bytes
+        assert d.a_cache.residents == d.b_cache.residents
+        assert d.a_cache.used == d.b_cache.used
+        assert d.a_plan is not None and d.b_plan is not None
+
+    def test_render_mentions_both_policies(self, landlord_vs_optbundle):
+        a, b = landlord_vs_optbundle
+        text = diff_traces(a, b).render()
+        assert "landlord" in text and "optbundle" in text
+        assert "first divergence" in text
+        assert "credit" in text and "degree" in text
+
+    def test_is_symmetric_in_location(self, landlord_vs_optbundle):
+        a, b = landlord_vs_optbundle
+        fwd = diff_traces(a, b).divergence
+        rev = diff_traces(b, a).divergence
+        assert (fwd.job, fwd.request_id) == (rev.job, rev.request_id)
+        assert fwd.a_event["file"] == rev.b_event["file"]
+
+
+class TestAgreementAndMismatch:
+    def test_identical_traces_have_no_divergence(self, tmp_path):
+        a = record(tmp_path, "lru", name="lru_a")
+        b = record(tmp_path, "lru", name="lru_b")
+        diff = diff_traces(a, b)
+        assert diff.identical
+        assert diff.jobs_compared == SPEC.n_jobs
+        assert "agree" in diff.render()
+
+    def test_different_workloads_flagged_not_compared(self, tmp_path):
+        a = record(tmp_path, "lru", seed=11, name="seed11")
+        b = record(tmp_path, "lru", seed=12, name="seed12")
+        d = diff_traces(a, b).divergence
+        assert d is not None
+        assert d.kind == "workload"
+
+    def test_truncated_trace_reports_trailing_jobs(self, tmp_path):
+        path = record(tmp_path, "lru")
+        full = TraceLog.load(path)
+        cut = full.jobs()[40].start
+        truncated = TraceLog(list(full.sequenced())[:cut])
+        d = diff_traces(truncated, full).divergence
+        assert d is not None
+        assert d.kind == "trailing-jobs"
+        assert d.a_event is None and d.b_event is not None
+        assert d.job == 40

@@ -1,0 +1,173 @@
+"""Chrome trace-event export: schema, timestamps, track mapping."""
+
+import json
+
+import pytest
+
+from repro.core.bundle import FileBundle
+from repro.errors import TelemetryError
+from repro.core.request import Request, RequestStream
+from repro.faults import FaultSpec
+from repro.grid.srm import SRMConfig, run_timed_simulation
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.sim.timeseries import byte_miss_timeseries
+from repro.telemetry import JsonlSink, TraceRecorder, use_recorder
+from repro.telemetry.forensics import TraceLog, export_chrome, to_chrome_trace
+from repro.types import FileCatalog
+from repro.workload.generator import WorkloadSpec, generate_trace
+from repro.workload.trace import Trace
+
+SPEC = WorkloadSpec(
+    cache_size=200_000_000,
+    n_files=80,
+    n_request_types=60,
+    n_jobs=100,
+    popularity="zipf",
+    max_file_fraction=0.05,
+    max_bundle_fraction=0.25,
+    seed=5,
+)
+
+REQUIRED_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+@pytest.fixture(scope="module")
+def untimed_doc(tmp_path_factory):
+    workload = generate_trace(SPEC)
+    path = tmp_path_factory.mktemp("chrome") / "run.jsonl"
+    with TraceRecorder(JsonlSink(path)) as rec:
+        with use_recorder(rec):
+            simulate_trace(
+                workload,
+                SimulationConfig(cache_size=SPEC.cache_size, policy="landlord"),
+                recorder=rec,
+            )
+            byte_miss_timeseries(
+                workload,
+                SimulationConfig(cache_size=SPEC.cache_size, policy="lru"),
+                window=20,
+            )
+    return to_chrome_trace(TraceLog.load(path))
+
+
+@pytest.fixture(scope="module")
+def timed_doc(tmp_path_factory):
+    sizes = {f"f{i}": 100 for i in range(6)}
+    bundles = [["f0"], ["f0", "f1"], ["f2"], ["f0", "f3"], ["f1"], ["f4", "f5"]]
+    trace = Trace(
+        FileCatalog(sizes),
+        RequestStream(
+            Request(i, FileBundle(b), arrival_time=i * 3.0)
+            for i, b in enumerate(bundles)
+        ),
+    )
+    cfg = SRMConfig(
+        cache_size=300,
+        policy="lru",
+        backoff_jitter=0.0,
+        staging_timeout=600.0,
+        faults=FaultSpec.uniform(0.3, seed=7),
+    )
+    path = tmp_path_factory.mktemp("chrome") / "srm.jsonl"
+    with TraceRecorder(JsonlSink(path)) as rec:
+        run_timed_simulation(trace, cfg, recorder=rec)
+    return to_chrome_trace(TraceLog.load(path)), TraceLog.load(path)
+
+
+class TestChromeSchema:
+    def test_document_shape_and_required_keys(self, untimed_doc):
+        assert set(untimed_doc) >= {"traceEvents", "displayTimeUnit"}
+        events = untimed_doc["traceEvents"]
+        assert events
+        for e in events:
+            assert REQUIRED_KEYS <= set(e), e
+            assert e["ph"] in {"X", "i", "b", "e", "C", "M"}
+
+    def test_timestamps_monotone_non_decreasing(self, untimed_doc):
+        tss = [e["ts"] for e in untimed_doc["traceEvents"]]
+        assert all(b >= a for a, b in zip(tss, tss[1:]))
+
+    def test_json_serializable_round_trip(self, untimed_doc):
+        text = json.dumps(untimed_doc, sort_keys=True)
+        assert json.loads(text) == untimed_doc
+
+    def test_complete_events_have_duration(self, untimed_doc):
+        jobs = [e for e in untimed_doc["traceEvents"] if e["ph"] == "X"]
+        assert jobs
+        assert all(e["dur"] >= 1.0 for e in jobs)
+        assert all(e["cat"] == "job" for e in jobs)
+
+    def test_counters_carry_window_metrics(self, untimed_doc):
+        counters = [e for e in untimed_doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert names == {"byte_miss_ratio", "request_hit_ratio"}
+        assert all("value" in e["args"] for e in counters)
+
+    def test_metadata_names_processes_and_tracks(self, untimed_doc):
+        meta = [e for e in untimed_doc["traceEvents"] if e["ph"] == "M"]
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        }
+        assert any("segment 0" in n for n in process_names)
+        assert {"jobs", "cache", "staging", "faults", "metrics"} <= thread_names
+
+
+class TestTimedExport:
+    def test_async_staging_pairs_balance(self, timed_doc):
+        doc, _ = timed_doc
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "e"]
+        assert begins
+        assert len(begins) == len(ends)
+        assert sorted(e["id"] for e in begins) == sorted(e["id"] for e in ends)
+
+    def test_timed_timestamps_track_simulated_time(self, timed_doc):
+        doc, log = timed_doc
+        begin_ts: dict[str, list[float]] = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] == "b":
+                begin_ts.setdefault(e["name"], []).append(e["ts"])
+        started = [e for e in log if e.kind == "StageStarted"]
+        assert started
+        # a single-segment timed trace has offset 0: ts is exactly t * 1e6
+        for ev in started:
+            candidates = begin_ts[f"stage {ev.file}"]
+            assert any(t == pytest.approx(ev.t * 1e6) for t in candidates)
+
+    def test_monotone_even_with_faults(self, timed_doc):
+        doc, _ = timed_doc
+        tss = [e["ts"] for e in doc["traceEvents"]]
+        assert all(b >= a for a, b in zip(tss, tss[1:]))
+
+
+class TestExportChrome:
+    def test_writes_valid_json_file(self, tmp_path):
+        workload = generate_trace(SPEC)
+        trace_path = tmp_path / "run.jsonl"
+        with TraceRecorder(JsonlSink(trace_path)) as rec:
+            with use_recorder(rec):
+                simulate_trace(
+                    workload,
+                    SimulationConfig(cache_size=SPEC.cache_size, policy="lru"),
+                    recorder=rec,
+                )
+        out = tmp_path / "run.chrome.json"
+        n = export_chrome(trace_path, out)
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == n > 0
+
+    def test_unwritable_output_raises_clean_error(self, tmp_path):
+        workload = generate_trace(SPEC)
+        trace_path = tmp_path / "run.jsonl"
+        with TraceRecorder(JsonlSink(trace_path)) as rec:
+            with use_recorder(rec):
+                simulate_trace(
+                    workload,
+                    SimulationConfig(cache_size=SPEC.cache_size, policy="lru"),
+                    recorder=rec,
+                )
+        with pytest.raises(TelemetryError, match="cannot write Chrome trace"):
+            export_chrome(trace_path, tmp_path / "no-such-dir" / "out.json")

@@ -1,0 +1,195 @@
+"""TraceLog indexing and iter_trace streaming over recorded traces."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.sim.metrics import WindowAccumulator  # noqa: F401  (import check)
+from repro.sim.simulator import SimulationConfig, simulate_trace
+from repro.sim.timeseries import byte_miss_timeseries
+from repro.telemetry import JsonlSink, TraceRecorder, use_recorder
+from repro.telemetry.events import JobArrived, WindowRolled, event_to_dict
+from repro.telemetry.forensics import TraceLog, iter_trace
+from repro.workload.generator import WorkloadSpec, generate_trace
+
+SPEC = WorkloadSpec(
+    cache_size=200_000_000,
+    n_files=80,
+    n_request_types=60,
+    n_jobs=120,
+    popularity="zipf",
+    max_file_fraction=0.05,
+    max_bundle_fraction=0.25,
+    seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One recorded run; returns (path, workload trace)."""
+    workload = generate_trace(SPEC)
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    with TraceRecorder(JsonlSink(path)) as rec:
+        with use_recorder(rec):
+            simulate_trace(
+                workload,
+                SimulationConfig(cache_size=SPEC.cache_size, policy="landlord"),
+                recorder=rec,
+            )
+    return path, workload
+
+
+class TestIterTrace:
+    def test_streams_all_events_in_order(self, recorded):
+        path, _ = recorded
+        seqs = [seq for seq, _ in iter_trace(path)]
+        assert seqs == list(range(len(seqs)))
+        assert len(seqs) > 0
+
+    def test_validate_false_skips_schema(self, recorded):
+        path, _ = recorded
+        strict = list(iter_trace(path))
+        loose = list(iter_trace(path, validate=False))
+        assert strict == loose
+
+    def test_missing_file_raises_clean_error(self, tmp_path):
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(TraceValidationError, match="cannot read trace"):
+            list(iter_trace(missing))
+        with pytest.raises(TraceValidationError, match="cannot read trace"):
+            TraceLog.load(missing)
+
+    def test_rejects_corruption_with_lineno(self, recorded, tmp_path):
+        path, _ = recorded
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[4])
+        record["seq"] = 99999
+        lines[4] = json.dumps(record, sort_keys=True)
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceValidationError, match="line 5") as exc_info:
+            list(iter_trace(bad))
+        assert exc_info.value.lineno == 5
+        assert exc_info.value.field == "seq"
+
+
+class TestTraceLogIndexes:
+    def test_kinds_and_by_kind(self, recorded):
+        path, workload = recorded
+        log = TraceLog.load(path)
+        kinds = log.kinds()
+        assert kinds["JobArrived"] == len(workload)
+        arrivals = log.by_kind("JobArrived")
+        assert len(arrivals) == len(workload)
+        assert all(isinstance(e, JobArrived) for _, e in arrivals)
+        assert [e.job for _, e in arrivals] == list(range(len(workload)))
+
+    def test_file_timeline_alternates_admit_evict(self, recorded):
+        path, _ = recorded
+        log = TraceLog.load(path)
+        assert log.files()
+        for file_id in log.files()[:10]:
+            timeline = log.file_timeline(file_id)
+            states = [e.kind for _, e in timeline]
+            # a file is admitted first and never admitted/evicted twice in
+            # a row: the timeline strictly alternates
+            assert states[0] == "FileAdmitted"
+            for a, b in zip(states, states[1:]):
+                assert a != b
+
+    def test_single_run_is_one_segment(self, recorded):
+        path, workload = recorded
+        log = TraceLog.load(path)
+        segs = log.segments()
+        assert len(segs) == 1
+        assert segs[0].start == 0 and segs[0].end == len(log)
+        assert segs[0].timed is False
+        jobs = log.jobs()
+        assert len(jobs) == len(workload)
+        # windows tile the segment: no event is orphaned after the first
+        # arrival, and each window starts where the previous one ended
+        for a, b in zip(jobs, jobs[1:]):
+            assert a.end == b.start
+        assert jobs[-1].end == len(log)
+
+    def test_job_timeline(self, recorded):
+        path, _ = recorded
+        log = TraceLog.load(path)
+        timeline = log.job_timeline(5)
+        assert isinstance(timeline[0], JobArrived) and timeline[0].job == 5
+        assert log.job_timeline(10**9) == []
+
+    def test_concatenated_runs_split_into_segments(self, recorded, tmp_path):
+        _, workload = recorded
+        path = tmp_path / "two.jsonl"
+        with TraceRecorder(JsonlSink(path)) as rec:
+            with use_recorder(rec):
+                for policy in ("lru", "fifo"):
+                    simulate_trace(
+                        workload,
+                        SimulationConfig(
+                            cache_size=SPEC.cache_size, policy=policy
+                        ),
+                        recorder=rec,
+                    )
+        log = TraceLog.load(path)
+        segs = log.segments()
+        assert len(segs) == 2
+        assert len(log.jobs(0)) == len(log.jobs(1)) == len(workload)
+        assert len(log.jobs()) == 2 * len(workload)
+
+    def test_window_series(self, tmp_path):
+        workload = generate_trace(SPEC)
+        path = tmp_path / "ts.jsonl"
+        with TraceRecorder(JsonlSink(path)) as rec:
+            with use_recorder(rec):
+                points = byte_miss_timeseries(
+                    workload,
+                    SimulationConfig(cache_size=SPEC.cache_size, policy="lru"),
+                    window=20,
+                )
+        log = TraceLog.load(path)
+        runs = log.windows()
+        assert len(runs) == 1
+        assert [w.index for w in runs[0]] == [p.window_index for p in points]
+        assert [w.byte_miss_ratio for w in runs[0]] == [
+            p.byte_miss_ratio for p in points
+        ]
+
+    def test_windows_split_on_index_restart(self):
+        rolled = [
+            WindowRolled(index=i, jobs=1, byte_miss_ratio=0.5, request_hit_ratio=0.5)
+            for i in (0, 1, 2, 0, 1)
+        ]
+        runs = TraceLog(rolled).windows()
+        assert [len(r) for r in runs] == [3, 2]
+
+    def test_accepts_bare_events_and_pairs(self):
+        ev = JobArrived(job=0, request_id=1, n_files=1, bytes_requested=1)
+        bare = TraceLog([ev])
+        paired = TraceLog([(7, ev)])
+        assert bare.seq(0) == 0 and paired.seq(0) == 7
+        assert bare.event(0) == paired.event(0) == ev
+
+
+class TestTimeseriesTracesReconstruct:
+    def test_timeseries_emits_admissions(self, tmp_path):
+        """byte_miss_timeseries traces carry admissions, so evictions in
+        them reference known files (reconstructibility)."""
+        from repro.telemetry.forensics import reconstruct
+
+        workload = generate_trace(SPEC)
+        path = tmp_path / "ts.jsonl"
+        with TraceRecorder(JsonlSink(path)) as rec:
+            with use_recorder(rec):
+                byte_miss_timeseries(
+                    workload,
+                    SimulationConfig(
+                        cache_size=SPEC.cache_size, policy="landlord"
+                    ),
+                    window=20,
+                )
+        report = reconstruct(path, capacity=SPEC.cache_size)
+        assert report.violations == []
+        assert report.segments[0].admissions > 0

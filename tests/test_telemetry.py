@@ -99,6 +99,37 @@ class TestEvents:
         with pytest.raises(TelemetryError, match="out of order"):
             validate_trace_file(path)
 
+    def test_validate_trace_file_locates_corrupted_mid_file_line(self, tmp_path):
+        """The error names the 1-based line number and the offending field
+        of the first invalid record."""
+        from repro.errors import TraceValidationError
+
+        events = [
+            event_to_dict(i, FileAdmitted(file=f"f{i}", bytes=1, cause="demand"))
+            for i in range(5)
+        ]
+        events[2]["bytes"] = "lots"  # corrupt line 3 only
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        with pytest.raises(TraceValidationError, match="line 3") as exc_info:
+            validate_trace_file(path)
+        exc = exc_info.value
+        assert exc.lineno == 3
+        assert exc.field == "bytes"
+        assert exc.path == str(path)
+        assert "bytes" in str(exc)
+
+    def test_validate_trace_file_locates_broken_json(self, tmp_path):
+        from repro.errors import TraceValidationError
+
+        good = event_to_dict(0, FileAdmitted(file="a", bytes=1, cause="demand"))
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(good) + "\n" + "{not json\n")
+        with pytest.raises(TraceValidationError, match="line 2") as exc_info:
+            validate_trace_file(path)
+        assert exc_info.value.lineno == 2
+        assert exc_info.value.field is None
+
 
 class TestSinks:
     def test_null_sink_is_inactive(self):
@@ -126,6 +157,50 @@ class TestSinks:
         assert len(sink) == 2
         assert [e.file for e in sink.events] == ["f3", "f4"]
         assert [s for s, _ in sink.sequenced] == [3, 4]
+
+    def test_ring_sink_exact_capacity_boundary(self):
+        """Filling to exactly capacity keeps every event; one more drops
+        exactly the oldest."""
+        sink = RingSink(capacity=3)
+        for i in range(3):
+            sink.emit(i, FileAdmitted(file=f"f{i}", bytes=1, cause="demand"))
+        assert len(sink) == 3
+        assert [e.file for e in sink.events] == ["f0", "f1", "f2"]
+        sink.emit(3, FileAdmitted(file="f3", bytes=1, cause="demand"))
+        assert len(sink) == 3
+        assert [e.file for e in sink.events] == ["f1", "f2", "f3"]
+
+    def test_ring_sink_replay_order_after_overflow(self):
+        """After wraparound, replaying the ring into a recorder preserves
+        arrival order and the original sequence numbers survive in
+        ``sequenced``."""
+        sink = RingSink(capacity=4)
+        rec = TraceRecorder(sink)
+        for i in range(10):
+            rec.emit(FileAdmitted(file=f"f{i}", bytes=1, cause="demand"))
+        # the ring holds the latest 4 events, oldest → newest
+        assert [s for s, _ in sink.sequenced] == [6, 7, 8, 9]
+        assert [e.file for e in sink.events] == ["f6", "f7", "f8", "f9"]
+        # replaying the survivors into a fresh recorder re-sequences them
+        # contiguously but keeps their relative order
+        replay_sink = RingSink(capacity=4)
+        replay_rec = TraceRecorder(replay_sink)
+        replay_rec.replay(sink.events)
+        assert [s for s, _ in replay_sink.sequenced] == [0, 1, 2, 3]
+        assert [e.file for e in replay_sink.events] == ["f6", "f7", "f8", "f9"]
+
+    def test_ring_sink_wrapped_contents_remain_coherent(self):
+        """Wraparound drops whole events, never tears one: every surviving
+        (seq, event) pair is intact and seqs stay strictly increasing."""
+        sink = RingSink(capacity=5)
+        rec = TraceRecorder(sink)
+        for i in range(23):
+            rec.emit(FileAdmitted(file=f"f{i}", bytes=i, cause="demand"))
+        pairs = list(sink.sequenced)
+        assert len(pairs) == 5
+        assert all(e.file == f"f{s}" and e.bytes == s for s, e in pairs)
+        seqs = [s for s, _ in pairs]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
 
 
 class TestRecorder:
@@ -166,6 +241,16 @@ class TestRecorder:
         for bad in ("jsonl:", "ring:many", "carrier-pigeon"):
             with pytest.raises(ConfigError):
                 recorder_from_spec(bad)
+
+    def test_context_manager_closes_sink_on_error(self, tmp_path):
+        """A JsonlSink is flushed to disk even when the traced block
+        raises — the partial trace stays usable."""
+        path = tmp_path / "partial.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceRecorder(JsonlSink(path)) as rec:
+                rec.emit(FileAdmitted(file="a", bytes=1, cause="demand"))
+                raise RuntimeError("boom")
+        assert validate_trace_file(path) == 1
 
     def test_span_records_into_registry(self):
         rec = TraceRecorder(RingSink())
