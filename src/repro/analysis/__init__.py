@@ -1,7 +1,22 @@
-"""Result presentation: ASCII charts and experiment reports."""
+"""Result presentation and static analysis.
+
+Presentation: ASCII charts, experiment reports, paired policy
+comparison.  Static analysis: the determinism & conformance linter in
+:mod:`repro.analysis.lint` (``repro-fbc lint``).
+"""
 
 from repro.analysis.ascii_chart import render_chart
 from repro.analysis.compare import PairedComparison, compare_paired
+from repro.analysis.lint import Finding, LintConfig, LintResult, lint_paths
 from repro.analysis.report import ExperimentOutput
 
-__all__ = ["render_chart", "ExperimentOutput", "PairedComparison", "compare_paired"]
+__all__ = [
+    "render_chart",
+    "ExperimentOutput",
+    "PairedComparison",
+    "compare_paired",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "lint_paths",
+]

@@ -1,0 +1,37 @@
+"""Determinism & conformance linter for the reproduction (``repro-fbc lint``).
+
+Static checks for the invariants the differential test suite can only
+verify at runtime: no wall-clock time in simulation paths (RPR001), no
+unseeded or global RNG (RPR002), no set-iteration tie-breaks in the
+eviction/selection layers (RPR003), all exceptions rooted in
+:mod:`repro.errors` (RPR004), and cross-artifact consistency between the
+event schema, the policy registry and the docs (RPR005).
+"""
+
+from repro.analysis.lint.config import ALL_RULE_IDS, LintConfig
+from repro.analysis.lint.drift import (
+    check_doc_references,
+    check_drift,
+    check_event_schema,
+)
+from repro.analysis.lint.framework import Finding, Rule, SourceModule
+from repro.analysis.lint.reporting import format_json, format_text
+from repro.analysis.lint.rules import AST_RULES
+from repro.analysis.lint.runner import LintResult, collect_files, lint_paths
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "AST_RULES",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "SourceModule",
+    "check_doc_references",
+    "check_drift",
+    "check_event_schema",
+    "collect_files",
+    "format_json",
+    "format_text",
+    "lint_paths",
+]

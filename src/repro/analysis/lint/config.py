@@ -1,0 +1,126 @@
+"""Linter configuration: rule selection and per-rule path scoping.
+
+Two path mechanisms exist because the rules have two different shapes:
+
+* **focus patterns** — a rule only *applies* under certain directories
+  (RPR003's set-iteration hazard only matters where a tie-break feeds a
+  simulation decision: ``cache/``, ``core/``, ``sim/``);
+* **allow patterns** — a rule applies everywhere *except* files whose
+  whole job is the flagged construct (the profiling/bench modules hold
+  the package's only legitimate wall clocks; the policy registry holds
+  the documented default seed for the ``random`` policy).
+
+Both match with :func:`fnmatch.fnmatch` against the posix display path,
+so patterns like ``*/telemetry/recorder.py`` work for absolute and
+repo-relative invocations alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+from repro.errors import LintError
+
+__all__ = ["LintConfig", "DEFAULT_FOCUS", "DEFAULT_ALLOW", "ALL_RULE_IDS"]
+
+#: every rule id the linter knows, in report order (RPR900 is the
+#: meta-rule flagging suppressions that carry no justification text)
+ALL_RULE_IDS: tuple[str, ...] = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR900",
+)
+
+#: rule id -> patterns a file must match for the rule to apply at all
+DEFAULT_FOCUS: dict[str, tuple[str, ...]] = {
+    # set/dict iteration order only becomes a determinism hazard where it
+    # can tie-break an eviction or selection decision
+    "RPR003": ("*/cache/*", "*/core/*", "*/sim/*"),
+}
+
+#: rule id -> patterns exempting a file from the rule
+DEFAULT_ALLOW: dict[str, tuple[str, ...]] = {
+    # the only sanctioned wall clocks: span profiling (host timings go to
+    # metric histograms, never the event trace) and the bench harness
+    "RPR001": (
+        "*/telemetry/recorder.py",
+        "*/telemetry/profiling.py",
+        "*/experiments/bench.py",
+    ),
+    # the registry owns the documented default seed of the random policy;
+    # utils/rng.py is the one place deriving generators from raw seeds
+    "RPR002": (
+        "*/cache/registry.py",
+        "*/utils/rng.py",
+    ),
+}
+
+
+def _validate_rule_ids(ids: frozenset[str]) -> None:
+    unknown = ids - set(ALL_RULE_IDS)
+    if unknown:
+        known = ", ".join(ALL_RULE_IDS)
+        raise LintError(
+            f"unknown rule id(s) {sorted(unknown)}; known rules: {known}"
+        )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Immutable linter configuration.
+
+    ``select`` of ``None`` means "all rules"; ``ignore`` always wins over
+    ``select``.  ``focus`` / ``allow`` default to the repo's shipped
+    scoping and can be overridden wholesale (tests do this to point rules
+    at fixture files).
+    """
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+    focus: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_FOCUS)
+    )
+    allow: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+
+    def __post_init__(self) -> None:
+        if self.select is not None:
+            _validate_rule_ids(self.select)
+        _validate_rule_ids(frozenset(self.ignore))
+
+    @classmethod
+    def from_cli(
+        cls,
+        select: list[str] | None = None,
+        ignore: list[str] | None = None,
+    ) -> "LintConfig":
+        """Build a config from repeated ``--select`` / ``--ignore`` flags."""
+        return cls(
+            select=frozenset(s.upper() for s in select) if select else None,
+            ignore=frozenset(i.upper() for i in ignore or ()),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select is not None:
+            return rule_id in self.select
+        return True
+
+    def rule_applies(self, rule_id: str, display_path: str) -> bool:
+        """Whether ``rule_id`` should run on the file at ``display_path``."""
+        if not self.rule_enabled(rule_id):
+            return False
+        focus = self.focus.get(rule_id)
+        if focus is not None and not any(fnmatch(display_path, p) for p in focus):
+            return False
+        return not any(
+            fnmatch(display_path, p) for p in self.allow.get(rule_id, ())
+        )

@@ -1,0 +1,219 @@
+"""RPR005 — cross-artifact drift checks.
+
+Unlike RPR001–RPR004 these are not per-file AST checks: they compare
+artifacts that must stay in lock-step but live in different places.
+
+* ``EVENT_SCHEMA`` (the serialized trace-line contract) vs. the event
+  dataclasses in :mod:`repro.telemetry.events` — a field added to or
+  removed from a dataclass without a schema update silently changes what
+  ``validate_trace_file`` accepts, and the CI trace smoke job stops
+  guaranteeing anything.
+* ``POLICY_REGISTRY`` / ``EXPERIMENTS`` vs. the prose: every
+  ``--policy X`` / ``policy="X"`` / ``repro-fbc run <exp>`` reference in
+  README.md and EXPERIMENTS.md must name something that exists, and every
+  registered policy must be documented in the README.
+
+All comparisons accept injected mappings so tests can demonstrate that a
+removed event field is caught without mutating the live modules.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+from dataclasses import fields
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.analysis.lint.framework import Finding
+
+__all__ = ["check_drift", "check_event_schema", "check_doc_references"]
+
+RULE_ID = "RPR005"
+
+_DOC_FILES = ("README.md", "EXPERIMENTS.md")
+
+#: ``--policy lru`` on a CLI example line
+_POLICY_FLAG_RE = re.compile(r"--policy[= ]([a-z0-9_-]+)")
+#: ``policy="lru"`` / ``policy='lru'`` in an embedded code block
+_POLICY_KWARG_RE = re.compile(r"""policy\s*=\s*["']([a-z0-9_-]+)["']""")
+#: ``repro-fbc run fig6`` / ``repro-fbc trace fig5`` (placeholders like
+#: ``<exp>`` do not match the token class and are naturally skipped)
+_EXPERIMENT_RE = re.compile(r"repro-fbc (?:run|trace) ([a-z0-9_]+)")
+
+
+def _finding(path: str, line: int, message: str) -> Finding:
+    return Finding(
+        rule=RULE_ID,
+        severity="error",
+        path=path,
+        line=line,
+        col=0,
+        message=message,
+    )
+
+
+def _source_line(obj: Any, default: int = 1) -> int:
+    try:
+        return inspect.getsourcelines(obj)[1]
+    except (OSError, TypeError):  # source unavailable (e.g. zipapp)
+        return default
+
+
+def check_event_schema(
+    schema: Mapping[str, Mapping[str, Any]] | None = None,
+    event_types: Mapping[str, type] | None = None,
+) -> list[Finding]:
+    """Compare ``EVENT_SCHEMA`` against the event dataclass definitions."""
+    from repro.telemetry import events as events_mod
+
+    if schema is None:
+        schema = events_mod.EVENT_SCHEMA
+    if event_types is None:
+        event_types = events_mod.EVENT_TYPES
+    path = Path(events_mod.__file__).as_posix()
+    out: list[Finding] = []
+
+    for kind in sorted(set(schema) - set(event_types)):
+        out.append(
+            _finding(
+                path,
+                1,
+                f"EVENT_SCHEMA declares kind {kind!r} but no such event "
+                "dataclass is registered in EVENT_TYPES",
+            )
+        )
+    for kind in sorted(set(event_types) - set(schema)):
+        out.append(
+            _finding(
+                path,
+                _source_line(event_types[kind]),
+                f"event dataclass {kind} is registered in EVENT_TYPES but "
+                "missing from EVENT_SCHEMA",
+            )
+        )
+    for kind in sorted(set(schema) & set(event_types)):
+        cls = event_types[kind]
+        declared = set(schema[kind])
+        actual = {f.name for f in fields(cls)}
+        line = _source_line(cls)
+        for name in sorted(declared - actual):
+            out.append(
+                _finding(
+                    path,
+                    line,
+                    f"EVENT_SCHEMA[{kind!r}] declares field {name!r} that "
+                    f"the {cls.__name__} dataclass does not define — "
+                    "schema and dataclass have drifted apart",
+                )
+            )
+        for name in sorted(actual - declared):
+            out.append(
+                _finding(
+                    path,
+                    line,
+                    f"{cls.__name__}.{name} is not declared in "
+                    f"EVENT_SCHEMA[{kind!r}] — traces with this field "
+                    "would fail validation",
+                )
+            )
+    return out
+
+
+def _doc_lines(root: Path) -> Iterator[tuple[str, int, str]]:
+    for name in _DOC_FILES:
+        doc = root / name
+        if not doc.is_file():
+            continue
+        try:
+            text = doc.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            yield name, lineno, line
+
+
+def check_doc_references(
+    root: Path | None = None,
+    policy_registry: Mapping[str, Any] | None = None,
+    experiments: Mapping[str, Any] | None = None,
+) -> list[Finding]:
+    """Check README/EXPERIMENTS policy + experiment references.
+
+    With no ``root`` the repository root is derived from the installed
+    package location; when the docs are absent (e.g. an installed wheel)
+    the doc checks are skipped rather than failed.
+    """
+    if policy_registry is None:
+        from repro.cache.registry import POLICY_REGISTRY
+
+        policy_registry = POLICY_REGISTRY
+    if experiments is None:
+        from repro.experiments import EXPERIMENTS
+
+        experiments = EXPERIMENTS
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parents[2]
+
+    out: list[Finding] = []
+    policies_seen: set[str] = set()
+    readme_text = ""
+    readme = root / "README.md"
+    if readme.is_file():
+        try:
+            readme_text = readme.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            readme_text = ""
+
+    for name, lineno, line in _doc_lines(root):
+        for match in _POLICY_FLAG_RE.finditer(line):
+            policies_seen.add(match.group(1))
+            if match.group(1) not in policy_registry:
+                out.append(
+                    _finding(
+                        name,
+                        lineno,
+                        f"documented policy {match.group(1)!r} is not in "
+                        "POLICY_REGISTRY",
+                    )
+                )
+        for match in _POLICY_KWARG_RE.finditer(line):
+            if match.group(1) not in policy_registry:
+                out.append(
+                    _finding(
+                        name,
+                        lineno,
+                        f"documented policy {match.group(1)!r} is not in "
+                        "POLICY_REGISTRY",
+                    )
+                )
+        for match in _EXPERIMENT_RE.finditer(line):
+            if match.group(1) not in experiments:
+                out.append(
+                    _finding(
+                        name,
+                        lineno,
+                        f"documented experiment {match.group(1)!r} is not a "
+                        "registered experiment",
+                    )
+                )
+
+    if readme_text:
+        for policy in sorted(policy_registry):
+            if not re.search(rf"\b{re.escape(policy)}\b", readme_text):
+                out.append(
+                    _finding(
+                        "README.md",
+                        1,
+                        f"policy {policy!r} is registered but never "
+                        "mentioned in README.md — document it or drop it",
+                    )
+                )
+    return out
+
+
+def check_drift(root: Path | None = None) -> list[Finding]:
+    """All RPR005 checks against the live artifacts."""
+    return check_event_schema() + check_doc_references(root=root)

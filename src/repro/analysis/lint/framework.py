@@ -1,0 +1,210 @@
+"""Core objects of the determinism linter: findings, rules, source files.
+
+The linter exists because the reproduction's experimental claim — same
+seed ⇒ byte-identical plans, traces and byte-miss ratios — rests on
+conventions (no wall-clock time in simulation paths, no unseeded RNG, no
+set-iteration tie-breaks, all exceptions rooted in :mod:`repro.errors`)
+that runtime differential tests only catch after a full run.  Rules here
+check those conventions statically, per file, on the stdlib :mod:`ast`.
+
+A rule is a subclass of :class:`Rule` producing :class:`Finding` objects;
+a source file is parsed once into a :class:`SourceModule` shared by every
+rule.  Inline suppressions use the comment form::
+
+    risky_call()  # repro: allow[RPR001] host time feeds a histogram only
+
+on the flagged line or the line directly above it.  A justification text
+after the closing bracket is required — a bare ``allow`` is itself a
+finding (``RPR900``), so every suppression documents *why* the hazard is
+acceptable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.lint.config import LintConfig
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "Suppression",
+    "parse_suppressions",
+]
+
+#: comment grammar: ``# repro: allow[RPR001]`` or ``allow[RPR001,RPR003]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Z0-9,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str  #: rule id, e.g. ``"RPR003"``
+    severity: str  #: ``"error"`` or ``"warning"``
+    path: str  #: display path of the offending file
+    line: int  #: 1-based line number
+    col: int  #: 0-based column offset
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# repro: allow[...]`` comment."""
+
+    line: int  #: line the comment sits on
+    rules: frozenset[str]
+    reason: str  #: justification text after the bracket (may be empty)
+
+
+def parse_suppressions(text: str, path: str) -> dict[int, Suppression]:
+    """Extract inline suppressions from source text, keyed by line.
+
+    Uses the tokenizer so that ``# repro: allow[...]`` inside string
+    literals is not mistaken for a suppression.  Unparsable source yields
+    no suppressions (the caller surfaces the syntax error separately).
+    """
+    out: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(tok.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        out[tok.start[0]] = Suppression(
+            line=tok.start[0], rules=rules, reason=match.group("reason").strip()
+        )
+    return out
+
+
+class SourceModule:
+    """One parsed Python source file, shared by every rule."""
+
+    def __init__(self, path: Path, display_path: str, text: str, tree: ast.Module):
+        self.path = path
+        self.display_path = display_path
+        self.text = text
+        self.tree = tree
+        self.suppressions = parse_suppressions(text, display_path)
+        self._lines = text.splitlines()
+
+    def _is_comment_line(self, line: int) -> bool:
+        if not 1 <= line <= len(self._lines):
+            return False
+        stripped = self._lines[line - 1].strip()
+        return stripped.startswith("#")
+
+    @classmethod
+    def load(cls, path: Path, display_path: str | None = None) -> "SourceModule":
+        """Read and parse one file; raises :class:`LintError` on failure."""
+        display = display_path if display_path is not None else path.as_posix()
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise LintError(f"no such file: {path}") from None
+        except IsADirectoryError:
+            raise LintError(f"is a directory, not a source file: {path}") from None
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from None
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LintError(
+                f"{display}: source is not valid UTF-8 "
+                f"(byte offset {exc.start})"
+            ) from None
+        try:
+            tree = ast.parse(text, filename=display)
+        except SyntaxError as exc:
+            lineno = exc.lineno if exc.lineno is not None else 0
+            raise LintError(
+                f"{display}:{lineno}: source does not parse: {exc.msg}"
+            ) from None
+        return cls(path, display, text, tree)
+
+    def suppressed(self, finding: Finding) -> Suppression | None:
+        """The suppression covering ``finding``, if any.
+
+        A suppression applies to findings on its own line, or — in
+        comment-above style — to the first code line below it: the whole
+        contiguous comment block directly above a flagged line is
+        searched, so multi-line justifications work.
+        """
+        supp = self.suppressions.get(finding.line)
+        if supp is not None and finding.rule in supp.rules:
+            return supp
+        line = finding.line - 1
+        while self._is_comment_line(line):
+            supp = self.suppressions.get(line)
+            if supp is not None and finding.rule in supp.rules:
+                return supp
+            line -= 1
+        return None
+
+
+class Rule:
+    """Base class of all lint rules.
+
+    Subclasses set :attr:`id` / :attr:`title` / :attr:`severity` and
+    implement :meth:`check`, yielding findings for one module.  Path
+    applicability (allowlists / focus dirs) is decided by the
+    :class:`~repro.analysis.lint.config.LintConfig`, not the rule.
+    """
+
+    id: str = "RPR000"
+    title: str = "abstract rule"
+    severity: str = "error"
+
+    def check(self, module: SourceModule, config: "LintConfig") -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )

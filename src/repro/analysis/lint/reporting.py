@@ -1,0 +1,59 @@
+"""Finding output formats: human text and machine JSON.
+
+The JSON shape is versioned and stable — CI uploads it as an artifact,
+so downstream tooling may parse it::
+
+    {
+      "version": 1,
+      "total": 2,
+      "counts": {"RPR003": 2},
+      "findings": [{"rule": ..., "severity": ..., "path": ...,
+                    "line": ..., "col": ..., "message": ...}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.lint.framework import Finding
+
+__all__ = ["format_text", "format_json", "JSON_REPORT_VERSION"]
+
+JSON_REPORT_VERSION = 1
+
+
+def format_text(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [f.render() for f in findings]
+    if findings:
+        counts = Counter(f.rule for f in findings)
+        breakdown = ", ".join(
+            f"{rule}: {n}" for rule, n in sorted(counts.items())
+        )
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+            f"({breakdown}) in {files_checked} file"
+            f"{'s' if files_checked != 1 else ''}"
+        )
+    else:
+        lines.append(
+            f"clean: 0 findings in {files_checked} "
+            f"file{'s' if files_checked != 1 else ''}"
+        )
+    return "\n".join(lines)
+
+
+def format_json(findings: Sequence[Finding], *, files_checked: int = 0) -> str:
+    """The versioned machine-readable report (sorted, newline-terminated)."""
+    counts = Counter(f.rule for f in findings)
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "files_checked": files_checked,
+        "total": len(findings),
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,571 @@
+"""The determinism rule set (RPR001–RPR004).
+
+Every rule is grounded in a concrete failure mode of this reproduction:
+
+RPR001
+    Wall-clock / host time in a simulation path.  Host time differs
+    across runs and machines, so any value derived from it breaks the
+    same-seed ⇒ byte-identical-trace contract (simulated time ``t`` is
+    fine; it is a deterministic function of the seed).
+RPR002
+    Unseeded or module-level RNG.  ``np.random.<fn>`` and stdlib
+    ``random.<fn>`` mutate hidden global state shared across components;
+    ``default_rng()`` without a seed draws OS entropy; a hard-coded
+    literal seed hides the stream from the experiment's seed plumbing.
+RPR003
+    Iteration over a set (or min/max/next-iter/pop on one) in the
+    eviction/selection layers.  Set order is hash-seed dependent, so a
+    tie-break taken from it silently changes plans between processes —
+    the exact hazard PR 2–4 guard against differentially at runtime.
+RPR004
+    Exceptions outside the :mod:`repro.errors` hierarchy, and handlers
+    that swallow everything.  Callers contractually catch
+    :class:`~repro.errors.ReproError`; a stray ``ValueError`` escapes
+    that net, and a silent ``except Exception`` can hide the very
+    nondeterminism the other rules exist to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.framework import Finding, Rule, SourceModule
+
+__all__ = [
+    "WallClockRule",
+    "UnseededRngRule",
+    "SetIterationRule",
+    "ExceptionHygieneRule",
+    "AST_RULES",
+]
+
+
+# --------------------------------------------------------------------- #
+# shared helpers
+
+
+def _import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported from.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` → ``{"pc": "time.perf_counter"}``.
+    """
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                out[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return out
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` attribute chains as a dotted string (else ``None``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _resolve_call(func: ast.expr, imports: dict[str, str]) -> str | None:
+    """Fully-qualified dotted name of a call target, import-aware."""
+    dotted = _dotted(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _walk_scopes(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    """Yield (scope node, scope body) for the module and every function."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _walk_scope_body(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope body without descending into nested function scopes.
+
+    Unlike ``ast.walk``, children of a nested ``def`` are pruned — those
+    statements belong to the inner scope, which :func:`_walk_scopes`
+    yields separately.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# --------------------------------------------------------------------- #
+# RPR001 — wall-clock / host time
+
+
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    id = "RPR001"
+    title = "wall-clock/host time outside the profiling allowlist"
+
+    def check(self, module: SourceModule, config: LintConfig) -> Iterator[Finding]:
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve_call(node.func, imports)
+            if resolved in _CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"host-time call {resolved}() in a simulation path; "
+                    "host time is not a function of the seed — route timings "
+                    "through telemetry profiling spans or allowlist the file",
+                )
+
+
+# --------------------------------------------------------------------- #
+# RPR002 — unseeded / module-level RNG
+
+
+#: numpy.random attributes that are *not* the legacy global-state API
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+class UnseededRngRule(Rule):
+    id = "RPR002"
+    title = "unseeded or module-level RNG"
+
+    def check(self, module: SourceModule, config: LintConfig) -> Iterator[Finding]:
+        imports = _import_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve_call(node.func, imports)
+            if resolved is None:
+                continue
+            if resolved.startswith("numpy.random."):
+                attr = resolved.removeprefix("numpy.random.")
+                if attr == "default_rng":
+                    yield from self._check_default_rng(module, node)
+                elif "." not in attr and attr not in _NP_RANDOM_OK:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"legacy module-level RNG numpy.random.{attr}(); "
+                        "global generator state is shared across components — "
+                        "take an explicit numpy.random.Generator instead",
+                    )
+            elif resolved == "random.Random":
+                # an explicitly seeded instance is fine; it is the hidden
+                # module-level generator (and OS-entropy construction)
+                # that breaks replay
+                yield from self._check_default_rng(module, node)
+            elif resolved == "random.SystemRandom":
+                yield self.finding(
+                    module,
+                    node,
+                    "random.SystemRandom() draws OS entropy and can never "
+                    "be replayed; use a seeded generator",
+                )
+            elif resolved.startswith("random.") and resolved.count(".") == 1:
+                attr = resolved.removeprefix("random.")
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib random.{attr}() uses hidden module state; "
+                    "take an explicit seeded numpy.random.Generator instead",
+                )
+
+    def _check_default_rng(
+        self, module: SourceModule, node: ast.Call
+    ) -> Iterator[Finding]:
+        name = _dotted(node.func) or "default_rng"
+        name = name.split(".")[-1]
+        if not node.args and not node.keywords:
+            yield self.finding(
+                module,
+                node,
+                f"{name}() without a seed draws OS entropy and is "
+                "unreproducible; pass a seed derived from the experiment seed",
+            )
+            return
+        seed = node.args[0] if node.args else node.keywords[0].value
+        if isinstance(seed, ast.Constant) and seed.value is not None:
+            yield self.finding(
+                module,
+                node,
+                f"{name}({seed.value!r}) hard-codes the seed, hiding "
+                "this stream from the experiment's seed plumbing; accept a "
+                "seed/rng parameter or derive one via repro.utils.rng",
+            )
+
+
+# --------------------------------------------------------------------- #
+# RPR003 — set iteration order as a tie-break hazard
+
+
+#: methods that return sets in this codebase / the stdlib set API
+_SET_RETURNING_METHODS = frozenset(
+    {
+        "intersection",
+        "union",
+        "difference",
+        "symmetric_difference",
+        # repo-specific: CacheState.missing / FileBundle.missing_from /
+        # CacheState.pinned_files all return frozensets
+        "missing",
+        "missing_from",
+        "pinned_files",
+    }
+)
+
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _annotation_is_set(node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):  # set[FileId], frozenset[str], ...
+        node = node.value
+    dotted = _dotted(node)
+    if dotted is None:
+        return False
+    return dotted.split(".")[-1] in _SET_ANNOTATIONS
+
+
+class _SetScope:
+    """Flow-insensitive set-typedness of local names within one scope."""
+
+    def __init__(self, scope: ast.AST, body: list[ast.stmt]):
+        self.names: set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in [
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *filter(None, (args.vararg, args.kwarg)),
+            ]:
+                if _annotation_is_set(arg.annotation):
+                    self.names.add(arg.arg)
+        # iterate to a fixpoint so chains like  a = {…}; b = a | c  resolve
+        # regardless of statement order (bounded by the number of names)
+        for _ in range(len(body) + 1):
+            grew = False
+            for stmt in self._statements(body):
+                grew |= self._collect(stmt)
+            if not grew:
+                break
+
+    def _statements(self, body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        for node in _walk_scope_body(body):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                yield node
+
+    def _collect(self, stmt: ast.stmt) -> bool:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+            if _annotation_is_set(stmt.annotation) and isinstance(
+                target, ast.Name
+            ):
+                if target.id not in self.names:
+                    self.names.add(target.id)
+                    return True
+                return False
+        elif isinstance(stmt, ast.AugAssign):
+            target, value = stmt.target, stmt.value
+        if (
+            isinstance(target, ast.Name)
+            and value is not None
+            and target.id not in self.names
+            and self.is_set(value)
+        ):
+            self.names.add(target.id)
+            return True
+        return False
+
+    def is_set(self, node: ast.expr) -> bool:
+        """Whether ``node`` is (syntactically recognisable as) a set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_RETURNING_METHODS
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.is_set(node.body) or self.is_set(node.orelse)
+        return False
+
+
+class SetIterationRule(Rule):
+    id = "RPR003"
+    title = "order-dependent consumption of a set"
+
+    _HINT = (
+        "set iteration order is hash-seed dependent; wrap in sorted(...) "
+        "or suppress with a justification if the order provably cannot "
+        "influence a decision"
+    )
+
+    def check(self, module: SourceModule, config: LintConfig) -> Iterator[Finding]:
+        for scope, body in _walk_scopes(module.tree):
+            types = _SetScope(scope, body)
+            for node in self._scope_nodes(body):
+                yield from self._check_node(module, node, types)
+
+    def _scope_nodes(self, body: list[ast.stmt]) -> Iterator[ast.AST]:
+        return _walk_scope_body(body)
+
+    def _check_node(
+        self, module: SourceModule, node: ast.AST, types: _SetScope
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and types.is_set(node.iter):
+            yield self.finding(
+                module, node, f"for-loop over a set; {self._HINT}"
+            )
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                if types.is_set(gen.iter):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"list built by iterating a set; {self._HINT}",
+                    )
+        elif isinstance(node, ast.Call):
+            yield from self._check_call(module, node, types)
+
+    def _check_call(
+        self, module: SourceModule, node: ast.Call, types: _SetScope
+    ) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("min", "max"):
+            if node.args and types.is_set(node.args[0]):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{func.id}() over a set breaks ties by iteration "
+                    f"order; {self._HINT}",
+                )
+        elif isinstance(func, ast.Name) and func.id == "next":
+            if (
+                node.args
+                and isinstance(node.args[0], ast.Call)
+                and isinstance(node.args[0].func, ast.Name)
+                and node.args[0].func.id == "iter"
+                and node.args[0].args
+                and types.is_set(node.args[0].args[0])
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"next(iter(<set>)) picks a hash-order element; "
+                    f"{self._HINT}",
+                )
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "pop"
+            and not node.args
+            and types.is_set(func.value)
+        ):
+            yield self.finding(
+                module,
+                node,
+                f"set.pop() removes a hash-order element; {self._HINT}",
+            )
+
+
+# --------------------------------------------------------------------- #
+# RPR004 — exception hygiene
+
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+)
+
+#: builtin exceptions that are legitimate outside the repro hierarchy
+_EXEMPT_RAISES = frozenset(
+    {"NotImplementedError", "StopIteration", "StopAsyncIteration", "KeyboardInterrupt"}
+)
+
+
+def _repro_error_names() -> frozenset[str]:
+    """Names of every class in the :mod:`repro.errors` hierarchy."""
+    import repro.errors as errors_mod
+
+    return frozenset(
+        name
+        for name in dir(errors_mod)
+        if isinstance(getattr(errors_mod, name), type)
+        and issubclass(getattr(errors_mod, name), errors_mod.ReproError)
+    )
+
+
+class ExceptionHygieneRule(Rule):
+    id = "RPR004"
+    title = "exception outside repro.errors, or a swallowing handler"
+
+    def __init__(self, allowed: frozenset[str] | None = None):
+        #: resolved lazily so importing the rule never imports repro.errors
+        self._allowed = allowed
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        if self._allowed is None:
+            self._allowed = _repro_error_names() | _EXEMPT_RAISES
+        return self._allowed
+
+    def check(self, module: SourceModule, config: LintConfig) -> Iterator[Finding]:
+        allowed = self.allowed | self._local_subclasses(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(module, node, allowed)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+
+    def _local_subclasses(self, tree: ast.Module) -> frozenset[str]:
+        """Classes defined in this module on an allowed base (transitively)."""
+        local: set[str] = set()
+        classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+        grew = True
+        while grew:
+            grew = False
+            for cls in classes:
+                if cls.name in local:
+                    continue
+                bases = {b.split(".")[-1] for b in map(_dotted, cls.bases) if b}
+                if bases & (self.allowed | local):
+                    local.add(cls.name)
+                    grew = True
+        return frozenset(local)
+
+    def _check_raise(
+        self, module: SourceModule, node: ast.Raise, allowed: frozenset[str]
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        dotted = _dotted(exc)
+        if dotted is None:
+            return
+        name = dotted.split(".")[-1]
+        if name in allowed:
+            return
+        if name in _BUILTIN_EXCEPTIONS:
+            yield self.finding(
+                module,
+                node,
+                f"raise of builtin {name} outside the repro.errors "
+                "hierarchy; callers catch ReproError — raise (or subclass) "
+                "an error from repro.errors instead",
+            )
+
+    def _check_handler(
+        self, module: SourceModule, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                module,
+                node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                "hides failures; catch a specific exception",
+            )
+            return
+        names = []
+        exprs = (
+            node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        )
+        for expr in exprs:
+            dotted = _dotted(expr)
+            if dotted is not None:
+                names.append(dotted.split(".")[-1])
+        if not ({"Exception", "BaseException"} & set(names)):
+            return
+        if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+            return  # handler re-raises: translation, not swallowing
+        yield self.finding(
+            module,
+            node,
+            "'except Exception' without a re-raise swallows every failure "
+            "(including determinism violations); narrow the type or re-raise",
+        )
+
+
+#: the per-file AST rules, in id order (RPR005 is repo-level, see drift.py)
+AST_RULES: tuple[Rule, ...] = (
+    WallClockRule(),
+    UnseededRngRule(),
+    SetIterationRule(),
+    ExceptionHygieneRule(),
+)

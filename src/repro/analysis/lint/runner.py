@@ -1,0 +1,139 @@
+"""The lint driver: path collection, rule dispatch, suppression filtering.
+
+:func:`lint_paths` is the single entry point used by the CLI and the
+tests.  It accepts files and directories (directories are walked
+recursively for ``*.py``, skipping ``__pycache__`` and hidden dirs),
+runs every enabled AST rule on every file, applies inline suppressions,
+appends the repo-level RPR005 drift findings, and returns a
+deterministically sorted finding list.
+
+Operator errors — a path that does not exist, source that is not UTF-8
+or does not parse — raise :class:`~repro.errors.LintError` (the CLI turns
+that into a clean ``error: …`` exit), while rule violations are returned
+as data, never raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.drift import RULE_ID as DRIFT_RULE_ID
+from repro.analysis.lint.drift import check_drift
+from repro.analysis.lint.framework import Finding, Rule, SourceModule
+from repro.analysis.lint.rules import AST_RULES
+from repro.errors import LintError
+
+__all__ = ["LintResult", "collect_files", "lint_paths"]
+
+#: id of the meta-rule enforcing justified suppressions
+SUPPRESSION_RULE_ID = "RPR900"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    files_checked: int
+    suppressed: int  #: findings silenced by inline ``# repro: allow[...]``
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises :class:`LintError` for a path that does not exist or a file
+    argument that is not Python source.
+    """
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts[:-1])
+            )
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise LintError(f"not a Python source file: {path}")
+            out.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    # de-duplicate while keeping the sorted-per-argument order stable
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in out:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _suppression_findings(module: SourceModule) -> Iterable[Finding]:
+    """RPR900: every ``# repro: allow[...]`` must say *why*."""
+    for supp in module.suppressions.values():
+        if not supp.reason:
+            yield Finding(
+                rule=SUPPRESSION_RULE_ID,
+                severity="error",
+                path=module.display_path,
+                line=supp.line,
+                col=0,
+                message=(
+                    f"suppression of {', '.join(sorted(supp.rules))} without "
+                    "a justification; append the reason after the bracket, "
+                    "e.g. '# repro: allow[RPR003] order feeds a sum only'"
+                ),
+            )
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    *,
+    rules: Sequence[Rule] | None = None,
+    drift_root: Path | None = None,
+) -> LintResult:
+    """Lint files/directories and return every surviving finding.
+
+    ``rules`` overrides the shipped AST rule set (tests use this);
+    ``drift_root`` pins the repository root the RPR005 doc checks read.
+    """
+    if config is None:
+        config = LintConfig()
+    active_rules = AST_RULES if rules is None else tuple(rules)
+
+    findings: list[Finding] = []
+    suppressed = 0
+    files = collect_files(paths)
+    for path in files:
+        module = SourceModule.load(path, path.as_posix())
+        for rule in active_rules:
+            if not config.rule_applies(rule.id, module.display_path):
+                continue
+            for finding in rule.check(module, config):
+                if module.suppressed(finding) is not None:
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        if config.rule_enabled(SUPPRESSION_RULE_ID):
+            findings.extend(_suppression_findings(module))
+
+    if config.rule_enabled(DRIFT_RULE_ID) and files:
+        findings.extend(check_drift(root=drift_root))
+
+    findings.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=tuple(findings),
+        files_checked=len(files),
+        suppressed=suppressed,
+    )

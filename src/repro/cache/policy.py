@@ -23,7 +23,7 @@ choice and bookkeeping hooks.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.cache.state import CacheState

@@ -5,19 +5,41 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.policy import PerFilePolicy
+from repro.errors import ConfigError
 from repro.types import FileId
 
 __all__ = ["RandomPolicy"]
 
 
 class RandomPolicy(PerFilePolicy):
-    """Evict a uniformly random resident file outside the current bundle."""
+    """Evict a uniformly random resident file outside the current bundle.
+
+    The generator must be supplied explicitly — either a ready
+    ``numpy.random.Generator`` or a ``seed`` — so the victim stream is
+    always part of the experiment's visible seed plumbing.  The policy
+    registry passes the documented default seed for CLI/experiment use.
+    """
 
     name = "random"
 
-    def __init__(self, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator | None = None,
+        *,
+        seed: int | None = None,
+    ) -> None:
         super().__init__()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        if rng is not None and seed is not None:
+            raise ConfigError("random policy takes rng= or seed=, not both")
+        if rng is None:
+            if seed is None:
+                raise ConfigError(
+                    "random policy needs an explicit rng= or seed=; there "
+                    "is no silent default (the registry supplies the "
+                    "documented default seed for CLI runs)"
+                )
+            rng = np.random.default_rng(seed)
+        self._rng = rng
 
     def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
         candidates = [f for f in self.cache.residents() if f not in exclude]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -59,5 +59,13 @@ def make_policy(
             raise ConfigError("belady policy requires future=<bundle sequence>")
         return BeladyPolicy(future, **kwargs)
     if cls is RandomPolicy:
+        if rng is None and "seed" not in kwargs:
+            # The documented default stream of the memoryless baseline.
+            # Registry defaults are the one sanctioned home for a
+            # hard-coded seed (RPR002 allowlists this file); it preserves
+            # the historical default_rng(0) victim sequence so results
+            # recorded before the explicit-seed requirement stay
+            # comparable.
+            rng = np.random.default_rng(0)
         return RandomPolicy(rng=rng, **kwargs)
     return cls(**kwargs)

@@ -20,6 +20,7 @@ from repro.errors import (
     CacheCapacityError,
     ConfigError,
     DuplicateFileError,
+    StateInvariantError,
     UnknownFileError,
 )
 from repro.types import FileId, SizeBytes
@@ -203,12 +204,20 @@ class CacheState:
         return sum(res[f] for f in file_ids if f in res)
 
     def check_invariants(self) -> None:
-        """Assert internal consistency (used by tests and debug runs)."""
+        """Assert internal consistency (used by tests and debug runs).
+
+        Raises :class:`~repro.errors.StateInvariantError` (an
+        ``AssertionError`` subclass, preserving the historical contract).
+        """
         total = sum(self._resident.values())
         if total != self._used:
-            raise AssertionError(f"used={self._used} but residents sum to {total}")
+            raise StateInvariantError(
+                f"used={self._used} but residents sum to {total}"
+            )
         if not (0 <= self._used <= self._capacity):
-            raise AssertionError(f"used={self._used} outside [0, {self._capacity}]")
+            raise StateInvariantError(
+                f"used={self._used} outside [0, {self._capacity}]"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -20,6 +20,8 @@ Subcommands
   telemetry traces.
 * ``export-chrome`` — convert a telemetry trace to Chrome trace-event
   JSON (Perfetto / ``chrome://tracing``).
+* ``lint``      — determinism & conformance linter (RPR001–RPR005) over
+  Python source; non-zero exit on findings.
 
 Two kinds of JSONL file flow through this tool and the metavars keep
 them apart: a ``WORKLOAD_TRACE`` is an *input* to simulation (requests +
@@ -290,6 +292,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="output path (default: <TELEMETRY_TRACE stem>.chrome.json)",
+    )
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & conformance linter (RPR rules) over Python "
+        "source; exits 1 on findings",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the installed "
+        "repro package source)",
+    )
+    p_lint.add_argument(
+        "--format",
+        dest="fmt",
+        default="text",
+        choices=("text", "json"),
+        help="report format (json is the versioned CI-artifact shape)",
+    )
+    p_lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="repeatable; run only these rule ids (e.g. RPR003)",
+    )
+    p_lint.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="repeatable; skip these rule ids",
     )
 
     p_cmp = sub.add_parser(
@@ -648,6 +684,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             out = args.out or str(Path(args.trace).with_suffix("")) + ".chrome.json"
             n = export_chrome(args.trace, out)
             print(f"wrote {n} Chrome trace events to {out}")
+        elif args.command == "lint":
+            from pathlib import Path
+
+            import repro
+            from repro.analysis.lint import (
+                LintConfig,
+                format_json,
+                format_text,
+                lint_paths,
+            )
+
+            paths = args.paths or [Path(repro.__file__).parent]
+            result = lint_paths(
+                paths, LintConfig.from_cli(args.select, args.ignore)
+            )
+            formatter = format_json if args.fmt == "json" else format_text
+            print(
+                formatter(result.findings, files_checked=result.files_checked)
+            )
+            if not result.ok:
+                return 1
         elif args.command == "compare":
             from repro.analysis.compare import compare_paired
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+from repro.errors import ConfigError, TypeContractError
 from repro.types import FileId, SizeBytes
 
 __all__ = ["FileBundle"]
@@ -31,10 +32,14 @@ class FileBundle:
     def __init__(self, files: Iterable[FileId]):
         fs = frozenset(files)
         if not fs:
-            raise ValueError("a file bundle must contain at least one file")
+            raise ConfigError("a file bundle must contain at least one file")
+        # repro: allow[RPR003] validation only; order picks which invalid
+        # id is reported, and mixed-type members would make sorted() raise
         for f in fs:
             if not isinstance(f, str) or not f:
-                raise TypeError(f"file ids must be non-empty strings, got {f!r}")
+                raise TypeContractError(
+                    f"file ids must be non-empty strings, got {f!r}"
+                )
         self._files = fs
         self._hash = hash(fs)
         # Iteration must not leak the frozenset's hash-randomized order:

@@ -209,11 +209,15 @@ class RequestHistory:
             self._missing[bundle] += 1
 
     def sync_resident(self, resident: Iterable[FileId]) -> None:
-        """Replace the resident view wholesale (used at (re)initialisation)."""
+        """Replace the resident view wholesale (used at (re)initialisation).
+
+        Sorted so the `_supported` index is rebuilt in a reproducible
+        insertion order regardless of the set hash seed.
+        """
         target = set(resident)
-        for f in list(self._resident - target):
+        for f in sorted(self._resident - target):
             self.on_file_evicted(f)
-        for f in target - self._resident:
+        for f in sorted(target - self._resident):
             self.on_file_loaded(f)
 
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Sequence
 
 from repro.core.bundle import FileBundle
-from repro.core.optcacheselect import CacheSelection, FBCInstance
+from repro.core.optcacheselect import FBCInstance
 from repro.errors import ConfigError
 
 __all__ = ["dks_to_fbc", "fbc_files_to_dks_vertices", "count_induced_edges"]

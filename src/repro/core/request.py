@@ -7,10 +7,11 @@ is the request *type* whose popularity ``v(r)`` the history tracks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.bundle import FileBundle
+from repro.errors import ConfigError
 
 __all__ = ["Request", "RequestStream"]
 
@@ -40,11 +41,11 @@ class Request:
 
     def __post_init__(self) -> None:
         if self.request_id < 0:
-            raise ValueError(f"request_id must be non-negative, got {self.request_id}")
+            raise ConfigError(f"request_id must be non-negative, got {self.request_id}")
         if self.arrival_time < 0:
-            raise ValueError(f"arrival_time must be non-negative, got {self.arrival_time}")
+            raise ConfigError(f"arrival_time must be non-negative, got {self.arrival_time}")
         if self.priority <= 0:
-            raise ValueError(f"priority must be positive, got {self.priority}")
+            raise ConfigError(f"priority must be positive, got {self.priority}")
 
 
 class RequestStream:
@@ -65,12 +66,12 @@ class RequestStream:
         if self._requests:
             last = self._requests[-1]
             if request.request_id <= last.request_id:
-                raise ValueError(
+                raise ConfigError(
                     f"request ids must be strictly increasing: "
                     f"{request.request_id} after {last.request_id}"
                 )
             if request.arrival_time < last.arrival_time:
-                raise ValueError(
+                raise ConfigError(
                     f"arrival times must be non-decreasing: "
                     f"{request.arrival_time} after {last.arrival_time}"
                 )

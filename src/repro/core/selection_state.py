@@ -45,6 +45,7 @@ from repro.core.optcacheselect import (
     _empty_selection,
     _finish,
 )
+from repro.errors import StateInvariantError
 from repro.telemetry import current_recorder
 from repro.types import FileId, SizeBytes
 
@@ -93,7 +94,7 @@ class SelectionState:
         """Register a new request type (degrees of its files just grew)."""
         eid = entry.eid
         if eid != len(self._bundles):  # pragma: no cover - defensive
-            raise RuntimeError(
+            raise StateInvariantError(
                 f"entry id {eid} out of sync with state size {len(self._bundles)}"
             )
         bundle = entry.bundle
@@ -109,7 +110,9 @@ class SelectionState:
         self._base_adj.append(0.0)
         self._base_real.append(0.0)
         self._refresh_base(eid)
-        for other in stale:
+        # refreshes are independent per entry (each rewrites only its own
+        # cached floats), but sort so maintenance order is reproducible
+        for other in sorted(stale):
             self._refresh_base(other)
 
     def _refresh_base(self, eid: int) -> None:
@@ -172,12 +175,16 @@ class SelectionState:
         rem_real = [base_real[eid] for eid in ids]
         if free:
             affected: set[int] = set()
+            # repro: allow[RPR003] only inserts into the `affected` set;
+            # visit order cannot influence its final contents
             for f in free:
                 for eid in self._containing.get(f, ()):
                     k = pos.get(eid)
                     if k is not None:
                         affected.add(k)
-            for k in affected:
+            # each iteration rewrites only its own rem_* slot; sorted so
+            # the (order-insensitive) maintenance is also reproducible
+            for k in sorted(affected):
                 a = r = 0.0
                 for f in bundles[k]:
                     if f in free:

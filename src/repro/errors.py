@@ -24,6 +24,9 @@ __all__ = [
     "TelemetryError",
     "TraceValidationError",
     "TraceInvariantError",
+    "TypeContractError",
+    "StateInvariantError",
+    "LintError",
 ]
 
 
@@ -147,6 +150,32 @@ class TraceInvariantError(TelemetryError):
     def __init__(self, message: str, violations: list | None = None):
         super().__init__(message)
         self.violations = violations or []
+
+
+class TypeContractError(ReproError, TypeError):
+    """A value of the wrong *type* was supplied where the API demands one.
+
+    The ``TypeError`` base keeps ``except TypeError`` callers working while
+    rooting the exception in the package hierarchy.
+    """
+
+
+class StateInvariantError(ReproError, AssertionError):
+    """An internal consistency check (``check_invariants``) failed.
+
+    The ``AssertionError`` base preserves the historical contract of the
+    debug-time invariant checkers while keeping the exception catchable as
+    a :class:`ReproError`.
+    """
+
+
+class LintError(ReproError):
+    """The static-analysis driver could not lint an input.
+
+    Raised for missing paths, unreadable or non-UTF-8 source files, and
+    source that does not parse — *operator* errors, as opposed to rule
+    findings, which are reported (never raised) by the linter.
+    """
 
 
 class RetryExhaustedError(ReproError):

@@ -202,9 +202,12 @@ def simulate_trace(
                 f"policy {policy.name!r} left only {cache.free} free bytes "
                 f"but {needed} are needed"
             )
-        for f in missing:
+        # sorted: load order cannot change what ends up resident, but a
+        # reproducible order keeps the load counters' interleaving (and
+        # any future instrumentation of it) identical across processes
+        for f in sorted(missing):
             cache.load(f, sizes[f])
-        for f in to_prefetch:
+        for f in sorted(to_prefetch):
             cache.load(f, sizes[f])
         if rec.active:
             for f in sorted(missing):

@@ -107,7 +107,7 @@ def byte_miss_timeseries(
         for f in decision.prefetch:
             if f not in cache and f not in loaded:
                 loaded.add(f)
-        for f in loaded:
+        for f in sorted(loaded):
             cache.load(f, sizes[f])
         if recorder.active:
             # same ordering contract as simulate_trace: per-file events are

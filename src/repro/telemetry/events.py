@@ -23,7 +23,7 @@ import json
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Mapping
 
-from repro.errors import TelemetryError, TraceValidationError
+from repro.errors import TraceValidationError
 
 __all__ = [
     "TraceEvent",

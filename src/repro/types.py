@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.errors import ConfigError
+
 __all__ = [
     "FileId",
     "SizeBytes",
@@ -49,9 +51,9 @@ class FileInfo:
 
     def __post_init__(self) -> None:
         if not self.file_id:
-            raise ValueError("file_id must be a non-empty string")
+            raise ConfigError("file_id must be a non-empty string")
         if self.size <= 0:
-            raise ValueError(f"file size must be positive, got {self.size}")
+            raise ConfigError(f"file size must be positive, got {self.size}")
 
 
 class FileCatalog:
@@ -79,7 +81,7 @@ class FileCatalog:
         existing = self._sizes.get(info.file_id)
         if existing is not None:
             if existing != info.size:
-                raise ValueError(
+                raise ConfigError(
                     f"file {info.file_id!r} already registered with size "
                     f"{existing}, conflicting size {info.size}"
                 )

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import ConfigError
+
 __all__ = ["RngFactory", "derive_rng"]
 
 
@@ -30,7 +32,7 @@ class RngFactory:
 
     def __init__(self, seed: int | None = 0):
         if seed is not None and seed < 0:
-            raise ValueError(f"seed must be non-negative, got {seed}")
+            raise ConfigError(f"seed must be non-negative, got {seed}")
         self._seed = seed
 
     @property

@@ -6,6 +6,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.errors import ConfigError
+
 __all__ = ["RunningStats", "mean_confidence_interval", "summarize", "Summary"]
 
 
@@ -53,14 +55,14 @@ class RunningStats:
     @property
     def mean(self) -> float:
         if self._n == 0:
-            raise ValueError("no observations")
+            raise ConfigError("no observations")
         return self._mean
 
     @property
     def variance(self) -> float:
         """Sample variance (ddof=1); 0.0 for a single observation."""
         if self._n == 0:
-            raise ValueError("no observations")
+            raise ConfigError("no observations")
         if self._n == 1:
             return 0.0
         return self._m2 / (self._n - 1)
@@ -72,13 +74,13 @@ class RunningStats:
     @property
     def min(self) -> float:
         if self._n == 0:
-            raise ValueError("no observations")
+            raise ConfigError("no observations")
         return self._min
 
     @property
     def max(self) -> float:
         if self._n == 0:
-            raise ValueError("no observations")
+            raise ConfigError("no observations")
         return self._max
 
     def merge(self, other: "RunningStats") -> "RunningStats":
@@ -113,7 +115,7 @@ _T_TABLE = {
 
 def _t_critical(dof: int) -> float:
     if dof <= 0:
-        raise ValueError("need at least 2 observations for an interval")
+        raise ConfigError("need at least 2 observations for an interval")
     best = 1.96
     for k in sorted(_T_TABLE):
         if dof <= k:
@@ -128,7 +130,7 @@ def mean_confidence_interval(xs: Sequence[float]) -> tuple[float, float]:
     """
     n = len(xs)
     if n == 0:
-        raise ValueError("no observations")
+        raise ConfigError("no observations")
     stats = RunningStats()
     stats.extend(xs)
     if n == 1:

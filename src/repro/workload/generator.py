@@ -12,7 +12,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.request import Request, RequestStream
 from repro.errors import ConfigError
-from repro.types import FileCatalog, SizeBytes
+from repro.types import SizeBytes
 from repro.utils.rng import RngFactory
 from repro.workload.distributions import make_sampler
 from repro.workload.filepool import FileSizeSpec, generate_catalog

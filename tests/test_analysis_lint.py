@@ -1,0 +1,632 @@
+"""Tests for the determinism & conformance linter (repro.analysis.lint).
+
+Each rule gets a violating and a clean fixture snippet; suppression and
+allowlist behaviour, the JSON report shape, the CLI exit-code contract,
+and the RPR005 drift checks are covered separately.  The meta-test at the
+bottom runs the shipped linter over the shipped tree and requires a clean
+exit — the same invariant CI enforces.
+"""
+
+import json
+import textwrap
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import (
+    ALL_RULE_IDS,
+    LintConfig,
+    check_doc_references,
+    check_event_schema,
+    collect_files,
+    format_json,
+    format_text,
+    lint_paths,
+)
+from repro.analysis.lint.reporting import JSON_REPORT_VERSION
+from repro.cli import main
+from repro.errors import LintError
+from repro.telemetry import events as events_mod
+
+NO_DRIFT = LintConfig(ignore=frozenset({"RPR005"}))
+
+
+def run_lint(tmp_path, source, relpath="cache/mod.py", config=NO_DRIFT):
+    """Write ``source`` under ``tmp_path/relpath`` and lint just that file.
+
+    The default relpath puts the fixture under a ``cache/`` directory so
+    the RPR003 focus patterns apply; RPR005 is ignored so repo-level
+    drift checks never leak into per-file fixtures.
+    """
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_paths([target], config)
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+class TestWallClockRule:
+    def test_time_time_flagged(self, tmp_path):
+        result = run_lint(tmp_path, "import time\nt0 = time.time()\n")
+        assert rule_ids(result) == ["RPR001"]
+        assert "time.time" in result.findings[0].message
+
+    def test_perf_counter_and_datetime_now_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            import time
+            from datetime import datetime
+
+            a = time.perf_counter()
+            b = datetime.now()
+            """,
+        )
+        assert rule_ids(result) == ["RPR001", "RPR001"]
+
+    def test_simulated_time_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def advance(t: float, dt: float) -> float:
+                return t + dt
+            """,
+        )
+        assert result.ok
+
+    def test_allowlisted_file_exempt(self, tmp_path):
+        config = LintConfig(
+            ignore=frozenset({"RPR005"}),
+            allow={"RPR001": ("*/cache/bench_mod.py",)},
+        )
+        result = run_lint(
+            tmp_path,
+            "import time\nt0 = time.time()\n",
+            relpath="cache/bench_mod.py",
+            config=config,
+        )
+        assert result.ok
+
+
+class TestUnseededRngRule:
+    def test_default_rng_without_seed_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng()\n",
+        )
+        assert rule_ids(result) == ["RPR002"]
+        assert "OS entropy" in result.findings[0].message
+
+    def test_default_rng_literal_seed_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+        )
+        assert rule_ids(result) == ["RPR002"]
+        assert "hard-codes the seed" in result.findings[0].message
+
+    def test_default_rng_parameter_seed_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def make(seed: int):
+                return np.random.default_rng(seed)
+            """,
+        )
+        assert result.ok
+
+    def test_legacy_numpy_global_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "import numpy as np\nnp.random.seed(7)\nx = np.random.rand()\n",
+        )
+        assert rule_ids(result) == ["RPR002", "RPR002"]
+
+    def test_stdlib_random_module_flagged(self, tmp_path):
+        result = run_lint(tmp_path, "import random\nx = random.random()\n")
+        assert rule_ids(result) == ["RPR002"]
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            import random
+
+            def make(seed: int):
+                return random.Random(seed)
+            """,
+        )
+        assert result.ok
+
+
+class TestSetIterationRule:
+    def test_for_over_set_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                for x in s:
+                    print(x)
+            """,
+        )
+        assert rule_ids(result) == ["RPR003"]
+
+    def test_sorted_iteration_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                for x in sorted(s):
+                    print(x)
+            """,
+        )
+        assert result.ok
+
+    def test_min_and_next_iter_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(s: set):
+                a = min(s)
+                b = next(iter(s))
+                return a, b
+            """,
+        )
+        assert rule_ids(result) == ["RPR003", "RPR003"]
+
+    def test_set_returning_method_chain_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(cache, bundle):
+                missing = cache.missing(bundle)
+                return [x for x in missing]
+            """,
+        )
+        assert rule_ids(result) == ["RPR003"]
+
+    def test_outside_focus_dirs_not_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                for x in s:
+                    print(x)
+            """,
+            relpath="utils/mod.py",
+        )
+        assert result.ok
+
+
+class TestExceptionHygieneRule:
+    def test_builtin_raise_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """,
+        )
+        assert rule_ids(result) == ["RPR004"]
+        assert "repro.errors" in result.findings[0].message
+
+    def test_repro_error_raise_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            from repro.errors import ConfigError
+
+            def f(x):
+                if x < 0:
+                    raise ConfigError("negative")
+            """,
+        )
+        assert result.ok
+
+    def test_local_subclass_of_repro_error_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            from repro.errors import ReproError
+
+            class LocalError(ReproError):
+                pass
+
+            def f():
+                raise LocalError("boom")
+            """,
+        )
+        assert result.ok
+
+    def test_bare_except_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(g):
+                try:
+                    g()
+                except:
+                    pass
+            """,
+        )
+        assert rule_ids(result) == ["RPR004"]
+        assert "bare 'except:'" in result.findings[0].message
+
+    def test_swallowing_except_exception_flagged(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(g):
+                try:
+                    g()
+                except Exception:
+                    return None
+            """,
+        )
+        assert rule_ids(result) == ["RPR004"]
+
+    def test_translating_handler_clean(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            from repro.errors import ReproError
+
+            def f(g):
+                try:
+                    g()
+                except Exception as exc:
+                    raise ReproError(str(exc)) from exc
+            """,
+        )
+        assert result.ok
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_finding(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                for x in s:  # repro: allow[RPR003] order feeds a sum only
+                    print(x)
+            """,
+        )
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_comment_above_suppression(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                # repro: allow[RPR003] order feeds a sum only
+                for x in s:
+                    print(x)
+            """,
+        )
+        assert result.ok
+
+    def test_multiline_comment_block_suppression(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                # repro: allow[RPR003] order feeds a sum only, and the
+                # continuation line must not break the match
+                for x in s:
+                    print(x)
+            """,
+        )
+        assert result.ok
+
+    def test_suppression_for_other_rule_does_not_apply(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                for x in s:  # repro: allow[RPR001] wrong rule id
+                    print(x)
+            """,
+        )
+        assert rule_ids(result) == ["RPR003"]
+
+    def test_unjustified_suppression_is_rpr900(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            def f(items):
+                s = set(items)
+                for x in s:  # repro: allow[RPR003]
+                    print(x)
+            """,
+        )
+        assert rule_ids(result) == ["RPR900"]
+        assert "justification" in result.findings[0].message
+
+
+class TestConfig:
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(LintError, match="unknown rule"):
+            LintConfig(select=frozenset({"RPR999"}))
+        with pytest.raises(LintError, match="unknown rule"):
+            LintConfig.from_cli(ignore=["nope"])
+
+    def test_select_restricts_rules(self, tmp_path):
+        source = """\
+        import time
+
+        def f(items):
+            t0 = time.time()
+            s = set(items)
+            for x in s:
+                print(x)
+        """
+        config = LintConfig(
+            select=frozenset({"RPR001"}), ignore=frozenset({"RPR005"})
+        )
+        result = run_lint(tmp_path, source, config=config)
+        assert rule_ids(result) == ["RPR001"]
+
+    def test_ignore_wins_over_select(self, tmp_path):
+        config = LintConfig(
+            select=frozenset({"RPR001"}), ignore=frozenset({"RPR001", "RPR005"})
+        )
+        result = run_lint(tmp_path, "import time\nt = time.time()\n", config=config)
+        assert result.ok
+
+    def test_from_cli_uppercases(self):
+        config = LintConfig.from_cli(select=["rpr003"], ignore=["rpr005"])
+        assert config.rule_enabled("RPR003")
+        assert not config.rule_enabled("RPR005")
+        assert not config.rule_enabled("RPR001")
+
+    def test_all_rule_ids_sorted_and_unique(self):
+        assert len(set(ALL_RULE_IDS)) == len(ALL_RULE_IDS)
+        assert list(ALL_RULE_IDS) == sorted(ALL_RULE_IDS)
+
+
+class TestCollectFiles:
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(LintError, match="no such file"):
+            collect_files([tmp_path / "nope.py"])
+
+    def test_non_python_file_raises(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hi")
+        with pytest.raises(LintError, match="not a Python source file"):
+            collect_files([target])
+
+    def test_directory_walk_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+        files = collect_files([tmp_path])
+        assert [p.name for p in files] == ["a.py"]
+
+    def test_deduplicates_overlapping_args(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        files = collect_files([tmp_path, target])
+        assert len(files) == 1
+
+    def test_non_utf8_source_raises(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_bytes(b"x = 1\n\xff\xfe\n")
+        with pytest.raises(LintError, match="not valid UTF-8"):
+            lint_paths([target], NO_DRIFT)
+
+    def test_syntax_error_raises(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text("def f(:\n")
+        with pytest.raises(LintError, match="does not parse"):
+            lint_paths([target], NO_DRIFT)
+
+
+class TestReporting:
+    def test_json_report_shape(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            "import time\nt = time.time()\n",
+        )
+        payload = json.loads(
+            format_json(result.findings, files_checked=result.files_checked)
+        )
+        assert payload["version"] == JSON_REPORT_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["total"] == 1
+        assert payload["counts"] == {"RPR001": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {
+            "rule",
+            "severity",
+            "path",
+            "line",
+            "col",
+            "message",
+        }
+        assert finding["rule"] == "RPR001"
+        assert finding["line"] == 2
+
+    def test_text_report_clean_and_dirty(self, tmp_path):
+        clean = run_lint(tmp_path, "x = 1\n")
+        assert "clean: 0 findings in 1 file" in format_text(
+            clean.findings, files_checked=clean.files_checked
+        )
+        dirty = run_lint(tmp_path, "import time\nt = time.time()\n")
+        text = format_text(dirty.findings, files_checked=dirty.files_checked)
+        assert "1 finding (RPR001: 1) in 1 file" in text
+        assert "RPR001 [error]" in text
+
+    def test_findings_sorted_deterministically(self, tmp_path):
+        result = run_lint(
+            tmp_path,
+            """\
+            import time
+
+            def f(items):
+                s = set(items)
+                for x in s:
+                    print(x)
+                t = time.time()
+            """,
+        )
+        keys = [f.sort_key() for f in result.findings]
+        assert keys == sorted(keys)
+
+
+class TestDriftChecks:
+    def test_removed_dataclass_field_is_caught(self):
+        """Acceptance criterion: dropping a field from an event dataclass
+        without updating EVENT_SCHEMA must produce an RPR005 finding."""
+
+        @dataclass(frozen=True)
+        class SlimFileAdmitted:
+            file: str
+            bytes: int
+            # 'cause' removed relative to EVENT_SCHEMA["FileAdmitted"]
+
+        assert "cause" in events_mod.EVENT_SCHEMA["FileAdmitted"]
+        event_types = dict(events_mod.EVENT_TYPES)
+        event_types["FileAdmitted"] = SlimFileAdmitted
+        findings = check_event_schema(
+            schema=events_mod.EVENT_SCHEMA, event_types=event_types
+        )
+        assert any(
+            f.rule == "RPR005" and "'cause'" in f.message for f in findings
+        )
+
+    def test_extra_dataclass_field_is_caught(self):
+        @dataclass(frozen=True)
+        class FatFileAdmitted:
+            file: str
+            bytes: int
+            cause: str
+            surprise: int = 0
+
+        event_types = dict(events_mod.EVENT_TYPES)
+        event_types["FileAdmitted"] = FatFileAdmitted
+        findings = check_event_schema(
+            schema=events_mod.EVENT_SCHEMA, event_types=event_types
+        )
+        assert any("surprise" in f.message for f in findings)
+
+    def test_unregistered_kind_both_directions(self):
+        findings = check_event_schema(
+            schema={"ghost": {"x": int}}, event_types={}
+        )
+        assert any("ghost" in f.message for f in findings)
+        findings = check_event_schema(
+            schema={},
+            event_types={"FileAdmitted": events_mod.EVENT_TYPES["FileAdmitted"]},
+        )
+        assert any("missing from EVENT_SCHEMA" in f.message for f in findings)
+
+    def test_live_schema_is_drift_free(self):
+        assert check_event_schema() == []
+
+    def test_unknown_documented_policy_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "Run with `--policy lru` or `--policy nosuch`.\n"
+            "Also try `repro-fbc run fig99`.\n"
+        )
+        findings = check_doc_references(
+            root=tmp_path,
+            policy_registry={"lru": object},
+            experiments={"fig6": object},
+        )
+        messages = " | ".join(f.message for f in findings)
+        assert "'nosuch'" in messages
+        assert "'fig99'" in messages
+        assert "'lru'" not in messages
+
+    def test_undocumented_policy_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text("Only `--policy lru` here.\n")
+        findings = check_doc_references(
+            root=tmp_path,
+            policy_registry={"lru": object, "hidden": object},
+            experiments={},
+        )
+        assert any(
+            "'hidden'" in f.message and "never" in f.message for f in findings
+        )
+
+    def test_live_docs_are_drift_free(self):
+        assert check_doc_references() == []
+
+
+class TestCli:
+    def test_lint_findings_exit_1(self, tmp_path, capsys):
+        target = tmp_path / "cache" / "mod.py"
+        target.parent.mkdir()
+        target.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(target), "--ignore", "RPR005"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nt = time.time()\n")
+        code = main(
+            ["lint", str(target), "--format", "json", "--ignore", "RPR005"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_REPORT_VERSION
+        assert payload["counts"] == {"RPR001": 1}
+
+    def test_lint_clean_exit_0(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target), "--ignore", "RPR005"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_missing_path_clean_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "no such file" in err
+
+    def test_lint_non_utf8_clean_error(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_bytes(b"x = 1\n\xff\n")
+        assert main(["lint", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "UTF-8" in err
+
+    def test_lint_unknown_rule_clean_error(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target), "--select", "RPR999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_select_filters(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(target), "--select", "RPR002"]) == 0
+        capsys.readouterr()
+
+
+class TestShippedTreeIsClean:
+    def test_lint_src_repro_exits_0(self, capsys):
+        """The CI invariant: the shipped tree has zero findings."""
+        pkg_dir = Path(repro.__file__).parent
+        assert main(["lint", str(pkg_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "clean: 0 findings" in out
