@@ -27,7 +27,12 @@ from typing import Any, Iterator, Mapping
 
 from repro.analysis.lint.framework import Finding
 
-__all__ = ["check_drift", "check_event_schema", "check_doc_references"]
+__all__ = [
+    "check_drift",
+    "check_event_schema",
+    "check_doc_references",
+    "check_checkpoint_schema",
+]
 
 RULE_ID = "RPR005"
 
@@ -214,6 +219,71 @@ def check_doc_references(
     return out
 
 
+#: ``checkpoint schema v1`` in prose (the documented on-disk version)
+_CKPT_SCHEMA_RE = re.compile(r"checkpoint schema v(\d+)")
+
+
+def check_checkpoint_schema(
+    root: Path | None = None,
+    schema_version: int | None = None,
+) -> list[Finding]:
+    """README's documented checkpoint schema version vs. the code's.
+
+    The README durability section must state the literal phrase
+    ``checkpoint schema vN``; a bump of
+    :data:`repro.durability.checkpoint.CHECKPOINT_SCHEMA_VERSION`
+    without a doc update (or vice versa) is drift.
+    """
+    if schema_version is None:
+        from repro.durability.checkpoint import CHECKPOINT_SCHEMA_VERSION
+
+        schema_version = CHECKPOINT_SCHEMA_VERSION
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parents[2]
+
+    readme = root / "README.md"
+    if not readme.is_file():
+        return []
+    try:
+        text = readme.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return []
+
+    out: list[Finding] = []
+    mentions = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _CKPT_SCHEMA_RE.finditer(line):
+            mentions.append((lineno, int(match.group(1))))
+    if not mentions:
+        out.append(
+            _finding(
+                "README.md",
+                1,
+                "README.md never states the checkpoint schema version "
+                f"('checkpoint schema v{schema_version}') — document the "
+                "on-disk durability format",
+            )
+        )
+    for lineno, documented in mentions:
+        if documented != schema_version:
+            out.append(
+                _finding(
+                    "README.md",
+                    lineno,
+                    f"README.md documents checkpoint schema v{documented} "
+                    f"but CHECKPOINT_SCHEMA_VERSION is {schema_version} — "
+                    "doc and code have drifted apart",
+                )
+            )
+    return out
+
+
 def check_drift(root: Path | None = None) -> list[Finding]:
     """All RPR005 checks against the live artifacts."""
-    return check_event_schema() + check_doc_references(root=root)
+    return (
+        check_event_schema()
+        + check_doc_references(root=root)
+        + check_checkpoint_schema(root=root)
+    )

@@ -65,3 +65,11 @@ class BeladyPolicy(PerFilePolicy):
         if self._cache is not None:
             raise PolicyError("rewind() requires an unbound policy")
         self._clock = -1
+
+    def export_state(self) -> dict:
+        # occurrences derive from the (replayable) future; only the clock
+        # is genuinely mutable state
+        return {"clock": self._clock}
+
+    def import_state(self, state: dict) -> None:
+        self._clock = int(state["clock"])

@@ -15,7 +15,6 @@ throughout the paper) the priority degenerates to ``L + freq(f)``.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable
 
 from repro.cache.policy import PerFilePolicy
@@ -39,13 +38,16 @@ class GDSFPolicy(PerFilePolicy):
         self._freq: dict[FileId, int] = {}
         self._priority: dict[FileId, float] = {}
         self._heap: list[tuple[float, int, FileId]] = []
-        self._tiebreak = itertools.count()
+        # plain int (not itertools.count) so checkpoints can export it
+        self._tiebreak = 0
 
     def _push(self, file_id: FileId) -> None:
         size = self.sizes[file_id]
         prio = self._inflation + self._freq[file_id] * self._cost_fn(file_id, size) / size
         self._priority[file_id] = prio
-        heapq.heappush(self._heap, (prio, next(self._tiebreak), file_id))
+        tb = self._tiebreak
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (prio, tb, file_id))
 
     def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
         cache = self.cache
@@ -78,3 +80,21 @@ class GDSFPolicy(PerFilePolicy):
         self._freq.clear()
         self._priority.clear()
         self._heap.clear()
+
+    def export_state(self) -> dict:
+        return {
+            "inflation": self._inflation,
+            "freq": dict(self._freq),
+            "priority": dict(self._priority),
+            "heap": [list(entry) for entry in self._heap],
+            "tiebreak": self._tiebreak,
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._inflation = float(state["inflation"])
+        self._freq = {str(f): int(n) for f, n in state["freq"].items()}
+        self._priority = {str(f): float(p) for f, p in state["priority"].items()}
+        self._heap = [
+            (float(p), int(tb), str(fid)) for p, tb, fid in state["heap"]
+        ]
+        self._tiebreak = int(state["tiebreak"])

@@ -36,7 +36,6 @@ only under non-proportional ``cost_fn`` settings.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable
 
 from repro.cache.policy import PerFilePolicy
@@ -66,7 +65,8 @@ class LandlordPolicy(PerFilePolicy):
         # baseline from degenerating to insertion order.
         self._version: dict[FileId, int] = {}
         self._heap: list[tuple[float, int, FileId, int]] = []
-        self._tiebreak = itertools.count()
+        # plain int (not itertools.count) so checkpoints can export it
+        self._tiebreak = 0
 
     # ------------------------------------------------------------------ #
 
@@ -78,7 +78,8 @@ class LandlordPolicy(PerFilePolicy):
         size = self.sizes[file_id]
         stored = self._offset + self._cost_fn(file_id, size) / size
         self._stored[file_id] = stored
-        version = next(self._tiebreak)
+        version = self._tiebreak
+        self._tiebreak += 1
         self._version[file_id] = version
         heapq.heappush(self._heap, (stored, version, file_id, version))
 
@@ -128,3 +129,22 @@ class LandlordPolicy(PerFilePolicy):
         self._stored.clear()
         self._version.clear()
         self._heap.clear()
+
+    def export_state(self) -> dict:
+        return {
+            "offset": self._offset,
+            "stored": dict(self._stored),
+            "version": dict(self._version),
+            "heap": [list(entry) for entry in self._heap],
+            "tiebreak": self._tiebreak,
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._offset = float(state["offset"])
+        self._stored = {str(f): float(c) for f, c in state["stored"].items()}
+        self._version = {str(f): int(v) for f, v in state["version"].items()}
+        self._heap = [
+            (float(s), int(tb), str(fid), int(v))
+            for s, tb, fid, v in state["heap"]
+        ]
+        self._tiebreak = int(state["tiebreak"])

@@ -8,7 +8,6 @@ files are retained regardless of which combinations occur together.
 from __future__ import annotations
 
 import heapq
-import itertools
 
 from repro.cache.policy import PerFilePolicy
 from repro.types import FileId
@@ -26,7 +25,8 @@ class LFUPolicy(PerFilePolicy):
         self._freq: dict[FileId, int] = {}
         # lazy heap of (freq_at_push, tiebreak, fid); stale entries skipped
         self._heap: list[tuple[int, int, FileId]] = []
-        self._tiebreak = itertools.count()
+        # plain int (not itertools.count) so checkpoints can export it
+        self._tiebreak = 0
 
     def _pick_victim(self, exclude: frozenset[FileId]) -> FileId | None:
         cache = self.cache
@@ -48,9 +48,24 @@ class LFUPolicy(PerFilePolicy):
     def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
         freq = self._freq.get(file_id, 0) + 1
         self._freq[file_id] = freq
-        heapq.heappush(self._heap, (freq, next(self._tiebreak), file_id))
+        tb = self._tiebreak
+        self._tiebreak += 1
+        heapq.heappush(self._heap, (freq, tb, file_id))
 
     def reset(self) -> None:
         super().reset()
         self._freq.clear()
         self._heap.clear()
+
+    def export_state(self) -> dict:
+        # the heap list order is itself a valid heap, so it round-trips
+        return {
+            "freq": dict(self._freq),
+            "heap": [list(entry) for entry in self._heap],
+            "tiebreak": self._tiebreak,
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._freq = {str(f): int(n) for f, n in state["freq"].items()}
+        self._heap = [(int(f), int(tb), str(fid)) for f, tb, fid in state["heap"]]
+        self._tiebreak = int(state["tiebreak"])

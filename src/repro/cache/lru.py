@@ -40,3 +40,9 @@ class LRUPolicy(PerFilePolicy):
     def reset(self) -> None:
         super().reset()
         self._order.clear()
+
+    def export_state(self) -> dict:
+        return {"order": list(self._order)}
+
+    def import_state(self, state: dict) -> None:
+        self._order = OrderedDict((fid, None) for fid in state["order"])

@@ -63,3 +63,16 @@ class LRUKPolicy(PerFilePolicy):
         super().reset()
         self._clock = 0
         self._refs.clear()
+
+    def export_state(self) -> dict:
+        return {
+            "clock": self._clock,
+            "refs": {fid: list(refs) for fid, refs in self._refs.items()},
+        }
+
+    def import_state(self, state: dict) -> None:
+        self._clock = int(state["clock"])
+        self._refs = {
+            str(fid): deque((int(t) for t in refs), maxlen=self.k)
+            for fid, refs in state["refs"].items()
+        }

@@ -134,3 +134,11 @@ class OptFileBundlePolicy(ReplacementPolicy):
         super().reset()
         self._planner = None
         self._last_plan = None
+
+    def export_state(self) -> dict:
+        # the planner's only mutable state is its history (the selection
+        # state is derived and rebuilt on adopt_history)
+        return {"history": self.planner.history.export_state()}
+
+    def import_state(self, state: dict) -> None:
+        self.planner.adopt_history(RequestHistory.restore(state["history"]))

@@ -118,6 +118,29 @@ class ReplacementPolicy(abc.ABC):
         self._recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------ #
+    # durable state (checkpoint/restore)
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of the policy's mutable decision state.
+
+        The contract is exact restoration: constructing the same policy
+        (same registry name and kwargs), binding it to a byte-identical
+        cache, then :meth:`import_state`-ing this snapshot must reproduce
+        every future decision the original object would have made —
+        including heap tiebreak order.  Containers must round-trip
+        through canonical JSON (string keys, no sets, exact floats).
+        """
+        return {}
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state` (call after bind)."""
+        if state:
+            raise PolicyError(
+                f"policy {self.name!r} carries no durable state but got "
+                f"keys {sorted(state)}"
+            )
+
+    # ------------------------------------------------------------------ #
     # shared helpers
 
     def _needed_bytes(self, bundle: FileBundle) -> SizeBytes:

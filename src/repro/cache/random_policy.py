@@ -46,3 +46,11 @@ class RandomPolicy(PerFilePolicy):
         if not candidates:
             return None
         return candidates[int(self._rng.integers(len(candidates)))]
+
+    def export_state(self) -> dict:
+        # bit_generator.state is a plain JSON-able dict (Python ints are
+        # arbitrary precision, so the 128-bit PCG64 state survives)
+        return {"rng_state": self._rng.bit_generator.state}
+
+    def import_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng_state"]

@@ -45,3 +45,9 @@ class LargestFirstPolicy(PerFilePolicy):
     def _note_access(self, file_id: FileId, was_loaded: bool) -> None:
         if was_loaded:
             heapq.heappush(self._heap, (-self.sizes[file_id], file_id))
+
+    def export_state(self) -> dict:
+        return {"heap": [list(entry) for entry in self._heap]}
+
+    def import_state(self, state: dict) -> None:
+        self._heap = [(int(neg), str(fid)) for neg, fid in state["heap"]]

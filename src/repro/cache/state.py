@@ -203,6 +203,43 @@ class CacheState:
         res = self._resident
         return sum(res[f] for f in file_ids if f in res)
 
+    # ------------------------------------------------------------------ #
+    # durable state (checkpoint/restore)
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of residency (in insertion order) + counters."""
+        return {
+            "capacity": self._capacity,
+            "resident": [[fid, size] for fid, size in self._resident.items()],
+            "pins": dict(self._pins),
+            "reserved": self._reserved,
+            "load_count": self.load_count,
+            "evict_count": self.evict_count,
+            "bytes_loaded": self.bytes_loaded,
+            "bytes_evicted": self.bytes_evicted,
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "CacheState":
+        """Rebuild a cache from an :meth:`export_state` snapshot.
+
+        Residency insertion order is preserved (``residents()`` iteration
+        order feeds policy victim scans), and the byte counters resume
+        exactly, so post-restore accounting matches an uninterrupted run.
+        """
+        cache = cls(int(state["capacity"]))
+        for fid, size in state["resident"]:
+            cache._resident[str(fid)] = int(size)
+        cache._used = sum(cache._resident.values())
+        cache._pins = {str(f): int(n) for f, n in state["pins"].items()}
+        cache._reserved = int(state["reserved"])
+        cache.load_count = int(state["load_count"])
+        cache.evict_count = int(state["evict_count"])
+        cache.bytes_loaded = int(state["bytes_loaded"])
+        cache.bytes_evicted = int(state["bytes_evicted"])
+        cache.check_invariants()
+        return cache
+
     def check_invariants(self) -> None:
         """Assert internal consistency (used by tests and debug runs).
 

@@ -316,3 +316,80 @@ class RequestHistory:
     def resident_view(self) -> frozenset[FileId]:
         """The resident set as last synchronised (debug/verification aid)."""
         return frozenset(self._resident)
+
+    # ------------------------------------------------------------------ #
+    # durable state (checkpoint/restore)
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot restoring byte-identical future behaviour.
+
+        Only primary state is serialized: entries in ``eid`` order (their
+        dict insertion order), the arrival tick, the resident view and the
+        window structures.  Degrees, the per-file index and the supported
+        index are derived and rebuilt on :meth:`restore`.  The window
+        *count* mapping is exported with its key order because
+        :meth:`candidates` iterates it — the order is not derivable from
+        the arrivals deque.
+        """
+        entries = [
+            {
+                "files": sorted(e.bundle.files),
+                "value": e.value,
+                "count": e.count,
+                "first_seen": e.first_seen,
+                "last_seen": e.last_seen,
+                "decay_tick": e._last_decay_tick,
+            }
+            for e in self._entries.values()
+        ]
+        return {
+            "mode": self._mode.value,
+            "window": self._window,
+            "decay": self._decay,
+            "tick": self._tick,
+            "entries": entries,
+            "resident": sorted(self._resident),
+            "window_arrivals": [sorted(b.files) for b in self._window_arrivals],
+            "window_counts": [
+                [sorted(b.files), n] for b, n in self._window_counts.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "RequestHistory":
+        """Rebuild a history from an :meth:`export_state` snapshot."""
+        hist = cls(
+            TruncationMode(state["mode"]),
+            window=state["window"],
+            decay=float(state["decay"]),
+        )
+        resident = set(str(f) for f in state["resident"])
+        for rec in state["entries"]:
+            bundle = FileBundle(rec["files"])
+            entry = HistoryEntry(
+                bundle=bundle,
+                eid=len(hist._entries),
+                value=float(rec["value"]),
+                count=int(rec["count"]),
+                first_seen=int(rec["first_seen"]),
+                last_seen=int(rec["last_seen"]),
+            )
+            entry._last_decay_tick = int(rec["decay_tick"])
+            hist._entries[bundle] = entry
+            for f in bundle:
+                d = hist._degree.get(f, 0) + 1
+                hist._degree[f] = d
+                if d > hist._max_degree:
+                    hist._max_degree = d
+                hist._by_file.setdefault(f, []).append(entry)
+            missing = sum(1 for f in bundle if f not in resident)
+            hist._missing[bundle] = missing
+            if missing == 0:
+                hist._supported[entry.eid] = entry
+        hist._resident = resident
+        hist._tick = int(state["tick"])
+        for files in state["window_arrivals"]:
+            hist._window_arrivals.append(FileBundle(files))
+        for files, n in state["window_counts"]:
+            hist._window_counts[FileBundle(files)] = int(n)
+        return hist

@@ -276,6 +276,18 @@ class OptFileBundlePlanner:
         for f in plan.prefetch:
             self._history.on_file_loaded(f)
 
+    def adopt_history(self, history: RequestHistory) -> None:
+        """Swap in a restored history (checkpoint recovery).
+
+        The persistent selection state, when enabled, is rebuilt against
+        the new history — its listener replay walks entries in ``eid``
+        order, so the rebuilt structures match what incremental
+        maintenance would have produced.
+        """
+        self._history = history
+        if self._state is not None:
+            self._state = SelectionState(history, self._sizes)
+
     def observe_eviction(self, file_id: FileId) -> None:
         """Notify the planner of an eviction it did not itself plan."""
         self._history.on_file_evicted(file_id)

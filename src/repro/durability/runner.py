@@ -1,0 +1,687 @@
+"""The durable simulation loop: journaled, checkpointed, resumable.
+
+:func:`run_durable` executes a workload inside a *run directory*::
+
+    <run_dir>/
+        manifest.json     simulation + durability parameters (atomic)
+        workload.jsonl    the trace being replayed (self-contained run)
+        trace.jsonl       telemetry trace (flushed at every checkpoint)
+        journal/          write-ahead log, one frame per serviced job
+        checkpoints/      versioned state snapshots (+ journal truncation)
+        result.json       final metrics (atomic, only on completion)
+
+The per-job commit order is **trace first, journal second**: a job's
+telemetry lines are written before its journal frame.  In the default
+``"rotate"`` mode both files are OS-buffered between checkpoints (a
+checkpoint always flushes the trace before recording its offset), so a
+kill may lose the buffered tail of either file; recovery keeps only
+journal frames whose trace evidence survived and re-executes everything
+else from the newest checkpoint.  In ``"always"`` mode each job's trace
+bytes are forced to disk before its frame is appended and fsync'd,
+making the journal a strict per-job commit record.  Every
+``checkpoint_every`` jobs the full simulation state — cache residency,
+the policy's exported state, metrics, the admission queue — is
+snapshotted atomically and the journal is truncated.
+
+:func:`resume_run` recovers by **re-execution**: it restores the latest
+valid checkpoint, truncates the telemetry trace to the checkpoint's byte
+offset, and re-runs the workload from there.  The surviving journal tail
+acts as an oracle: each frame records its job's *trace byte range* (the
+trace lines themselves are the event payload), and the resume captures
+those original bytes before truncating, after dropping any trailing
+frames whose trace bytes did not survive the crash.  Each re-executed job must
+reproduce its journaled frame and its trace bytes exactly, otherwise
+:class:`~repro.errors.ReplayDivergenceError` fires.  Because every
+component restores *exactly* (heap orders, RNG state, tie-break
+counters), the stitched trace is byte-identical to an uninterrupted
+run's; ``verify`` additionally replays the stitched trace through
+:func:`repro.telemetry.forensics.reconstruct` and checks the
+reconstructed residency against the live cache.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.cache.registry import make_policy
+from repro.cache.state import CacheState
+from repro.core.history import TruncationMode
+from repro.core.request import Request
+from repro.durability.atomicio import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_dir,
+)
+from repro.durability.checkpoint import latest_checkpoint, write_checkpoint
+from repro.durability.journal import (
+    _HEADER,
+    DEFAULT_SEGMENT_BYTES,
+    JournalFrame,
+    JournalWriter,
+    list_segments,
+    read_journal_dir,
+)
+from repro.errors import ConfigError, DurabilityError, ReplayDivergenceError
+from repro.faults.crash import CrashInjector, CrashSpec
+from repro.sim.metrics import MetricsCollector
+from repro.sim.queueing import AdmissionQueue, QueueDiscipline
+from repro.sim.simulator import (
+    SimulationConfig,
+    SimulationResult,
+    _queued,
+    service_request,
+)
+from repro.telemetry.events import TraceEvent, event_to_dict
+from repro.telemetry.recorder import TraceRecorder, use_recorder
+from repro.telemetry.sinks import JsonlSink, TraceSink
+from repro.workload.trace import Trace
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "DurabilityConfig",
+    "DurableReport",
+    "run_durable",
+    "resume_run",
+]
+
+#: on-disk manifest format version
+MANIFEST_SCHEMA_VERSION = 1
+
+#: policy kwargs that arrive as enums and must round-trip through JSON
+_ENUM_KWARGS: dict[str, type[enum.Enum]] = {"truncation": TruncationMode}
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Parameters of the durable runner (orthogonal to the simulation).
+
+    Attributes
+    ----------
+    run_dir:
+        The run directory (created if missing; must not already contain
+        another run's manifest).
+    checkpoint_every:
+        Snapshot the full state every N jobs (journal is truncated at
+        each snapshot, bounding recovery re-execution to < N jobs).
+    fsync:
+        ``"rotate"`` (default) — trace and journal are OS-buffered
+        between checkpoints and all artifacts are written atomically; a
+        kill (or power cut) may lose the buffered tail of either file,
+        which shrinks the replay oracle or falls back to an older
+        checkpoint — recovery always succeeds by re-execution.
+        ``"always"`` — flush + fsync every journal frame, checkpoint
+        and per-job trace boundary; a strict per-job commit record,
+        power-failure-proof, slow.
+    max_segment_bytes:
+        Journal segment rotation threshold.
+    verify_on_resume:
+        After a resume completes, reconstruct the stitched trace and
+        check it against the live cache state.
+    crash:
+        Optional :class:`~repro.faults.crash.CrashSpec` injecting a
+        deterministic crash (testing/chaos only).
+    """
+
+    run_dir: Path
+    checkpoint_every: int = 100
+    fsync: str = "rotate"
+    max_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    verify_on_resume: bool = True
+    crash: CrashSpec | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "run_dir", Path(self.run_dir))
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.fsync not in ("rotate", "always"):
+            raise ConfigError(
+                f"fsync must be 'rotate' or 'always', got {self.fsync!r}"
+            )
+        if self.max_segment_bytes < 1:
+            raise ConfigError(
+                f"max_segment_bytes must be positive, got {self.max_segment_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class DurableReport:
+    """Outcome of a completed durable (or resumed) run."""
+
+    result: SimulationResult
+    run_dir: Path
+    trace_path: Path
+    #: jobs serviced by *this* process (a resume excludes checkpointed jobs)
+    jobs_executed: int
+    #: index of the first job this process executed (0 for a cold run)
+    resumed_from_job: int
+    #: re-executed jobs that were verified against surviving journal frames
+    replayed_jobs: int
+    checkpoints_written: int
+
+
+class _TeeSink(TraceSink):
+    """Writes through to a :class:`JsonlSink`; while ``capture`` is set,
+    additionally buffers the serialized lines (replay verification)."""
+
+    def __init__(self, inner: JsonlSink):
+        self.inner = inner
+        self.capture: list[str] | None = None
+
+    def emit(self, seq: int, event: TraceEvent) -> None:
+        line = json.dumps(
+            event_to_dict(seq, event), sort_keys=True, separators=(",", ":")
+        )
+        self.inner.emit_line(line)
+        if self.capture is not None:
+            self.capture.append(line)
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+# ---------------------------------------------------------------------- #
+# manifest (de)serialization
+
+
+def _config_to_manifest(
+    config: SimulationConfig, durability: DurabilityConfig
+) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {}
+    for key, value in config.policy_kwargs.items():
+        kwargs[key] = value.value if isinstance(value, enum.Enum) else value
+    try:
+        json.dumps(kwargs)
+    except TypeError as exc:
+        raise ConfigError(
+            f"policy_kwargs are not JSON-serializable ({exc}); durable runs "
+            "require a replayable manifest"
+        ) from None
+    return {
+        "schema_version": MANIFEST_SCHEMA_VERSION,
+        "workload": "workload.jsonl",
+        "config": {
+            "cache_size": config.cache_size,
+            "policy": config.policy,
+            "policy_kwargs": kwargs,
+            "queue_length": config.queue_length,
+            "discipline": config.discipline.value,
+            "queue_mode": config.queue_mode,
+            "warmup": config.warmup,
+            "check_invariants": config.check_invariants,
+        },
+        "durability": {
+            "checkpoint_every": durability.checkpoint_every,
+            "fsync": durability.fsync,
+            "max_segment_bytes": durability.max_segment_bytes,
+        },
+    }
+
+
+def _config_from_manifest(doc: dict[str, Any]) -> SimulationConfig:
+    cfg = doc["config"]
+    kwargs = dict(cfg.get("policy_kwargs") or {})
+    for key, enum_cls in _ENUM_KWARGS.items():
+        if key in kwargs and isinstance(kwargs[key], str):
+            kwargs[key] = enum_cls(kwargs[key])
+    return SimulationConfig(
+        cache_size=int(cfg["cache_size"]),
+        policy=str(cfg["policy"]),
+        policy_kwargs=kwargs,
+        queue_length=int(cfg["queue_length"]),
+        discipline=QueueDiscipline(cfg["discipline"]),
+        queue_mode=str(cfg["queue_mode"]),
+        warmup=int(cfg["warmup"]),
+        check_invariants=bool(cfg["check_invariants"]),
+    )
+
+
+def _load_manifest(run_dir: Path) -> dict[str, Any]:
+    path = run_dir / "manifest.json"
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DurabilityError(f"{path}: unreadable run manifest: {exc}") from None
+    if doc.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        raise DurabilityError(
+            f"{path}: unsupported manifest schema "
+            f"v{doc.get('schema_version')!r} (this build reads "
+            f"v{MANIFEST_SCHEMA_VERSION})"
+        )
+    return doc
+
+
+# ---------------------------------------------------------------------- #
+# entry points
+
+
+def run_durable(
+    trace: Trace,
+    config: SimulationConfig,
+    durability: DurabilityConfig,
+    *,
+    workload_source: "str | Path | None" = None,
+) -> DurableReport:
+    """Execute ``trace`` under ``config`` with journaling and checkpoints.
+
+    The run directory is laid out as documented in the module docstring;
+    a crash (injected or real) at any point leaves a state
+    :func:`resume_run` recovers from.  Refuses to start in a directory
+    that already holds a run manifest (resume instead, or use a fresh
+    directory).
+
+    ``workload_source`` names the JSONL file ``trace`` was loaded from,
+    when there is one: the bytes are staged into the run directory as-is
+    instead of re-serializing the in-memory trace (input staging, not
+    part of the journal/checkpoint overhead).  The file must be the dump
+    of ``trace`` — a resume replays from the staged copy.
+    """
+    run_dir = durability.run_dir
+    if (run_dir / "manifest.json").exists():
+        raise DurabilityError(
+            f"{run_dir} already contains a durable run; use resume_run() "
+            "or a fresh directory"
+        )
+    run_dir.mkdir(parents=True, exist_ok=True)
+    sync = durability.fsync == "always"
+    if workload_source is not None:
+        data = Path(workload_source).read_bytes()
+        # cheap shape check: one header line plus one line per job
+        if data.count(b"\n") != len(trace) + 1 or not data.endswith(b"\n"):
+            raise DurabilityError(
+                f"{workload_source} does not look like the dump of the "
+                f"supplied trace ({len(trace)} jobs)"
+            )
+        atomic_write_bytes(run_dir / "workload.jsonl", data, fsync=sync)
+    else:
+        atomic_write_text(
+            run_dir / "workload.jsonl",
+            "\n".join(trace.dump_lines()) + "\n",
+            fsync=sync,
+        )
+    atomic_write_json(
+        run_dir / "manifest.json",
+        _config_to_manifest(config, durability),
+        fsync=sync,
+    )
+    return _execute(
+        trace,
+        config,
+        durability,
+        start_job=0,
+        arrivals_consumed=0,
+        restored=None,
+        tail_frames=[],
+        oracle=b"",
+        start_seq=0,
+        verify=False,
+    )
+
+
+def resume_run(
+    run_dir: str | Path,
+    *,
+    verify: bool | None = None,
+    crash: CrashSpec | None = None,
+) -> DurableReport:
+    """Recover an interrupted durable run and drive it to completion.
+
+    Restores the newest valid checkpoint (falling back past corrupt
+    ones; a run crashed before its first checkpoint restarts from job
+    0), truncates the telemetry trace to the checkpoint's byte offset,
+    and re-executes the remaining workload.  Journal frames that
+    survived the crash are used as an oracle: each re-executed job must
+    reproduce its frame exactly or
+    :class:`~repro.errors.ReplayDivergenceError` is raised.
+
+    ``verify`` overrides the manifest's ``verify_on_resume``; ``crash``
+    optionally injects a *new* crash into the resumed portion (crash
+    sweeps resume repeatedly).
+    """
+    run_dir = Path(run_dir)
+    manifest = _load_manifest(run_dir)
+    config = _config_from_manifest(manifest)
+    dur = manifest["durability"]
+    durability = DurabilityConfig(
+        run_dir=run_dir,
+        checkpoint_every=int(dur["checkpoint_every"]),
+        fsync=str(dur["fsync"]),
+        max_segment_bytes=int(dur["max_segment_bytes"]),
+        crash=crash,
+    )
+    trace = Trace.load(run_dir / manifest["workload"])
+
+    ckpt = latest_checkpoint(run_dir / "checkpoints")
+    frames, _torn = read_journal_dir(run_dir / "journal")
+    if ckpt is not None:
+        start_job = ckpt.job
+        arrivals_consumed = ckpt.arrivals_consumed
+        restored: dict[str, Any] | None = ckpt.state
+        trace_offset = ckpt.trace_offset
+        start_seq = ckpt.trace_seq
+    else:
+        start_job = 0
+        arrivals_consumed = 0
+        restored = None
+        trace_offset = 0
+        start_seq = 0
+    # A crash between checkpoint write and journal truncation leaves
+    # frames the checkpoint already subsumes; only the tail re-executes.
+    tail = [f for f in frames if f.job >= start_job]
+
+    trace_path = run_dir / "trace.jsonl"
+    existing = trace_path.read_bytes() if trace_path.exists() else b""
+    if len(existing) < trace_offset:
+        raise DurabilityError(
+            f"{trace_path} holds {len(existing)} bytes but the checkpoint "
+            f"records {trace_offset}"
+        )
+    # Capture the journal-acknowledged trace bytes of the tail jobs
+    # before truncating: they are the replay oracle.  In the default
+    # buffered ("rotate") mode the two files flush independently, so a
+    # kill can leave frames whose trace bytes never reached disk; those
+    # frames have no evidence to verify against — drop them and let
+    # re-execution regenerate their jobs.  trace_offset is monotone
+    # across frames, so trimming from the end keeps a verifiable prefix.
+    while tail and int(tail[-1].payload["trace_offset"]) > len(existing):
+        tail.pop()
+    oracle = b""
+    if tail:
+        oracle = existing[trace_offset : int(tail[-1].payload["trace_offset"])]
+    if not trace_path.exists():
+        trace_path.touch()
+    with open(trace_path, "rb+") as fh:
+        fh.truncate(trace_offset)
+        fh.flush()
+        os.fsync(fh.fileno())
+    # The journal tail is now held in memory (the oracle); re-executed
+    # jobs re-journal themselves, so old segments are cleared first.
+    for segment in list_segments(run_dir / "journal"):
+        segment.unlink()
+    fsync_dir(run_dir / "journal")
+
+    return _execute(
+        trace,
+        config,
+        durability,
+        start_job=start_job,
+        arrivals_consumed=arrivals_consumed,
+        restored=restored,
+        tail_frames=tail,
+        oracle=oracle,
+        start_seq=start_seq,
+        verify=durability.verify_on_resume if verify is None else verify,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# the journaled loop
+
+
+def _append_torn_frame(journal: JournalWriter) -> None:
+    # a header promising more payload than follows: exactly the tail a
+    # mid-write crash leaves
+    journal.flush()  # keep buffered frames ahead of the injected tear
+    with open(journal.current_segment, "ab") as fh:
+        fh.write(_HEADER.pack(1 << 16, 0) + b'{"torn":')
+        fh.flush()
+
+
+def _check_frame(
+    expected: JournalFrame,
+    actual: dict[str, Any],
+    *,
+    actual_bytes: bytes,
+    oracle: bytes,
+    oracle_base: int,
+) -> None:
+    """One re-executed job against its surviving journal frame + trace bytes."""
+    if expected.payload != actual:
+        diff_keys = sorted(
+            k
+            for k in set(expected.payload) | set(actual)
+            if expected.payload.get(k) != actual.get(k)
+        )
+        raise ReplayDivergenceError(
+            f"job {actual['job']}: re-execution diverged from journal frame "
+            f"({expected.segment} @ {expected.offset}) on {diff_keys}"
+        )
+    start = int(actual["trace_start"]) - oracle_base
+    end = int(actual["trace_offset"]) - oracle_base
+    if oracle[start:end] != actual_bytes:
+        raise ReplayDivergenceError(
+            f"job {actual['job']}: re-executed trace bytes differ from the "
+            f"journaled originals (trace range {actual['trace_start']}.."
+            f"{actual['trace_offset']})"
+        )
+
+
+def _execute(
+    trace: Trace,
+    config: SimulationConfig,
+    durability: DurabilityConfig,
+    *,
+    start_job: int,
+    arrivals_consumed: int,
+    restored: dict[str, Any] | None,
+    tail_frames: list[JournalFrame],
+    oracle: bytes,
+    start_seq: int,
+    verify: bool,
+) -> DurableReport:
+    run_dir = durability.run_dir
+    trace_path = run_dir / "trace.jsonl"
+    sizes = trace.catalog.as_dict()
+    all_requests: list[Request] = list(trace)
+    if arrivals_consumed > len(all_requests):
+        raise DurabilityError(
+            f"checkpoint consumed {arrivals_consumed} arrivals but the "
+            f"workload has only {len(all_requests)}"
+        )
+
+    consumed = arrivals_consumed
+
+    def arrivals() -> Iterator[Request]:
+        nonlocal consumed
+        while consumed < len(all_requests):
+            request = all_requests[consumed]
+            consumed += 1
+            yield request
+
+    jsonl = JsonlSink(trace_path, append=restored is not None)
+    # the tee layer only earns its per-event cost when there are journal
+    # frames to verify against; fresh runs write straight to the file
+    sink: JsonlSink | _TeeSink = _TeeSink(jsonl) if tail_frames else jsonl
+    recorder = TraceRecorder(sink, start_seq=start_seq)
+    with use_recorder(recorder):
+        cache = (
+            CacheState.restore(restored["cache"])
+            if restored is not None
+            else CacheState(config.cache_size)
+        )
+        policy = make_policy(
+            config.policy, future=trace.bundles(), **config.policy_kwargs
+        )
+        policy.bind(cache, sizes)
+        if restored is not None:
+            policy.import_state(restored["policy"])
+        metrics = MetricsCollector(warmup=config.warmup)
+        if restored is not None:
+            metrics.import_state(restored["metrics"])
+
+        if config.queue_length > 1:
+            queue: AdmissionQueue | None = AdmissionQueue(
+                config.queue_length, config.discipline, sizes=sizes
+            )
+            if restored is not None and restored.get("queue") is not None:
+                queue.import_state(restored["queue"])
+            drain_first = (
+                restored is not None
+                and config.queue_mode == "drain"
+                and len(queue) > 0
+            )
+            requests: Iterator[Request] = _queued(
+                arrivals(),
+                queue,
+                policy.score,
+                config.queue_mode,
+                drain_first=drain_first,
+            )
+        else:
+            queue = None
+            requests = arrivals()
+
+        journal = JournalWriter(
+            run_dir / "journal",
+            max_segment_bytes=durability.max_segment_bytes,
+            fsync=durability.fsync,
+        )
+        injector = (
+            CrashInjector(durability.crash) if durability.crash is not None else None
+        )
+        oracle_base = jsonl.bytes_written
+        n_tail = len(tail_frames)
+        strict = durability.fsync == "always"
+        checkpoints_written = 0
+        replayed = 0
+        jobs_executed = 0
+        try:
+            for job_index, request in enumerate(requests, start=start_job):
+                if replayed < n_tail:
+                    sink.capture = []
+                trace_start = jsonl.bytes_written
+                service_request(
+                    job_index,
+                    request,
+                    cache=cache,
+                    policy=policy,
+                    sizes=sizes,
+                    metrics=metrics,
+                    config=config,
+                    rec=recorder,
+                )
+                # commit order: the job's trace lines are written before its
+                # frame.  "always" additionally forces them to disk first,
+                # making the frame a strict per-job commit record; the
+                # buffered default lets resume trim evidence-less frames.
+                if strict:
+                    jsonl.flush(sync=True)
+                trace_offset = jsonl.bytes_written
+                seq = recorder.events_emitted
+                frame = {
+                    "job": job_index,
+                    "request_id": request.request_id,
+                    "trace_start": trace_start,
+                    "trace_offset": trace_offset,
+                    "seq": seq,
+                    "arrivals_consumed": consumed,
+                }
+                # hand-rolled serialization of the all-int frame; must
+                # match _encode_payload(frame) byte-for-byte (~6x faster
+                # than json.dumps on this hot path)
+                encoded = (
+                    f'{{"job":{job_index},"request_id":{request.request_id},'
+                    f'"trace_start":{trace_start},"trace_offset":{trace_offset},'
+                    f'"seq":{seq},"arrivals_consumed":{consumed}}}'
+                ).encode("ascii")
+                if replayed < n_tail:
+                    captured = sink.capture or []
+                    _check_frame(
+                        tail_frames[replayed],
+                        frame,
+                        actual_bytes="".join(
+                            line + "\n" for line in captured
+                        ).encode("utf-8"),
+                        oracle=oracle,
+                        oracle_base=oracle_base,
+                    )
+                    replayed += 1
+                    sink.capture = None
+                journal.append(frame, encoded=encoded)
+                jobs_executed += 1
+                if injector is not None:
+                    injector.tick(torn_hook=lambda: _append_torn_frame(journal))
+                if (job_index + 1) % durability.checkpoint_every == 0:
+                    # the trace is always flushed before the checkpoint that
+                    # records its offset, so a surviving checkpoint never
+                    # points past the end of the surviving trace
+                    jsonl.flush(sync=strict)
+                    write_checkpoint(
+                        run_dir / "checkpoints",
+                        job=job_index + 1,
+                        arrivals_consumed=consumed,
+                        trace_offset=jsonl.bytes_written,
+                        trace_seq=recorder.events_emitted,
+                        state={
+                            "cache": cache.export_state(),
+                            "policy": policy.export_state(),
+                            "metrics": metrics.export_state(),
+                            "queue": queue.export_state()
+                            if queue is not None
+                            else None,
+                        },
+                        fsync=strict,
+                    )
+                    journal.truncate_to_checkpoint()
+                    checkpoints_written += 1
+
+        except BaseException:
+            # deterministic teardown: an escaping exception (including an
+            # injected crash) must not leave open buffered writers behind
+            # — a later GC would flush their stale tails into files a
+            # resume may already be rewriting
+            journal.close()
+            sink.close()
+            raise
+        journal.close()
+        jsonl.flush(sync=strict)
+
+    if replayed < len(tail_frames):
+        raise ReplayDivergenceError(
+            f"journal holds {len(tail_frames)} frames past job {start_job} "
+            f"but re-execution produced only {replayed}"
+        )
+    if verify:
+        from repro.telemetry.forensics import reconstruct, verify_against_cache
+
+        report = reconstruct(str(trace_path), capacity=config.cache_size)
+        report.raise_if_violations()
+        mismatches = verify_against_cache(report, cache)
+        if mismatches:
+            raise ReplayDivergenceError(
+                "stitched trace disagrees with the live cache: "
+                + "; ".join(mismatches)
+            )
+
+    result = SimulationResult(
+        policy=policy.name,
+        cache_size=config.cache_size,
+        metrics=metrics.snapshot(),
+        cache_loads=cache.load_count,
+        cache_evictions=cache.evict_count,
+        cache_bytes_evicted=cache.bytes_evicted,
+        max_queue_wait=queue.max_observed_wait() if queue is not None else 0,
+        config=config,
+    )
+    atomic_write_json(
+        run_dir / "result.json",
+        result.as_dict(),
+        fsync=durability.fsync == "always",
+    )
+    sink.close()
+    return DurableReport(
+        result=result,
+        run_dir=run_dir,
+        trace_path=trace_path,
+        jobs_executed=jobs_executed,
+        resumed_from_job=start_job,
+        replayed_jobs=replayed,
+        checkpoints_written=checkpoints_written,
+    )

@@ -27,6 +27,13 @@ __all__ = [
     "TypeContractError",
     "StateInvariantError",
     "LintError",
+    "DurabilityError",
+    "JournalError",
+    "JournalCorruptError",
+    "CheckpointError",
+    "ReplayDivergenceError",
+    "InjectedCrashError",
+    "TraceTruncatedWarning",
 ]
 
 
@@ -176,6 +183,80 @@ class LintError(ReproError):
     source that does not parse — *operator* errors, as opposed to rule
     findings, which are reported (never raised) by the linter.
     """
+
+
+class DurabilityError(ReproError):
+    """Base class for write-ahead-journal / checkpoint / recovery failures."""
+
+
+class JournalError(DurabilityError):
+    """The write-ahead journal was misused or could not be written."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal segment holds a frame whose CRC32 does not match.
+
+    Only an *interior* frame can raise this: an incomplete final frame is
+    the expected signature of a torn write and is silently discarded by
+    the reader.  Carries the segment path and byte offset of the bad
+    frame.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.offset = offset
+
+
+class CheckpointError(DurabilityError):
+    """A checkpoint file is missing, corrupt, or of an unsupported schema."""
+
+
+class ReplayDivergenceError(DurabilityError):
+    """Recovery re-execution diverged from the journaled decision record.
+
+    Raised when re-executing a journaled job emits telemetry that differs
+    from the frame recorded before the crash — the restored state is not
+    byte-identical to the pre-crash state, so continuing would silently
+    fork the run.
+    """
+
+
+class InjectedCrashError(DurabilityError):
+    """A :class:`repro.faults.CrashSpec` fired in ``raise`` mode.
+
+    Deliberately *not* catchable via the injector's host components: the
+    durable runner lets it propagate so tests exercise the same abrupt
+    teardown path a real crash takes.
+    """
+
+
+class TraceTruncatedWarning(ReproError, UserWarning):
+    """A JSONL telemetry trace ends in a torn (crash-truncated) final line.
+
+    Derives from both :class:`ReproError` (the package-wide hierarchy
+    contract) and :class:`UserWarning` (so it can be *issued* via
+    :mod:`warnings` rather than raised).
+
+    Issued — not raised — by :func:`repro.telemetry.validate_trace_file`
+    and the forensics trace loaders when the last line of a trace lacks a
+    trailing newline and fails to parse or validate: the signature of a
+    process killed mid-write.  ``byte_offset`` is where the intact prefix
+    ends, i.e. the length a recovery tool should truncate the file to.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 byte_offset: int | None = None, lineno: int | None = None):
+        super().__init__(message)
+        self.path = path
+        self.byte_offset = byte_offset
+        self.lineno = lineno
 
 
 class RetryExhaustedError(ReproError):

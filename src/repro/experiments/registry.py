@@ -8,6 +8,7 @@ from repro.analysis.report import ExperimentOutput
 from repro.errors import ConfigError
 from repro.experiments.ablation import run_ablation
 from repro.experiments.chaos import run_chaos
+from repro.experiments.crashdrill import run_crashdrill
 from repro.experiments.example_tables import run_tables
 from repro.experiments.fig5_history import run_fig5
 from repro.experiments.fig6_small_files import run_fig6
@@ -35,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[[str], ExperimentOutput]] = {
     "zoo": run_zoo,
     "grid": run_grid,
     "chaos": run_chaos,
+    "crashdrill": run_crashdrill,
     "hybrid": run_hybrid,
     "replication": run_replication,
     "warmup": run_warmup,

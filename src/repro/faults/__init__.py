@@ -9,9 +9,22 @@ spec into deterministic, seeded decisions so degraded runs replay
 exactly.  The fault-tolerant staging pipeline that consumes these
 decisions — retries with capped exponential backoff, per-file staging
 timeouts, replica failover — lives in :mod:`repro.grid.srm`.
+
+:class:`CrashSpec` / :class:`CrashInjector` extend the same philosophy
+to the simulating *process*: deterministic kill-at-the-Nth-mutation
+crashes (exception, SIGKILL, or torn-write) that drive the
+:mod:`repro.durability` recovery tests.
 """
 
+from repro.faults.crash import CRASH_MODES, CrashInjector, CrashSpec
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import NO_FAULTS, FaultSpec
 
-__all__ = ["FaultSpec", "FaultInjector", "NO_FAULTS"]
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "NO_FAULTS",
+    "CrashSpec",
+    "CrashInjector",
+    "CRASH_MODES",
+]

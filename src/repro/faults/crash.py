@@ -1,0 +1,89 @@
+"""Seeded process-crash injection for durability testing.
+
+Grid faults (:mod:`repro.faults.spec`) degrade the *simulated* hardware;
+a :class:`CrashSpec` degrades the *simulating process* itself, so the
+journal/checkpoint/recovery machinery in :mod:`repro.durability` can be
+exercised deterministically: crash exactly at the Nth state mutation
+(one mutation = one journal commit), in one of three modes:
+
+* ``"raise"`` — raise :class:`~repro.errors.InjectedCrashError`; the
+  cheapest mode, suitable for in-process kill sweeps (``finally`` blocks
+  still run, which is *stricter* than a real crash only if recovery
+  wrongly depends on them — the SIGKILL mode guards against that);
+* ``"sigkill"`` — ``SIGKILL`` the current process: no atexit handlers,
+  no buffered-write flushes, the closest a test can get to a power cut
+  without one;
+* ``"torn"`` — first append a deliberately truncated frame to the
+  current journal segment (the torn tail a mid-write crash leaves), then
+  raise.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError, InjectedCrashError
+
+__all__ = ["CrashSpec", "CrashInjector", "CRASH_MODES"]
+
+#: supported crash modes (see module docstring)
+CRASH_MODES = frozenset({"raise", "sigkill", "torn"})
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash the process at the ``at_mutation``-th state mutation.
+
+    Attributes
+    ----------
+    at_mutation:
+        1-based index of the journal commit at which to crash (the
+        mutation itself completes first — the crash lands *between*
+        commits, where a real interruption would).
+    mode:
+        One of ``"raise"``, ``"sigkill"``, ``"torn"``.
+    """
+
+    at_mutation: int
+    mode: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.at_mutation < 1:
+            raise ConfigError(
+                f"at_mutation must be >= 1, got {self.at_mutation}"
+            )
+        if self.mode not in CRASH_MODES:
+            raise ConfigError(
+                f"crash mode must be one of {sorted(CRASH_MODES)}, "
+                f"got {self.mode!r}"
+            )
+
+
+class CrashInjector:
+    """Counts mutations and fires the configured crash on schedule."""
+
+    def __init__(self, spec: CrashSpec):
+        self.spec = spec
+        self.mutations = 0
+
+    def tick(self, *, torn_hook: Callable[[], None] | None = None) -> None:
+        """Record one completed mutation; crash if the schedule says so.
+
+        ``torn_hook`` is invoked before the crash in ``"torn"`` mode (the
+        durable runner passes a callback that appends a truncated frame
+        to the live journal segment).
+        """
+        self.mutations += 1
+        if self.mutations != self.spec.at_mutation:
+            return
+        if self.spec.mode == "torn" and torn_hook is not None:
+            torn_hook()
+        if self.spec.mode == "sigkill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise InjectedCrashError(
+            f"injected crash at mutation {self.mutations} "
+            f"(mode={self.spec.mode!r})"
+        )

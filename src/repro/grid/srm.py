@@ -409,6 +409,38 @@ class StorageResourceManager:
     def queued_jobs(self) -> int:
         return len(self._queue)
 
+    def export_queue_state(self) -> dict:
+        """JSON-ready snapshot of the admission/service queues.
+
+        The checkpoint layer snapshots this alongside cache and policy
+        state so an interrupted grid run can be inspected (which jobs
+        were waiting, in flight, or staging when the process died).
+        Export-only: the event-driven SRM is recovered by re-execution,
+        not by state import.
+        """
+        return {
+            "queued": [
+                {"request_id": r.request_id, "arrived": arrived}
+                for r, arrived in self._queue
+            ],
+            "active": [
+                {
+                    "request_id": ctx.request.request_id,
+                    "arrived": ctx.arrived,
+                    "awaiting": sorted(ctx.awaiting),
+                    "pinned": sorted(ctx.pinned),
+                    "hit": ctx.hit,
+                }
+                for ctx in self._active
+            ],
+            "staging": (
+                self._staging.request.request_id
+                if self._staging is not None
+                else None
+            ),
+            "requeued_ids": sorted(self._requeued_ids),
+        }
+
     # ------------------------------------------------------------------ #
 
     def _maybe_start(self) -> None:

@@ -231,6 +231,41 @@ class MetricsCollector:
             return
         self._unserviceable.inc()
 
+    # ------------------------------------------------------------------ #
+    # durable state (checkpoint/restore)
+
+    def _counter_map(self) -> dict:
+        return {
+            "jobs": self._jobs,
+            "hits": self._hits,
+            "unserviceable": self._unserviceable,
+            "bytes_requested": self._bytes_requested,
+            "bytes_demand": self._bytes_demand,
+            "bytes_prefetch": self._bytes_prefetch,
+        }
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot of counters, warmup progress and the volume
+        histogram (exact: integer counters and repr-round-tripped floats)."""
+        return {
+            "seen": self._seen,
+            "warmup": self._warmup,
+            "counters": {k: c.export_state() for k, c in self._counter_map().items()},
+            "volume": self._volume.export_state(),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        if int(state["warmup"]) != self._warmup:
+            raise SimulationError(
+                f"metrics snapshot has warmup {state['warmup']}, "
+                f"collector was built with {self._warmup}"
+            )
+        self._seen = int(state["seen"])
+        for key, counter in self._counter_map().items():
+            counter.restore_state(state["counters"][key])
+        self._volume.restore_state(state["volume"])
+
     def snapshot(self) -> MetricsSnapshot:
         return MetricsSnapshot(
             jobs=int(self._jobs.value),

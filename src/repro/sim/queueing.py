@@ -106,6 +106,41 @@ class AdmissionQueue:
         return max(self._lockout_waits, default=0)
 
     # ------------------------------------------------------------------ #
+    # durable state (checkpoint/restore)
+
+    def export_state(self) -> dict:
+        """JSON-able snapshot: waiting jobs (inline) + wait bookkeeping."""
+        return {
+            "waiting": [
+                {
+                    "id": r.request_id,
+                    "t": r.arrival_time,
+                    "priority": r.priority,
+                    "files": sorted(r.bundle.files),
+                    "waited": w,
+                }
+                for r, w in self._waiting
+            ],
+            "lockout_waits": list(self._lockout_waits),
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Restore a snapshot from :meth:`export_state`."""
+        self._waiting = [
+            (
+                Request(
+                    request_id=int(rec["id"]),
+                    bundle=FileBundle(rec["files"]),
+                    arrival_time=float(rec["t"]),
+                    priority=float(rec["priority"]),
+                ),
+                int(rec["waited"]),
+            )
+            for rec in state["waiting"]
+        ]
+        self._lockout_waits = [int(w) for w in state["lockout_waits"]]
+
+    # ------------------------------------------------------------------ #
 
     def _select_index(self, scorer: Scorer | None) -> int:
         if self.discipline is QueueDiscipline.FCFS or len(self._waiting) == 1:

@@ -30,7 +30,12 @@ from repro.telemetry.recorder import TraceRecorder
 from repro.types import SizeBytes
 from repro.workload.trace import Trace
 
-__all__ = ["SimulationConfig", "SimulationResult", "simulate_trace"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_trace",
+    "service_request",
+]
 
 
 @dataclass(frozen=True)
@@ -96,10 +101,25 @@ class SimulationResult:
         return out
 
 
-def _queued(trace: Trace, queue: AdmissionQueue, scorer, mode: str) -> Iterator[Request]:
-    """Yield trace requests in queue-discipline order."""
-    arrivals = iter(trace)
+def _queued(
+    arrivals: Iterator[Request],
+    queue: AdmissionQueue,
+    scorer,
+    mode: str,
+    *,
+    drain_first: bool = False,
+) -> Iterator[Request]:
+    """Yield requests in queue-discipline order.
+
+    ``drain_first`` supports checkpoint recovery in ``drain`` mode: when a
+    run was interrupted mid-drain the restored queue must be emptied
+    before refilling, otherwise service order diverges from the
+    uninterrupted run.
+    """
     exhausted = False
+    if drain_first and mode == "drain":
+        while len(queue):
+            yield queue.pop_next(scorer)
     while True:
         while not exhausted and not queue.is_full:
             nxt = next(arrivals, None)
@@ -114,6 +134,91 @@ def _queued(trace: Trace, queue: AdmissionQueue, scorer, mode: str) -> Iterator[
                 yield queue.pop_next(scorer)
         else:  # sliding window: refill after each departure
             yield queue.pop_next(scorer)
+
+
+def service_request(
+    job_index: int,
+    request: Request,
+    *,
+    cache: CacheState,
+    policy: ReplacementPolicy,
+    sizes: dict,
+    metrics: MetricsCollector,
+    config: SimulationConfig,
+    rec: TraceRecorder,
+) -> None:
+    """Service one job: the shared per-request body of the simulator.
+
+    Both :func:`simulate_trace` and the durable runner
+    (:mod:`repro.durability.runner`) drive this function, so a resumed
+    run executes byte-for-byte the same decision sequence — including
+    telemetry emission order — as an uninterrupted one.
+    """
+    bundle = request.bundle
+    try:
+        requested = bundle.size_under(sizes)
+    except KeyError as exc:
+        raise UnknownFileError(
+            f"request {request.request_id} references unknown file "
+            f"{exc.args[0] if exc.args else '?'!r}"
+        ) from None
+    if rec.active:
+        rec.emit(
+            JobArrived(
+                job=job_index,
+                request_id=request.request_id,
+                n_files=len(bundle),
+                bytes_requested=requested,
+            )
+        )
+    if requested > cache.capacity:
+        metrics.record_unserviceable()
+        return
+    missing = cache.missing(bundle)
+    with rec.span("policy.on_request"):
+        decision = policy.on_request(bundle)
+
+    def _size(file_id) -> SizeBytes:
+        try:
+            return sizes[file_id]
+        except KeyError:
+            raise UnknownFileError(
+                f"file {file_id!r} is not in the size catalog"
+            ) from None
+
+    demand_bytes = sum(_size(f) for f in missing)
+    to_prefetch = {
+        f for f in decision.prefetch if f not in cache and f not in missing
+    }
+    prefetch_bytes = sum(_size(f) for f in to_prefetch)
+    needed = demand_bytes + prefetch_bytes
+    if cache.free < needed:
+        raise SimulationError(
+            f"policy {policy.name!r} left only {cache.free} free bytes "
+            f"but {needed} are needed"
+        )
+    # sorted: load order cannot change what ends up resident, but a
+    # reproducible order keeps the load counters' interleaving (and
+    # any future instrumentation of it) identical across processes
+    for f in sorted(missing):
+        cache.load(f, sizes[f])
+    for f in sorted(to_prefetch):
+        cache.load(f, sizes[f])
+    if rec.active:
+        for f in sorted(missing):
+            rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="demand"))
+        for f in sorted(to_prefetch):
+            rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="prefetch"))
+    hit = not missing
+    policy.on_serviced(bundle, frozenset(missing | to_prefetch), hit)
+    metrics.record_job(
+        requested_bytes=requested,
+        demand_loaded_bytes=demand_bytes,
+        prefetched_bytes=prefetch_bytes,
+        hit=hit,
+    )
+    if config.check_invariants:
+        cache.check_invariants()
 
 
 def simulate_trace(
@@ -152,78 +257,23 @@ def simulate_trace(
             config.queue_length, config.discipline, sizes=sizes
         )
         requests: Iterator[Request] = _queued(
-            trace, queue, policy.score, config.queue_mode
+            iter(trace), queue, policy.score, config.queue_mode
         )
     else:
         queue = None
         requests = iter(trace)
 
-    def _size(file_id) -> SizeBytes:
-        try:
-            return sizes[file_id]
-        except KeyError:
-            raise UnknownFileError(
-                f"file {file_id!r} is not in the size catalog"
-            ) from None
-
     for job_index, request in enumerate(requests):
-        bundle = request.bundle
-        try:
-            requested = bundle.size_under(sizes)
-        except KeyError as exc:
-            raise UnknownFileError(
-                f"request {request.request_id} references unknown file "
-                f"{exc.args[0] if exc.args else '?'!r}"
-            ) from None
-        if rec.active:
-            rec.emit(
-                JobArrived(
-                    job=job_index,
-                    request_id=request.request_id,
-                    n_files=len(bundle),
-                    bytes_requested=requested,
-                )
-            )
-        if requested > cache.capacity:
-            metrics.record_unserviceable()
-            continue
-        missing = cache.missing(bundle)
-        with rec.span("policy.on_request"):
-            decision = policy.on_request(bundle)
-
-        demand_bytes = sum(_size(f) for f in missing)
-        to_prefetch = {
-            f for f in decision.prefetch if f not in cache and f not in missing
-        }
-        prefetch_bytes = sum(_size(f) for f in to_prefetch)
-        needed = demand_bytes + prefetch_bytes
-        if cache.free < needed:
-            raise SimulationError(
-                f"policy {policy.name!r} left only {cache.free} free bytes "
-                f"but {needed} are needed"
-            )
-        # sorted: load order cannot change what ends up resident, but a
-        # reproducible order keeps the load counters' interleaving (and
-        # any future instrumentation of it) identical across processes
-        for f in sorted(missing):
-            cache.load(f, sizes[f])
-        for f in sorted(to_prefetch):
-            cache.load(f, sizes[f])
-        if rec.active:
-            for f in sorted(missing):
-                rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="demand"))
-            for f in sorted(to_prefetch):
-                rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="prefetch"))
-        hit = not missing
-        policy.on_serviced(bundle, frozenset(missing | to_prefetch), hit)
-        metrics.record_job(
-            requested_bytes=requested,
-            demand_loaded_bytes=demand_bytes,
-            prefetched_bytes=prefetch_bytes,
-            hit=hit,
+        service_request(
+            job_index,
+            request,
+            cache=cache,
+            policy=policy,
+            sizes=sizes,
+            metrics=metrics,
+            config=config,
+            rec=rec,
         )
-        if config.check_invariants:
-            cache.check_invariants()
 
     return SimulationResult(
         policy=policy.name,

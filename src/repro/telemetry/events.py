@@ -20,10 +20,11 @@ arbitrary JSONL against it (used by the CI trace smoke job).
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, fields
+import warnings
+from dataclasses import dataclass, fields
 from typing import Any, Mapping
 
-from repro.errors import TraceValidationError
+from repro.errors import TraceTruncatedWarning, TraceValidationError
 
 __all__ = [
     "TraceEvent",
@@ -43,6 +44,7 @@ __all__ = [
     "event_from_dict",
     "validate_event",
     "validate_trace_file",
+    "warn_torn_tail",
 ]
 
 
@@ -241,10 +243,24 @@ _ADMIT_CAUSES = frozenset({"demand", "prefetch", "staged"})
 _FAULT_KINDS = frozenset({"drive", "transfer", "latency_spike"})
 
 
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
 def event_to_dict(seq: int, event: TraceEvent) -> dict[str, Any]:
-    """The serialized (JSONL line) form of one event."""
+    """The serialized (JSONL line) form of one event.
+
+    The returned dict is fresh but *shallow*: a nested payload (e.g.
+    ``FileEvicted.detail``) is shared with the event, not deep-copied —
+    events are frozen and callers serialize immediately, so the copy
+    ``dataclasses.asdict`` would make is pure overhead on the hot path.
+    """
+    names = _FIELD_NAMES.get(type(event))
+    if names is None:
+        names = tuple(f.name for f in fields(event))
+        _FIELD_NAMES[type(event)] = names
     out: dict[str, Any] = {"seq": seq, "kind": event.kind}
-    out.update(asdict(event))
+    for name in names:
+        out[name] = getattr(event, name)
     return out
 
 
@@ -307,6 +323,25 @@ def validate_event(record: Mapping[str, Any]) -> None:
         )
 
 
+def warn_torn_tail(path: Any, lineno: int, byte_offset: int, reason: str) -> None:
+    """Issue the standard :class:`TraceTruncatedWarning` for a torn tail.
+
+    Shared by :func:`validate_trace_file` and the forensics trace loader
+    so both report the same recovery hint: the byte offset of the intact
+    prefix, i.e. what the file should be truncated to.
+    """
+    warnings.warn(
+        TraceTruncatedWarning(
+            f"{path}: line {lineno} is a torn final line ({reason}); "
+            f"intact prefix is {byte_offset} bytes",
+            path=str(path),
+            byte_offset=byte_offset,
+            lineno=lineno,
+        ),
+        stacklevel=3,
+    )
+
+
 def validate_trace_file(path) -> int:
     """Validate every line of a JSONL trace; return the event count.
 
@@ -315,16 +350,38 @@ def validate_trace_file(path) -> int:
     :class:`~repro.errors.TraceValidationError` locating the first invalid
     record: the message (and the exception's ``lineno``/``field``
     attributes) carry the 1-based line number and the offending field.
+
+    A final line that lacks its trailing newline and does not parse is
+    the signature of a crash-torn write, not of corruption: it is
+    reported as a recoverable :class:`~repro.errors.TraceTruncatedWarning`
+    (carrying the byte offset of the intact prefix) and excluded from the
+    count, so post-crash traces remain analyzable.
     """
     count = 0
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
+    offset = 0
+    with open(path, "rb") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            has_newline = raw.endswith(b"\n")
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError as exc:
+                if not has_newline:
+                    warn_torn_tail(path, lineno, offset, f"bad UTF-8: {exc}")
+                    return count
+                raise TraceValidationError(
+                    f"{path}: line {lineno}: not valid UTF-8: {exc}",
+                    path=str(path),
+                    lineno=lineno,
+                ) from None
             if not line:
+                offset += len(raw)
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if not has_newline:
+                    warn_torn_tail(path, lineno, offset, f"not valid JSON: {exc}")
+                    return count
                 raise TraceValidationError(
                     f"{path}: line {lineno}: not valid JSON: {exc}",
                     path=str(path),
@@ -349,4 +406,5 @@ def validate_trace_file(path) -> int:
                     field="seq",
                 ) from None
             count += 1
+            offset += len(raw)
     return count

@@ -29,6 +29,7 @@ from repro.telemetry.events import (
     TraceEvent,
     WindowRolled,
     validate_event,
+    warn_torn_tail,
 )
 
 __all__ = ["iter_trace", "TraceLog", "JobWindow", "Segment"]
@@ -62,23 +63,44 @@ def iter_trace(
     raising :class:`~repro.errors.TraceValidationError` on the first bad
     line; ``validate=False`` trusts the file and only needs the ``kind``
     lookup to type each event.
+
+    A final line without its trailing newline that fails to decode is a
+    crash-torn tail, not corruption: iteration stops there with a
+    recoverable :class:`~repro.errors.TraceTruncatedWarning` carrying the
+    byte offset of the intact prefix.
     """
     expected_seq = 0
+    offset = 0
     try:
-        fh = open(path, "r", encoding="utf-8")
+        fh = open(path, "rb")
     except OSError as exc:
         raise TraceValidationError(
             f"cannot read trace {path}: {exc.strerror or exc}",
             path=str(path),
         ) from None
     with fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
+        for lineno, raw in enumerate(fh, start=1):
+            has_newline = raw.endswith(b"\n")
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError as exc:
+                if not has_newline:
+                    warn_torn_tail(path, lineno, offset, f"bad UTF-8: {exc}")
+                    return
+                raise TraceValidationError(
+                    f"{path}: line {lineno}: not valid UTF-8: {exc}",
+                    path=str(path),
+                    lineno=lineno,
+                ) from None
             if not line:
+                offset += len(raw)
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if not has_newline:
+                    warn_torn_tail(path, lineno, offset, f"not valid JSON: {exc}")
+                    return
                 raise TraceValidationError(
                     f"{path}: line {lineno}: not valid JSON: {exc}",
                     path=str(path),
@@ -115,6 +137,7 @@ def iter_trace(
                     field="kind",
                 ) from None
             event = cls(**{f.name: record[f.name] for f in fields(cls)})
+            offset += len(raw)
             yield record.get("seq", lineno - 1), event
 
 

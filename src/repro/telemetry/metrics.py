@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import TelemetryError
 
@@ -67,6 +67,14 @@ class Counter:
     @property
     def value(self) -> "int | float":
         return self._value
+
+    def export_state(self) -> "int | float":
+        """The raw value, for checkpoint serialization."""
+        return self._value
+
+    def restore_state(self, value: "int | float") -> None:
+        """Set the raw value from a checkpoint (bypasses monotonicity)."""
+        self._value = value
 
 
 class Gauge:
@@ -157,6 +165,30 @@ class Histogram:
     @property
     def max(self) -> float:
         return self._max if self._n else 0.0
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-able internal state (``inf`` sentinels encoded as null)."""
+        return {
+            "counts": list(self._counts),
+            "n": self._n,
+            "sum": self._sum,
+            "min": None if self._n == 0 else self._min,
+            "max": None if self._n == 0 else self._max,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Restore :meth:`export_state` output (bucket layout must match)."""
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(self._counts):
+            raise TelemetryError(
+                f"histogram {self.name!r}: snapshot has {len(counts)} "
+                f"buckets, this histogram has {len(self._counts)}"
+            )
+        self._counts = counts
+        self._n = int(state["n"])
+        self._sum = float(state["sum"])
+        self._min = math.inf if state["min"] is None else float(state["min"])
+        self._max = -math.inf if state["max"] is None else float(state["max"])
 
     def bucket_counts(self) -> list[tuple[float, int]]:
         """Cumulative ``(le, count)`` pairs ending with ``(inf, n)``."""

@@ -94,6 +94,10 @@ class TraceRecorder:
         Enable :meth:`span` timing.  Defaults to ``True`` whenever the
         sink is active or a registry was supplied, ``False`` otherwise
         (so the null recorder is a true no-op).
+    start_seq:
+        First sequence number to assign (default 0).  Checkpoint
+        recovery primes a fresh recorder with the next sequence of the
+        truncated trace so the stitched file keeps a contiguous ``seq``.
     """
 
     __slots__ = ("sink", "_registry", "_profile", "_seq", "active")
@@ -104,14 +108,17 @@ class TraceRecorder:
         *,
         registry: MetricsRegistry | None = None,
         profile: bool | None = None,
+        start_seq: int = 0,
     ):
+        if start_seq < 0:
+            raise ConfigError(f"start_seq must be non-negative, got {start_seq}")
         self.sink = sink if sink is not None else NullSink()
         self._registry = registry
         self.active = self.sink.active
         if profile is None:
             profile = self.active or registry is not None
         self._profile = profile
-        self._seq = 0
+        self._seq = start_seq
 
     # ------------------------------------------------------------------ #
     # events

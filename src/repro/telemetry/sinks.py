@@ -9,14 +9,28 @@
 * :class:`RingSink` — an in-memory (optionally bounded) buffer of typed
   events; used by tests and by the per-worker buffering that keeps
   ``--jobs N`` traces deterministic.
+
+Durability
+----------
+A :class:`JsonlSink` registers a :func:`weakref.finalize` callback, so
+its buffer is flushed and the file closed at interpreter exit (or
+garbage collection) even when the owner forgets to call :meth:`close` —
+a crash-adjacent run still leaves a readable trace.  :meth:`flush`
+pushes buffered lines to the OS on demand (optionally fsync'ing), and
+:attr:`bytes_written` tracks the exact byte offset of the durable-write
+frontier, which the checkpoint/recovery layer records so a resumed run
+can truncate a torn tail and append from a known-good boundary.
 """
 
 from __future__ import annotations
 
 import abc
 import json
+import os
+import weakref
 from collections import deque
 from pathlib import Path
+from typing import IO
 
 from repro.errors import ConfigError
 from repro.telemetry.events import TraceEvent, event_to_dict
@@ -47,26 +61,58 @@ class NullSink(TraceSink):
         pass
 
 
-class JsonlSink(TraceSink):
-    """Appends canonical JSON lines to ``path`` (truncates on open)."""
+def _close_file(fh: IO[bytes]) -> None:
+    # runs via weakref.finalize: at gc, explicit close(), or interpreter
+    # exit — whichever comes first
+    if not fh.closed:
+        fh.close()
 
-    def __init__(self, path: "str | Path"):
+
+class JsonlSink(TraceSink):
+    """Appends canonical JSON lines to ``path``.
+
+    ``append=False`` (default) truncates on open; ``append=True`` keeps
+    existing content and continues counting :attr:`bytes_written` from
+    the current file size (the recovery path truncates the file to the
+    checkpoint offset first, then appends).
+    """
+
+    def __init__(self, path: "str | Path", *, append: bool = False):
         self.path = Path(path)
-        self._fh = open(self.path, "w", encoding="utf-8", newline="\n")
+        # binary mode: one encode per line (its length IS the byte
+        # offset advance) and a single buffer layer under flush(),
+        # which the durable runner calls at every checkpoint boundary
+        mode = "ab" if append else "wb"
+        self._fh: IO[bytes] = open(self.path, mode)
         self.lines_written = 0
+        self.bytes_written = self.path.stat().st_size if append else 0
+        self._finalizer = weakref.finalize(self, _close_file, self._fh)
 
     def emit(self, seq: int, event: TraceEvent) -> None:
-        self._fh.write(
-            json.dumps(
-                event_to_dict(seq, event), sort_keys=True, separators=(",", ":")
-            )
-        )
-        self._fh.write("\n")
+        self.emit_record(event_to_dict(seq, event))
+
+    def emit_record(self, record: dict) -> None:
+        """Write one already-built event record."""
+        self.emit_line(json.dumps(record, sort_keys=True, separators=(",", ":")))
+
+    def emit_line(self, line: str) -> None:
+        """Write one already-serialized canonical JSON line (the durable
+        runner serializes once and shares the line with its replay check)."""
+        data = line.encode("utf-8") + b"\n"
+        self._fh.write(data)
         self.lines_written += 1
+        self.bytes_written += len(data)
+
+    def flush(self, *, sync: bool = False) -> None:
+        """Push buffered lines to the OS; ``sync`` additionally fsyncs."""
+        if self._fh.closed:
+            return
+        self._fh.flush()
+        if sync:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        self._finalizer()
 
 
 class RingSink(TraceSink):

@@ -61,11 +61,17 @@ class Trace:
     # serialization
 
     def dump(self, path: str | Path) -> None:
-        """Write the trace as JSONL."""
-        path = Path(path)
-        with path.open("w", encoding="utf-8") as fh:
-            for line in self.dump_lines():
-                fh.write(line + "\n")
+        """Atomically write the trace as JSONL (temp file + rename)."""
+        # imported lazily: repro.durability pulls in the simulator, which
+        # imports this module
+        from repro.durability.atomicio import atomic_write_text
+
+        try:
+            atomic_write_text(
+                Path(path), "".join(line + "\n" for line in self.dump_lines())
+            )
+        except OSError as exc:
+            raise TraceFormatError(f"{path}: unwritable trace: {exc}") from None
 
     def dump_lines(self) -> Iterable[str]:
         header = {
@@ -75,24 +81,29 @@ class Trace:
             "files": {fid: size for fid, size in self.catalog.items()},
         }
         yield json.dumps(header, sort_keys=True)
+        # keys listed in sorted order so insertion order == canonical
+        # order and per-line sort_keys work is skipped (dump is on the
+        # durable runner's setup path)
         for req in self.stream:
             yield json.dumps(
                 {
-                    "type": "job",
-                    "id": req.request_id,
-                    "t": req.arrival_time,
-                    "priority": req.priority,
                     "files": sorted(req.bundle.files),
-                },
-                sort_keys=True,
+                    "id": req.request_id,
+                    "priority": req.priority,
+                    "t": req.arrival_time,
+                    "type": "job",
+                }
             )
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
         """Read a trace written by :meth:`dump`."""
         path = Path(path)
-        with path.open("r", encoding="utf-8") as fh:
-            return cls.load_lines(fh)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                return cls.load_lines(fh)
+        except OSError as exc:
+            raise TraceFormatError(f"{path}: unreadable trace: {exc}") from None
 
     @classmethod
     def load_lines(cls, lines: Iterable[str]) -> "Trace":

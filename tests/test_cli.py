@@ -83,8 +83,9 @@ class TestCommands:
 
     def test_replay_missing_file_errors(self, tmp_path, capsys):
         missing = str(tmp_path / "nope.jsonl")
-        with pytest.raises(FileNotFoundError):
-            main(["replay", missing])
+        assert main(["replay", missing]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unreadable trace" in err
 
     def test_error_path_returns_2(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
