@@ -13,6 +13,7 @@ from repro.analysis.lint.drift import (
     check_doc_references,
     check_drift,
     check_event_schema,
+    check_service_routes,
 )
 from repro.analysis.lint.framework import Finding, Rule, SourceModule
 from repro.analysis.lint.reporting import format_json, format_text
@@ -30,6 +31,7 @@ __all__ = [
     "check_doc_references",
     "check_drift",
     "check_event_schema",
+    "check_service_routes",
     "collect_files",
     "format_json",
     "format_text",

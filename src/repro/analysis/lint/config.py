@@ -45,11 +45,15 @@ DEFAULT_FOCUS: dict[str, tuple[str, ...]] = {
 #: rule id -> patterns exempting a file from the rule
 DEFAULT_ALLOW: dict[str, tuple[str, ...]] = {
     # the only sanctioned wall clocks: span profiling (host timings go to
-    # metric histograms, never the event trace) and the bench harness
+    # metric histograms, never the event trace), the bench harness, and
+    # the online service's latency instrumentation (decision timings and
+    # loadgen pacing are host-side observations, never trace content)
     "RPR001": (
         "*/telemetry/recorder.py",
         "*/telemetry/profiling.py",
         "*/experiments/bench.py",
+        "*/service/state.py",
+        "*/service/loadgen.py",
     ),
     # the registry owns the documented default seed of the random policy;
     # utils/rng.py is the one place deriving generators from raw seeds

@@ -12,6 +12,9 @@ artifacts that must stay in lock-step but live in different places.
   ``--policy X`` / ``policy="X"`` / ``repro-fbc run <exp>`` reference in
   README.md and EXPERIMENTS.md must name something that exists, and every
   registered policy must be documented in the README.
+* ``repro.service.app.ROUTES`` vs. the README endpoint list: the
+  coordinator's documented HTTP surface must match the route table in
+  both directions.
 
 All comparisons accept injected mappings so tests can demonstrate that a
 removed event field is caught without mutating the live modules.
@@ -32,6 +35,7 @@ __all__ = [
     "check_event_schema",
     "check_doc_references",
     "check_checkpoint_schema",
+    "check_service_routes",
 ]
 
 RULE_ID = "RPR005"
@@ -280,10 +284,86 @@ def check_checkpoint_schema(
     return out
 
 
+#: a documented endpoint: `` `GET /v1/cache` `` in backticks
+_ENDPOINT_RE = re.compile(r"`(GET|POST|PUT|DELETE|PATCH)\s+(/[^\s`]+)`")
+
+
+def check_service_routes(
+    root: Path | None = None,
+    routes: "tuple[tuple[str, str], ...] | None" = None,
+) -> list[Finding]:
+    """README's documented HTTP endpoints vs. the service route table.
+
+    The coordinator's HTTP surface is defined once, in
+    :data:`repro.service.app.ROUTES`.  Every backtick-quoted
+    ``METHOD /path`` in README.md must name a route that exists, and
+    every route must appear in the README — an endpoint added to the
+    service without a doc update (or vice versa) is drift.
+    """
+    if routes is None:
+        from repro.service.app import ROUTES
+
+        routes = ROUTES
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parents[2]
+
+    readme = root / "README.md"
+    if not readme.is_file():
+        return []
+    try:
+        text = readme.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return []
+
+    out: list[Finding] = []
+    documented: dict[tuple[str, str], int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _ENDPOINT_RE.finditer(line):
+            documented.setdefault((match.group(1), match.group(2)), lineno)
+
+    if not documented:
+        out.append(
+            _finding(
+                "README.md",
+                1,
+                "README.md documents no service endpoints — add a "
+                "'Running as a service' section listing every route in "
+                "repro.service.app.ROUTES",
+            )
+        )
+        return out
+
+    route_set = set(routes)
+    for (method, path), lineno in sorted(documented.items()):
+        if (method, path) not in route_set:
+            out.append(
+                _finding(
+                    "README.md",
+                    lineno,
+                    f"documented endpoint '{method} {path}' is not in the "
+                    "service route table (repro.service.app.ROUTES)",
+                )
+            )
+    for method, path in sorted(route_set - set(documented)):
+        out.append(
+            _finding(
+                "README.md",
+                1,
+                f"service route '{method} {path}' is not documented in "
+                "README.md — the endpoint list has drifted from "
+                "repro.service.app.ROUTES",
+            )
+        )
+    return out
+
+
 def check_drift(root: Path | None = None) -> list[Finding]:
     """All RPR005 checks against the live artifacts."""
     return (
         check_event_schema()
         + check_doc_references(root=root)
         + check_checkpoint_schema(root=root)
+        + check_service_routes(root=root)
     )

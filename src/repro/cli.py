@@ -22,6 +22,14 @@ Subcommands
   JSON (Perfetto / ``chrome://tracing``).
 * ``lint``      — determinism & conformance linter (RPR001–RPR005) over
   Python source; non-zero exit on findings.
+* ``serve``     — run the online cache-coordinator HTTP service (durable
+  run directory, checkpoint/resume, chaos injection).
+* ``loadgen``   — replay a workload trace against a running coordinator,
+  reporting throughput, latency percentiles and byte-miss ratio.
+
+Argument errors (unknown subcommand, malformed flags) uniformly print
+``error: <message>`` to stderr and exit with status 2; ``--version``
+prints the package version.
 
 Two kinds of JSONL file flow through this tool and the metavars keep
 them apart: a ``WORKLOAD_TRACE`` is an *input* to simulation (requests +
@@ -35,8 +43,9 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from typing import NoReturn, Sequence
 
+from repro import __version__
 from repro.cache.registry import POLICY_REGISTRY
 from repro.errors import ConfigError, ReproError
 from repro.experiments import EXPERIMENTS, run_experiment
@@ -49,10 +58,29 @@ from repro.workload.trace import Trace
 __all__ = ["main", "build_parser"]
 
 
+class _Parser(argparse.ArgumentParser):
+    """ArgumentParser with the CLI's uniform error contract.
+
+    Malformed arguments and unknown subcommands print
+    ``error: <message>`` to stderr and exit with status 2 — the same
+    shape :func:`main` uses for runtime :class:`ReproError` failures, so
+    scripts can match one prefix.  (Subparsers inherit this class via
+    argparse's ``parser_class`` default.)
+    """
+
+    def error(self, message: str) -> NoReturn:
+        self.print_usage(sys.stderr)
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(2)  # repro: allow[RPR004] argparse's exit contract; the process boundary, not a catchable simulation error
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro-fbc",
         description="File-bundle caching for data grids (SC'04 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -410,6 +438,131 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the post-resume forensics reconstruction check",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the online cache-coordinator HTTP service (durable run "
+        "directory, checkpoint/resume, POST /v1/jobs decisions)",
+    )
+    p_serve.add_argument(
+        "workload",
+        metavar="WORKLOAD_TRACE",
+        nargs="?",
+        default=None,
+        help="workload trace written by 'generate'; supplies the file "
+        "catalog and the optimal policies' future knowledge (omit with "
+        "--resume, which reads it from the run directory)",
+    )
+    p_serve.add_argument(
+        "--run-dir",
+        required=True,
+        help="durable run directory (manifest, arrivals, trace, journal, "
+        "checkpoints); a fresh serve refuses a directory that already "
+        "holds a run — use --resume for that",
+    )
+    p_serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover an interrupted service run from --run-dir and keep "
+        "serving from the first unserviced job",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listening port (0 picks an ephemeral port; the chosen one "
+        "is printed as 'listening on http://HOST:PORT')",
+    )
+    p_serve.add_argument("--cache-size", default="1GB")
+    p_serve.add_argument(
+        "--policy", default="optbundle", choices=sorted(POLICY_REGISTRY)
+    )
+    p_serve.add_argument("--warmup", type=int, default=0)
+    p_serve.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="verify telemetry invariants while recording (slower)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=100,
+        help="snapshot full state every N jobs (bounds recovery replay)",
+    )
+    p_serve.add_argument(
+        "--fsync",
+        default="rotate",
+        choices=("rotate", "always"),
+        help="'rotate' buffers between checkpoints (kill-safe); 'always' "
+        "fsyncs every frame (power-failure-proof, slow)",
+    )
+    p_serve.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        metavar="N",
+        help="inject a deterministic crash at the Nth journal commit "
+        "(chaos testing; restart with --resume afterwards)",
+    )
+    p_serve.add_argument(
+        "--crash-mode",
+        default="raise",
+        choices=("raise", "sigkill", "torn"),
+        help="how the injected crash dies (torn also half-writes a "
+        "journal frame)",
+    )
+    p_serve.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="probability a demand transfer fails and is retried "
+        "(surfaces as 'retries' in responses, never in the trace)",
+    )
+    p_serve.add_argument("--fault-seed", type=int, default=0)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay a workload trace against a running coordinator and "
+        "report throughput, latency percentiles and byte-miss ratio",
+    )
+    p_load.add_argument(
+        "workload",
+        metavar="WORKLOAD_TRACE",
+        help="workload trace to replay (normally the same one the "
+        "server was started with)",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        help="closed-loop workers (1 preserves trace order exactly)",
+    )
+    p_load.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="JOBS_PER_S",
+        help="open-loop offered rate; job i is released at i/rate "
+        "seconds regardless of completions (default: closed loop)",
+    )
+    p_load.add_argument(
+        "--limit", type=int, default=None, help="replay at most N jobs"
+    )
+    p_load.add_argument(
+        "--start-job",
+        default="0",
+        metavar="N|auto",
+        help="skip jobs the server already serviced; 'auto' asks the "
+        "server via GET /healthz (the crash-resume driving mode)",
+    )
+    p_load.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON instead of a summary",
+    )
     return parser
 
 
@@ -477,6 +630,126 @@ def _report(
     return render_table(
         ["policy", "byte_miss_ratio", "request_hit_ratio", "MB/request", "evictions"],
         rows,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> None:
+    """Handler for ``repro-fbc serve`` (fresh start or ``--resume``)."""
+    import asyncio
+    import signal
+    from pathlib import Path
+
+    from repro.faults.crash import CrashSpec
+    from repro.faults.spec import FaultSpec
+    from repro.service import CoordinatorService, CoordinatorState, ServiceConfig
+
+    crash = (
+        CrashSpec(at_mutation=args.crash_at, mode=args.crash_mode)
+        if args.crash_at is not None
+        else None
+    )
+    if args.resume:
+        state = CoordinatorState.resume(Path(args.run_dir), crash=crash)
+        print(
+            f"resumed from job {state.resumed_from_job} "
+            f"({state.next_job} jobs already serviced)",
+            flush=True,
+        )
+    else:
+        if args.workload is None:
+            raise ConfigError(
+                "serve needs a WORKLOAD_TRACE unless --resume is given"
+            )
+        fault = (
+            FaultSpec(
+                seed=args.fault_seed, transfer_failure_rate=args.fault_rate
+            )
+            if args.fault_rate > 0
+            else None
+        )
+        state = CoordinatorState.create(
+            ServiceConfig(
+                workload=Path(args.workload),
+                cache_size=parse_size(args.cache_size),
+                run_dir=Path(args.run_dir),
+                policy=args.policy,
+                warmup=args.warmup,
+                check_invariants=args.check_invariants,
+                checkpoint_every=args.checkpoint_every,
+                fsync=args.fsync,
+                crash=crash,
+                fault=fault,
+            )
+        )
+    service = CoordinatorService(state)
+
+    async def _serve() -> None:
+        server = await service.start(args.host, args.port)
+        addr = server.sockets[0].getsockname()
+        # machine-readable startup line: CI and scripts parse the port
+        print(f"listening on http://{addr[0]}:{addr[1]}", flush=True)
+        print(f"run dir: {state.run_dir}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, service.stop)
+        await service.run(server)
+
+    asyncio.run(_serve())
+    served = state.next_job - state.resumed_from_job
+    print(
+        f"shut down cleanly: {served} jobs serviced this run, "
+        f"{state.checkpoints_written} checkpoints"
+    )
+
+
+def _run_loadgen(args: argparse.Namespace) -> None:
+    """Handler for ``repro-fbc loadgen``."""
+    import json
+
+    from repro.service import run_loadgen
+
+    if args.start_job == "auto":
+        start_job: int | str = "auto"
+    else:
+        try:
+            start_job = int(args.start_job)
+        except ValueError:
+            raise ConfigError(
+                f"--start-job must be an integer or 'auto', "
+                f"got {args.start_job!r}"
+            ) from None
+    trace = Trace.load(args.workload)
+    report = run_loadgen(
+        trace,
+        args.host,
+        args.port,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        limit=args.limit,
+        start_job=start_job,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return
+    rate = "closed-loop" if report.rate is None else f"{report.rate:g}/s"
+    print(
+        f"loadgen: {report.jobs} jobs in {report.duration_s:.2f}s "
+        f"({report.throughput_jobs_per_s:.1f} jobs/s, "
+        f"concurrency {report.concurrency}, {rate})"
+    )
+    print(
+        f"  errors {report.errors}, retries {report.retries}, "
+        f"unserviceable {report.unserviceable}"
+    )
+    print(
+        f"  hit ratio {report.request_hit_ratio:.4f}, "
+        f"byte miss ratio {report.byte_miss_ratio:.4f}"
+    )
+    print(
+        f"  latency ms: p50 {report.latency_p50_ms:.2f}, "
+        f"p90 {report.latency_p90_ms:.2f}, "
+        f"p99 {report.latency_p99_ms:.2f}, "
+        f"max {report.latency_max_ms:.2f}"
     )
 
 
@@ -842,6 +1115,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             if not args.no_verify:
                 print("verify: stitched trace reconstruction ok")
             print(f"telemetry trace: {report.trace_path}")
+        elif args.command == "serve":
+            _run_serve(args)
+        elif args.command == "loadgen":
+            _run_loadgen(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -71,11 +71,11 @@ from repro.errors import ConfigError, DurabilityError, ReplayDivergenceError
 from repro.faults.crash import CrashInjector, CrashSpec
 from repro.sim.metrics import MetricsCollector
 from repro.sim.queueing import AdmissionQueue, QueueDiscipline
+from repro.sim.coordinator import CoordinatorCore
 from repro.sim.simulator import (
     SimulationConfig,
     SimulationResult,
     _queued,
-    service_request,
 )
 from repro.telemetry.events import TraceEvent, event_to_dict
 from repro.telemetry.recorder import TraceRecorder, use_recorder
@@ -538,6 +538,14 @@ def _execute(
             queue = None
             requests = arrivals()
 
+        core = CoordinatorCore(
+            cache=cache,
+            policy=policy,
+            sizes=sizes,
+            metrics=metrics,
+            recorder=recorder,
+            check_invariants=config.check_invariants,
+        )
         journal = JournalWriter(
             run_dir / "journal",
             max_segment_bytes=durability.max_segment_bytes,
@@ -557,16 +565,7 @@ def _execute(
                 if replayed < n_tail:
                     sink.capture = []
                 trace_start = jsonl.bytes_written
-                service_request(
-                    job_index,
-                    request,
-                    cache=cache,
-                    policy=policy,
-                    sizes=sizes,
-                    metrics=metrics,
-                    config=config,
-                    rec=recorder,
-                )
+                core.submit(job_index, request)
                 # commit order: the job's trace lines are written before its
                 # frame.  "always" additionally forces them to disk first,
                 # making the frame a strict per-job commit record; the

@@ -27,6 +27,7 @@ __all__ = [
     "TypeContractError",
     "StateInvariantError",
     "LintError",
+    "ServiceError",
     "DurabilityError",
     "JournalError",
     "JournalCorruptError",
@@ -182,6 +183,16 @@ class LintError(ReproError):
     Raised for missing paths, unreadable or non-UTF-8 source files, and
     source that does not parse — *operator* errors, as opposed to rule
     findings, which are reported (never raised) by the linter.
+    """
+
+
+class ServiceError(ReproError):
+    """The coordinator service was misused or reached a bad state.
+
+    Raised for invalid job submissions (empty bundles, malformed request
+    payloads) and for server-side protocol violations; the HTTP layer
+    maps it to a 4xx response rather than letting it kill the serving
+    loop.
     """
 
 

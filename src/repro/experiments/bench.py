@@ -28,6 +28,12 @@ successive commits leave a machine-readable speed trail next to the code:
   durable run always records a trace (contract: ≤ 10% over the traced
   baseline in jobs/sec).
 
+* **Service throughput** — the same seeded workload replayed over real
+  HTTP against the in-process coordinator service (durable run dir,
+  journal, checkpoints), per policy: achieved jobs/sec plus the
+  client-observed p50/p99 request latency — the online system's answer
+  to the same Section 1.2 "negligible decision time" claim.
+
 The workloads are fully seeded, so numbers differ across machines but the
 *shape* (speedup ratios, relative policy costs) is reproducible.
 """
@@ -61,12 +67,13 @@ __all__ = [
     "warm_planner_timings",
     "telemetry_overhead",
     "durability_overhead",
+    "service_throughput",
     "run_bench",
     "render_bench",
 ]
 
 #: Bump when the JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 DEFAULT_POLICIES: tuple[str, ...] = ("optbundle", "landlord")
 
@@ -389,6 +396,67 @@ def durability_overhead(
 
 
 # --------------------------------------------------------------------- #
+# coordinator-service throughput
+
+
+def service_throughput(
+    trace: Trace,
+    *,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    cache_size: SizeBytes = CACHE_SIZE,
+    concurrency: int = 4,
+    checkpoint_every: int = 100,
+) -> list[dict]:
+    """Replay ``trace`` over HTTP against the coordinator, per policy.
+
+    Hosts the full durable service in-process (real loopback sockets,
+    journal, checkpoints) and drives it with the closed-loop load
+    generator; the record carries achieved jobs/sec and the
+    client-observed request-latency percentiles, which bound the
+    server's per-decision cost from above.
+    """
+    import tempfile
+
+    from repro.service import CoordinatorState, ServiceConfig, run_loadgen
+    from repro.service.testing import running_service
+
+    records: list[dict] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        workload = Path(tmp) / "workload.jsonl"
+        trace.dump(workload)
+        for policy in policies:
+            state = CoordinatorState.create(
+                ServiceConfig(
+                    workload=workload,
+                    cache_size=cache_size,
+                    run_dir=Path(tmp) / f"run_{policy}",
+                    policy=policy,
+                    checkpoint_every=checkpoint_every,
+                )
+            )
+            with running_service(state) as svc:
+                report = run_loadgen(
+                    trace, svc.host, svc.port, concurrency=concurrency
+                )
+            records.append(
+                {
+                    "policy": policy,
+                    "n_jobs": report.jobs,
+                    "errors": report.errors,
+                    "concurrency": concurrency,
+                    "checkpoint_every": checkpoint_every,
+                    "elapsed_s": report.duration_s,
+                    "jobs_per_sec": report.throughput_jobs_per_s,
+                    "latency_p50_ms": report.latency_p50_ms,
+                    "latency_p99_ms": report.latency_p99_ms,
+                    "latency_mean_ms": report.latency_mean_ms,
+                    "byte_miss_ratio": report.byte_miss_ratio,
+                }
+            )
+    return records
+
+
+# --------------------------------------------------------------------- #
 # the bench driver
 
 
@@ -419,6 +487,7 @@ def run_bench(
     ]
     telemetry_record = telemetry_overhead(trace)
     durability_record = durability_overhead(trace)
+    service_records = service_throughput(trace, policies=policies)
     record = {
         "name": name,
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -438,6 +507,7 @@ def run_bench(
         "planner": planner_records,
         "telemetry": telemetry_record,
         "durability": durability_record,
+        "service": service_records,
     }
     out_path = Path(out_dir) / f"BENCH_{name}.json"
     # atomic: a crash mid-bench never leaves a torn benchmark record
@@ -492,6 +562,27 @@ def render_bench(record: dict) -> str:
                     ["no recorder", tel["baseline_s"], 0.0],
                     ["NullSink", tel["nullsink_s"], tel["nullsink_overhead"]],
                     ["JsonlSink", tel["jsonl_s"], tel["jsonl_overhead"]],
+                ],
+            )
+        )
+    svc = record.get("service")
+    if svc:
+        parts.append(
+            f"service throughput (HTTP loopback, concurrency "
+            f"{svc[0]['concurrency']})"
+        )
+        parts.append(
+            render_table(
+                ["policy", "jobs/sec", "p50 [ms]", "p99 [ms]", "byte miss"],
+                [
+                    [
+                        r["policy"],
+                        r["jobs_per_sec"],
+                        r["latency_p50_ms"],
+                        r["latency_p99_ms"],
+                        r["byte_miss_ratio"],
+                    ]
+                    for r in svc
                 ],
             )
         )

@@ -1,0 +1,186 @@
+"""The coordinator service: HTTP routing over a single durable state.
+
+Serving model
+-------------
+One :class:`~repro.service.state.CoordinatorState` behind one
+:class:`asyncio.Lock`.  Every request that touches state acquires the
+lock, so decisions are strictly serialized — the online system keeps the
+batch simulator's single-writer semantics, and at client concurrency 1
+the decision trace is byte-identical to the batch run's.  Higher client
+concurrency interleaves *arrival order*, never decision internals: the
+trace still passes invariant checking and reconstructs the live cache
+exactly.
+
+The route table :data:`ROUTES` is the single source of truth for the
+service's HTTP surface; the README's "Running as a service" section is
+pinned against it by the ``RPR005`` drift linter.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.errors import InjectedCrashError, ReproError, ServiceError
+from repro.service.http import (
+    HttpRequest,
+    HttpResponse,
+    error_response,
+    json_response,
+    read_request,
+    write_response,
+)
+from repro.service.state import CoordinatorState
+from repro.telemetry.metrics import PROMETHEUS_CONTENT_TYPE
+
+__all__ = ["ROUTES", "CoordinatorService"]
+
+#: the service's entire HTTP surface: ``(method, path)`` pairs.  Pinned
+#: against the README endpoint list by the RPR005 drift check.
+ROUTES: tuple[tuple[str, str], ...] = (
+    ("POST", "/v1/jobs"),
+    ("GET", "/v1/cache"),
+    ("GET", "/v1/config"),
+    ("GET", "/healthz"),
+    ("GET", "/metrics"),
+)
+
+_KNOWN_PATHS = frozenset(path for _method, path in ROUTES)
+
+
+class CoordinatorService:
+    """Serve one :class:`CoordinatorState` over HTTP/JSON.
+
+    Use :meth:`start` to bind a listening socket, then :meth:`run` to
+    serve until :meth:`stop` is called (or an injected crash fires —
+    ``raise``/``torn`` modes propagate out of :meth:`run` after closing
+    the listener, mimicking a process death for in-process chaos tests).
+    """
+
+    def __init__(self, state: CoordinatorState):
+        self.state = state
+        self._lock = asyncio.Lock()
+        self._stopping = asyncio.Event()
+        self._fatal: BaseException | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.base_events.Server:
+        """Bind and start accepting connections; returns the server."""
+        return await asyncio.start_server(
+            self._handle_connection, host, port, limit=64 * 1024
+        )
+
+    async def run(self, server: asyncio.base_events.Server) -> None:
+        """Serve until stopped; re-raises a fatal injected crash."""
+        async with server:
+            await server.start_serving()
+            await self._stopping.wait()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.state.close()
+        if self._fatal is not None:
+            raise self._fatal
+
+    def stop(self) -> None:
+        """Request shutdown (threadsafe via ``loop.call_soon_threadsafe``)."""
+        self._stopping.set()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = await read_request(reader)
+                except ServiceError as exc:
+                    response = error_response(400, str(exc))
+                    self.state.count_http_request(error=True)
+                    write_response(writer, response, keep_alive=False)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                self.state.count_http_request(error=response.status >= 400)
+                write_response(writer, response, keep_alive=request.keep_alive)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled this connection; close quietly below
+        except InjectedCrashError:
+            pass  # recorded in _fatal; run() re-raises after teardown
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        path = request.target.split("?", 1)[0]
+        if path not in _KNOWN_PATHS:
+            return error_response(404, f"no route for {path!r}")
+        if (request.method, path) not in ROUTES:
+            return error_response(
+                405, f"{request.method} not allowed on {path!r}"
+            )
+        if path == "/v1/jobs":
+            return await self._post_job(request)
+        async with self._lock:
+            if path == "/v1/cache":
+                return json_response(self.state.cache_payload())
+            if path == "/v1/config":
+                return json_response(self.state.config_payload())
+            if path == "/healthz":
+                return json_response(self.state.health_payload())
+            # /metrics — the one non-JSON endpoint
+            return HttpResponse(
+                status=200,
+                body=self.state.prometheus().encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+
+    async def _post_job(self, request: HttpRequest) -> HttpResponse:
+        try:
+            payload = request.json()
+        except ServiceError as exc:
+            return error_response(400, str(exc))
+        if not isinstance(payload, dict):
+            return error_response(400, "body must be a JSON object")
+        files = payload.get("files")
+        if not isinstance(files, list):
+            return error_response(400, "'files' must be a list of file ids")
+        priority = payload.get("priority", 1.0)
+        if not isinstance(priority, (int, float)) or isinstance(priority, bool):
+            return error_response(400, "'priority' must be a number")
+        async with self._lock:
+            try:
+                result = self.state.submit(files, priority=float(priority))
+            except InjectedCrashError as exc:
+                # chaos: treat like the process death it stands in for —
+                # no response, tear the server down, surface via run()
+                self._fatal = exc
+                self._stopping.set()
+                raise
+            except ReproError as exc:
+                return error_response(400, str(exc))
+        body: dict[str, Any] = result.as_dict()
+        return json_response(body)

@@ -1,0 +1,102 @@
+"""Configuration of the online cache-coordinator service.
+
+A :class:`ServiceConfig` is the service-shaped view of the same knobs
+the batch drivers take: the simulation parameters
+(:class:`~repro.sim.simulator.SimulationConfig` minus queueing — the
+service admits jobs in arrival order), the durability parameters of
+:class:`~repro.durability.runner.DurabilityConfig`, and the chaos specs
+(:class:`~repro.faults.crash.CrashSpec`,
+:class:`~repro.faults.spec.FaultSpec`).
+
+``workload`` names a workload-trace file; the service takes its file
+catalog (and, for clairvoyant policies, the ``future`` bundle sequence)
+from it, so a differential replay of that trace through the server and
+through the batch simulator sees identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.durability.journal import DEFAULT_SEGMENT_BYTES
+from repro.errors import ConfigError
+from repro.faults.crash import CrashSpec
+from repro.faults.spec import FaultSpec
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Parameters of one coordinator-service run.
+
+    Attributes
+    ----------
+    workload:
+        Workload-trace file supplying the file catalog and the future
+        bundle sequence (clairvoyant policies).
+    cache_size:
+        Cache capacity in bytes.
+    run_dir:
+        The durable run directory (arrivals record, telemetry trace,
+        journal, checkpoints — the PR-6 layout plus ``arrivals.jsonl``).
+    policy / policy_kwargs:
+        Replacement-policy registry name and factory kwargs.
+    warmup:
+        Jobs excluded from reported metrics (cache state still updates).
+    check_invariants:
+        Assert cache consistency after every job.
+    checkpoint_every:
+        Snapshot full state every N jobs (journal truncated each time).
+    fsync:
+        ``"rotate"`` (OS-buffered between checkpoints) or ``"always"``
+        (fsync every commit) — the durable runner's contract.
+    max_segment_bytes:
+        Journal segment rotation threshold.
+    crash:
+        Optional deterministic crash injection, ticked once per journal
+        commit (chaos testing).
+    fault:
+        Optional grid-fault model; transfer faults are consulted per
+        demand load and surface as simulated retries in the response
+        payload and the ``service_transfer_faults_total`` counter (they
+        never enter the decision trace, so fault chaos does not break
+        differential trace comparison).
+    """
+
+    workload: Path
+    cache_size: int
+    run_dir: Path
+    policy: str = "optbundle"
+    policy_kwargs: dict[str, Any] = field(default_factory=dict)
+    warmup: int = 0
+    check_invariants: bool = False
+    checkpoint_every: int = 100
+    fsync: str = "rotate"
+    max_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    crash: CrashSpec | None = None
+    fault: FaultSpec | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", Path(self.workload))
+        object.__setattr__(self, "run_dir", Path(self.run_dir))
+        if self.cache_size <= 0:
+            raise ConfigError(
+                f"cache_size must be positive, got {self.cache_size}"
+            )
+        if self.warmup < 0:
+            raise ConfigError(f"warmup must be non-negative, got {self.warmup}")
+        if self.checkpoint_every < 1:
+            raise ConfigError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.fsync not in ("rotate", "always"):
+            raise ConfigError(
+                f"fsync must be 'rotate' or 'always', got {self.fsync!r}"
+            )
+        if self.max_segment_bytes < 1:
+            raise ConfigError(
+                f"max_segment_bytes must be positive, got {self.max_segment_bytes}"
+            )

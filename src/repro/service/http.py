@@ -1,0 +1,210 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough protocol for the coordinator service and its load
+generator: request-line + headers + ``Content-Length`` bodies, JSON
+payloads, and keep-alive connection reuse.  No chunked encoding, no
+TLS, no pipelining — requests on one connection are processed strictly
+in order, which is exactly the semantics the single-writer coordinator
+wants.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ServiceError
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+    "read_request",
+    "read_response",
+    "write_request",
+    "write_response",
+    "json_response",
+    "error_response",
+]
+
+#: refuse request heads larger than this (one attacker-controlled readuntil)
+MAX_HEADER_BYTES = 16 * 1024
+#: refuse bodies larger than this (a job submission is a few KB at most)
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request (server side) — headers lower-cased."""
+
+    method: str
+    target: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body) if self.body else None
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+@dataclass
+class HttpResponse:
+    """One response to serialize — body plus content type."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Any:
+        return json.loads(self.body) if self.body else None
+
+
+def json_response(payload: Any, *, status: int = 200) -> HttpResponse:
+    """A canonical-JSON response (sorted keys — byte-stable payloads)."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return HttpResponse(status=status, body=body)
+
+
+def error_response(status: int, message: str) -> HttpResponse:
+    return json_response({"error": message}, status=status)
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> tuple[list[str], dict[str, str]] | None:
+    """Read request/status line + headers; ``None`` on a clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServiceError("connection closed mid-header") from None
+    except asyncio.LimitOverrunError:
+        raise ServiceError(
+            f"header block exceeds {MAX_HEADER_BYTES} bytes"
+        ) from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ServiceError(f"header block exceeds {MAX_HEADER_BYTES} bytes")
+    lines = head.decode("latin-1").split("\r\n")
+    first = lines[0].split(" ")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ServiceError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return first, headers
+
+
+async def _read_body(reader: asyncio.StreamReader, headers: dict[str, str]) -> bytes:
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ServiceError(f"bad Content-Length {length_text!r}") from None
+    if length < 0:
+        raise ServiceError(f"bad Content-Length {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(f"body of {length} bytes exceeds {MAX_BODY_BYTES}")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ServiceError("connection closed mid-body") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` when the peer closed between requests."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    first, headers = head
+    if len(first) != 3:
+        raise ServiceError(f"malformed request line {' '.join(first)!r}")
+    method, target, version = first
+    if not version.startswith("HTTP/1."):
+        raise ServiceError(f"unsupported protocol {version!r}")
+    body = await _read_body(reader, headers)
+    return HttpRequest(
+        method=method.upper(), target=target, headers=headers, body=body
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response (client side)."""
+    head = await _read_head(reader)
+    if head is None:
+        raise ServiceError("connection closed before a response arrived")
+    first, headers = head
+    if len(first) < 2:
+        raise ServiceError(f"malformed status line {' '.join(first)!r}")
+    try:
+        status = int(first[1])
+    except ValueError:
+        raise ServiceError(f"malformed status {first[1]!r}") from None
+    body = await _read_body(reader, headers)
+    return HttpResponse(
+        status=status,
+        body=body,
+        content_type=headers.get("content-type", ""),
+        headers=headers,
+    )
+
+
+def write_request(
+    writer: asyncio.StreamWriter,
+    method: str,
+    target: str,
+    *,
+    body: bytes = b"",
+    content_type: str = "application/json",
+) -> None:
+    """Serialize one keep-alive request onto ``writer`` (client side)."""
+    head = (
+        f"{method} {target} HTTP/1.1\r\n"
+        f"Host: coordinator\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if body:
+        head += f"Content-Type: {content_type}\r\n"
+    writer.write(head.encode("latin-1") + b"\r\n" + body)
+
+
+def write_response(
+    writer: asyncio.StreamWriter, response: HttpResponse, *, keep_alive: bool = True
+) -> None:
+    """Serialize one response onto ``writer`` (server side)."""
+    reason = _REASONS.get(response.status, "Unknown")
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: {response.content_type}\r\n"
+        f"Content-Length: {len(response.body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+    )
+    for name, value in response.headers.items():
+        head += f"{name}: {value}\r\n"
+    writer.write(head.encode("latin-1") + b"\r\n" + response.body)

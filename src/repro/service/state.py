@@ -1,0 +1,647 @@
+"""Durable state behind the coordinator service.
+
+The service is the online face of the simulator: the same
+:class:`~repro.sim.coordinator.CoordinatorCore` the batch drivers hold,
+fed one HTTP job at a time, with the PR-6 durability machinery
+underneath.  The run directory extends the durable runner's layout with
+an *arrivals record* — the service cannot re-read its workload from a
+file because jobs arrive over the network, so it writes one::
+
+    <run_dir>/
+        manifest.json     service + simulation + durability parameters
+        workload.jsonl    catalog (+ future bundles) the server was started with
+        arrivals.jsonl    workload-trace-format record of accepted jobs
+        trace.jsonl       telemetry trace (the decision record)
+        journal/          write-ahead log, one frame per serviced job
+        checkpoints/      versioned state snapshots
+
+Per-job commit order: the job's **arrival line is flushed first**, then
+its telemetry lines are written, then its journal frame — so under a
+SIGKILL the arrivals record is always at least as durable as the
+journal, and every journaled decision can be re-derived from a persisted
+arrival.  Recovery (:meth:`CoordinatorState.resume`) is the durable
+runner's re-execution protocol verbatim: restore the newest checkpoint,
+truncate the trace to its offset, drop journal frames whose trace
+evidence did not survive, re-execute the persisted arrivals past the
+checkpoint while checking each one against its surviving frame
+(:class:`~repro.errors.ReplayDivergenceError` on any divergence), then
+continue serving new jobs.  The stitched trace is byte-identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Any
+
+from repro.cache.registry import make_policy
+from repro.cache.state import CacheState
+from repro.core.bundle import FileBundle
+from repro.core.request import Request
+from repro.durability.atomicio import atomic_write_bytes, atomic_write_json, fsync_dir
+from repro.durability.checkpoint import latest_checkpoint, write_checkpoint
+from repro.durability.journal import (
+    JournalFrame,
+    JournalWriter,
+    list_segments,
+    read_journal_dir,
+)
+from repro.durability.runner import (
+    MANIFEST_SCHEMA_VERSION,
+    DurabilityConfig,
+    _append_torn_frame,
+    _check_frame,
+    _config_from_manifest,
+    _config_to_manifest,
+    _TeeSink,
+)
+from repro.errors import (
+    DurabilityError,
+    ReplayDivergenceError,
+    ServiceError,
+    UnknownFileError,
+)
+from repro.faults.crash import CrashInjector, CrashSpec
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
+from repro.service.config import ServiceConfig
+from repro.sim.coordinator import CoordinatorCore, JobOutcome
+from repro.sim.metrics import MetricsCollector
+from repro.sim.simulator import SimulationConfig
+from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from repro.telemetry.recorder import TraceRecorder, use_recorder
+from repro.telemetry.sinks import JsonlSink
+from repro.workload.trace import Trace
+
+__all__ = ["CoordinatorState", "JobResult"]
+
+
+class JobResult:
+    """One serviced job: the outcome plus its slice of the decision trace.
+
+    ``events`` are the job's telemetry records exactly as written to
+    ``trace.jsonl`` (parsed back from the canonical lines), so an HTTP
+    response carries the same ``PlanComputed``/``FileAdmitted``/
+    ``FileEvicted`` rationale payloads the trace does.  ``retries`` is
+    the number of injected transfer faults absorbed while "staging" the
+    job's loads (0 without a fault spec).
+    """
+
+    __slots__ = ("outcome", "events", "retries")
+
+    def __init__(
+        self, outcome: JobOutcome, events: list[dict[str, Any]], retries: int
+    ):
+        self.outcome = outcome
+        self.events = events
+        self.retries = retries
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "outcome": self.outcome.as_dict(),
+            "events": self.events,
+            "retries": self.retries,
+        }
+
+
+def _service_manifest(config: ServiceConfig) -> dict[str, Any]:
+    sim = SimulationConfig(
+        cache_size=config.cache_size,
+        policy=config.policy,
+        policy_kwargs=config.policy_kwargs,
+        warmup=config.warmup,
+        check_invariants=config.check_invariants,
+    )
+    durability = DurabilityConfig(
+        run_dir=config.run_dir,
+        checkpoint_every=config.checkpoint_every,
+        fsync=config.fsync,
+        max_segment_bytes=config.max_segment_bytes,
+    )
+    doc = _config_to_manifest(sim, durability)
+    doc["kind"] = "service"
+    doc["fault"] = (
+        None
+        if config.fault is None
+        else {
+            "seed": config.fault.seed,
+            "drive_failure_rate": config.fault.drive_failure_rate,
+            "transfer_failure_rate": config.fault.transfer_failure_rate,
+            "latency_spike_rate": config.fault.latency_spike_rate,
+            "latency_spike_factor": config.fault.latency_spike_factor,
+            "site_downtime_rate": config.fault.site_downtime_rate,
+            "mean_downtime": config.fault.mean_downtime,
+        }
+    )
+    return doc
+
+
+def _load_service_manifest(run_dir: Path) -> dict[str, Any]:
+    path = run_dir / "manifest.json"
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DurabilityError(f"{path}: unreadable service manifest: {exc}") from None
+    if doc.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        raise DurabilityError(
+            f"{path}: unsupported manifest schema v{doc.get('schema_version')!r} "
+            f"(this build reads v{MANIFEST_SCHEMA_VERSION})"
+        )
+    if doc.get("kind") != "service":
+        raise DurabilityError(
+            f"{path}: not a coordinator-service run "
+            f"(kind={doc.get('kind', 'batch')!r}); use resume_run() for "
+            "batch durable runs"
+        )
+    return doc
+
+
+def _load_arrivals(path: Path) -> tuple[Trace, int]:
+    """Read the arrivals record, tolerating a crash-torn final line.
+
+    Returns the parsed trace and the byte length of the intact prefix
+    (the caller truncates the file to it before appending).
+    """
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise DurabilityError(f"{path}: unreadable arrivals record: {exc}") from None
+    intact = len(data)
+    if data and not data.endswith(b"\n"):
+        # the signature of a process killed mid-append: drop the torn tail
+        intact = data.rfind(b"\n") + 1
+    if intact == 0:
+        raise DurabilityError(f"{path}: arrivals record has no intact header line")
+    lines = data[:intact].decode("utf-8").splitlines()
+    return Trace.load_lines(lines), intact
+
+
+class CoordinatorState:
+    """The single-writer durable state of one coordinator service.
+
+    Construct via :meth:`create` (fresh run directory) or :meth:`resume`
+    (recover an interrupted one).  All methods are synchronous and not
+    thread-safe; the HTTP layer serializes access through one
+    :class:`asyncio.Lock` — single-writer semantics is the service's
+    consistency model, exactly like the batch loop's.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        workload: Trace,
+        *,
+        restored: dict[str, Any] | None,
+        start_seq: int,
+        next_job: int,
+        tail_frames: list[JournalFrame],
+        oracle: bytes,
+    ):
+        self.config = config
+        self.workload = workload
+        self.run_dir = config.run_dir
+        self.sizes = workload.catalog.as_dict()
+        self.registry = MetricsRegistry()
+        self._http_requests = self.registry.counter(
+            "service_http_requests_total", "HTTP requests handled"
+        )
+        self._http_errors = self.registry.counter(
+            "service_http_errors_total", "HTTP error responses (4xx/5xx)"
+        )
+        self._decision_seconds = self.registry.histogram(
+            "service_decision_seconds",
+            "wall-clock latency of one job decision (submit to journal commit)",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._transfer_faults = self.registry.counter(
+            "service_transfer_faults_total",
+            "injected transfer faults absorbed as staging retries",
+        )
+
+        trace_path = self.run_dir / "trace.jsonl"
+        self._jsonl = JsonlSink(trace_path, append=restored is not None or next_job > 0)
+        self._sink = _TeeSink(self._jsonl)
+        self.recorder = TraceRecorder(
+            self._sink, registry=self.registry, start_seq=start_seq
+        )
+        self.trace_path = trace_path
+
+        with use_recorder(self.recorder):
+            self.cache = (
+                CacheState.restore(restored["cache"])
+                if restored is not None
+                else CacheState(config.cache_size)
+            )
+            self.policy = make_policy(
+                config.policy, future=workload.bundles(), **config.policy_kwargs
+            )
+            self.policy.bind(self.cache, self.sizes)
+            if restored is not None:
+                self.policy.import_state(restored["policy"])
+            self.metrics = MetricsCollector(
+                warmup=config.warmup, registry=self.registry
+            )
+            if restored is not None:
+                self.metrics.import_state(restored["metrics"])
+            self.core = CoordinatorCore(
+                cache=self.cache,
+                policy=self.policy,
+                sizes=self.sizes,
+                metrics=self.metrics,
+                recorder=self.recorder,
+                check_invariants=config.check_invariants,
+            )
+
+        self.journal = JournalWriter(
+            self.run_dir / "journal",
+            max_segment_bytes=config.max_segment_bytes,
+            fsync=config.fsync,
+        )
+        self._strict = config.fsync == "always"
+        self._crash = CrashInjector(config.crash) if config.crash is not None else None
+        # built outside any recorder context on purpose: service fault
+        # injection is response-payload/metrics chaos only and must not
+        # emit into the decision trace (differential comparison stays
+        # byte-exact whether or not faults are enabled)
+        self._faults = (
+            FaultInjector(config.fault)
+            if config.fault is not None and config.fault.enabled
+            else None
+        )
+
+        self._tail_frames = tail_frames
+        self._replayed = 0
+        self._oracle = oracle
+        self._oracle_base = self._jsonl.bytes_written
+        self.next_job = next_job
+        self.checkpoints_written = 0
+        self.resumed_from_job = next_job
+        self._arrivals: IO[bytes] | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    @classmethod
+    def create(cls, config: ServiceConfig) -> "CoordinatorState":
+        """Initialise a fresh run directory and an empty cache."""
+        run_dir = config.run_dir
+        if (run_dir / "manifest.json").exists():
+            raise DurabilityError(
+                f"{run_dir} already contains a run; use CoordinatorState.resume() "
+                "or a fresh directory"
+            )
+        workload = Trace.load(config.workload)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        sync = config.fsync == "always"
+        atomic_write_bytes(
+            run_dir / "workload.jsonl",
+            Path(config.workload).read_bytes(),
+            fsync=sync,
+        )
+        atomic_write_json(
+            run_dir / "manifest.json", _service_manifest(config), fsync=sync
+        )
+        state = cls(
+            config,
+            workload,
+            restored=None,
+            start_seq=0,
+            next_job=0,
+            tail_frames=[],
+            oracle=b"",
+        )
+        header = {
+            "type": "header",
+            "version": 1,
+            "meta": {"kind": "service-arrivals"},
+            "files": dict(workload.catalog.items()),
+        }
+        fh = open(run_dir / "arrivals.jsonl", "wb")
+        fh.write(json.dumps(header, sort_keys=True).encode("utf-8") + b"\n")
+        fh.flush()
+        if sync:
+            os.fsync(fh.fileno())
+        state._arrivals = fh
+        return state
+
+    @classmethod
+    def resume(
+        cls,
+        run_dir: str | Path,
+        *,
+        crash: CrashSpec | None = None,
+        verify: bool = True,
+    ) -> "CoordinatorState":
+        """Recover an interrupted service run and make it serveable again.
+
+        Re-executes every persisted arrival past the newest checkpoint,
+        verifying each against its surviving journal frame and trace
+        bytes; ``verify`` additionally reconstructs the stitched trace
+        and checks it against the live cache.  ``crash`` arms a *new*
+        crash injection for the resumed service (chaos sweeps).
+        """
+        run_dir = Path(run_dir)
+        doc = _load_service_manifest(run_dir)
+        sim = _config_from_manifest(doc)
+        dur = doc["durability"]
+        fault = None if doc.get("fault") is None else FaultSpec(**doc["fault"])
+        config = ServiceConfig(
+            workload=run_dir / "workload.jsonl",
+            cache_size=sim.cache_size,
+            run_dir=run_dir,
+            policy=sim.policy,
+            policy_kwargs=sim.policy_kwargs,
+            warmup=sim.warmup,
+            check_invariants=sim.check_invariants,
+            checkpoint_every=int(dur["checkpoint_every"]),
+            fsync=str(dur["fsync"]),
+            max_segment_bytes=int(dur["max_segment_bytes"]),
+            crash=crash,
+            fault=fault,
+        )
+        workload = Trace.load(run_dir / "workload.jsonl")
+
+        arrivals_path = run_dir / "arrivals.jsonl"
+        arrivals, intact = _load_arrivals(arrivals_path)
+        persisted = list(arrivals)
+
+        ckpt = latest_checkpoint(run_dir / "checkpoints")
+        frames, _torn = read_journal_dir(run_dir / "journal")
+        if ckpt is not None:
+            start_job = ckpt.job
+            restored: dict[str, Any] | None = ckpt.state
+            trace_offset = ckpt.trace_offset
+            start_seq = ckpt.trace_seq
+        else:
+            start_job = 0
+            restored = None
+            trace_offset = 0
+            start_seq = 0
+        if start_job > len(persisted):
+            raise DurabilityError(
+                f"checkpoint covers {start_job} jobs but the arrivals record "
+                f"holds only {len(persisted)}"
+            )
+        # frames already subsumed by the checkpoint are dropped; so are
+        # frames whose arrival line did not survive (per-job commit order
+        # makes that power-loss-only, and such a job was never acknowledged)
+        tail = [f for f in frames if start_job <= f.job < len(persisted)]
+
+        trace_path = run_dir / "trace.jsonl"
+        existing = trace_path.read_bytes() if trace_path.exists() else b""
+        if len(existing) < trace_offset:
+            raise DurabilityError(
+                f"{trace_path} holds {len(existing)} bytes but the checkpoint "
+                f"records {trace_offset}"
+            )
+        while tail and int(tail[-1].payload["trace_offset"]) > len(existing):
+            tail.pop()
+        oracle = b""
+        if tail:
+            oracle = existing[trace_offset : int(tail[-1].payload["trace_offset"])]
+        if not trace_path.exists():
+            trace_path.touch()
+        with open(trace_path, "rb+") as fh:
+            fh.truncate(trace_offset)
+            fh.flush()
+            os.fsync(fh.fileno())
+        for segment in list_segments(run_dir / "journal"):
+            segment.unlink()
+        fsync_dir(run_dir / "journal")
+
+        state = cls(
+            config,
+            workload,
+            restored=restored,
+            start_seq=start_seq,
+            next_job=start_job,
+            tail_frames=tail,
+            oracle=oracle,
+        )
+        # re-execute the persisted arrivals past the checkpoint; the first
+        # len(tail) must reproduce their journal frames byte-for-byte
+        for job_index in range(start_job, len(persisted)):
+            state._service(job_index, persisted[job_index])
+            state.next_job = job_index + 1
+        if state._replayed < len(tail):
+            raise ReplayDivergenceError(
+                f"journal holds {len(tail)} frames past job {start_job} but "
+                f"re-execution produced only {state._replayed}"
+            )
+        if verify:
+            from repro.telemetry.forensics import reconstruct, verify_against_cache
+
+            state._jsonl.flush()
+            report = reconstruct(str(trace_path), capacity=config.cache_size)
+            report.raise_if_violations()
+            mismatches = verify_against_cache(report, state.cache)
+            if mismatches:
+                raise ReplayDivergenceError(
+                    "stitched trace disagrees with the live cache: "
+                    + "; ".join(mismatches)
+                )
+        with open(arrivals_path, "rb+") as trunc:
+            trunc.truncate(intact)
+            trunc.flush()
+            os.fsync(trunc.fileno())
+        fh = open(arrivals_path, "ab")
+        state._arrivals = fh
+        return state
+
+    # ------------------------------------------------------------------ #
+    # serving
+
+    def submit(self, files: list[str], *, priority: float = 1.0) -> JobResult:
+        """Accept, persist and service one job; returns its decisions.
+
+        Raises :class:`~repro.errors.ServiceError` for an empty bundle
+        and :class:`~repro.errors.UnknownFileError` for files outside the
+        catalog — both *before* the arrival is persisted, so the durable
+        record only ever holds serviceable-shaped jobs.
+        """
+        if self._closed:
+            raise ServiceError("coordinator state is closed")
+        if not files:
+            raise ServiceError("a job must request at least one file")
+        unknown = sorted(f for f in set(files) if f not in self.sizes)
+        if unknown:
+            raise UnknownFileError(
+                f"job references files outside the catalog: {unknown}"
+            )
+        job_index = self.next_job
+        request = Request(
+            request_id=job_index,
+            bundle=FileBundle(files),
+            priority=float(priority),
+        )
+        self._append_arrival(request)
+        result = self._service(job_index, request)
+        self.next_job = job_index + 1
+        return result
+
+    def _append_arrival(self, request: Request) -> None:
+        if self._arrivals is None:
+            raise ServiceError("arrivals record is not open")
+        line = json.dumps(
+            {
+                "files": sorted(request.bundle.files),
+                "id": request.request_id,
+                "priority": request.priority,
+                "t": request.arrival_time,
+                "type": "job",
+            }
+        )
+        self._arrivals.write(line.encode("utf-8") + b"\n")
+        # the arrival must be at least as durable as the decision that
+        # follows it: it is the replay input recovery re-executes
+        self._arrivals.flush()
+        if self._strict:
+            os.fsync(self._arrivals.fileno())
+
+    def _service(self, job_index: int, request: Request) -> JobResult:
+        t0 = time.perf_counter()
+        self._sink.capture = []
+        trace_start = self._jsonl.bytes_written
+        outcome = self.core.submit(job_index, request)
+        if self._strict:
+            self._jsonl.flush(sync=True)
+        trace_offset = self._jsonl.bytes_written
+        seq = self.recorder.events_emitted
+        frame = {
+            "job": job_index,
+            "request_id": request.request_id,
+            "trace_start": trace_start,
+            "trace_offset": trace_offset,
+            "seq": seq,
+            "arrivals_consumed": job_index + 1,
+        }
+        encoded = (
+            f'{{"job":{job_index},"request_id":{request.request_id},'
+            f'"trace_start":{trace_start},"trace_offset":{trace_offset},'
+            f'"seq":{seq},"arrivals_consumed":{job_index + 1}}}'
+        ).encode("ascii")
+        captured = self._sink.capture or []
+        self._sink.capture = None
+        if self._replayed < len(self._tail_frames):
+            _check_frame(
+                self._tail_frames[self._replayed],
+                frame,
+                actual_bytes="".join(line + "\n" for line in captured).encode("utf-8"),
+                oracle=self._oracle,
+                oracle_base=self._oracle_base,
+            )
+            self._replayed += 1
+        self.journal.append(frame, encoded=encoded)
+        if self._crash is not None:
+            self._crash.tick(torn_hook=lambda: _append_torn_frame(self.journal))
+        if (job_index + 1) % self.config.checkpoint_every == 0:
+            self._checkpoint(job_index + 1)
+        retries = 0
+        if self._faults is not None:
+            for _ in outcome.loaded:
+                if self._faults.transfer_fault("service") is not None:
+                    retries += 1
+            if retries:
+                self._transfer_faults.inc(retries)
+        self._decision_seconds.observe(time.perf_counter() - t0)
+        return JobResult(outcome, [json.loads(line) for line in captured], retries)
+
+    def _checkpoint(self, job: int) -> None:
+        self._jsonl.flush(sync=self._strict)
+        write_checkpoint(
+            self.run_dir / "checkpoints",
+            job=job,
+            arrivals_consumed=job,
+            trace_offset=self._jsonl.bytes_written,
+            trace_seq=self.recorder.events_emitted,
+            state={
+                "cache": self.cache.export_state(),
+                "policy": self.policy.export_state(),
+                "metrics": self.metrics.export_state(),
+                "queue": None,
+            },
+            fsync=self._strict,
+        )
+        self.journal.truncate_to_checkpoint()
+        self.checkpoints_written += 1
+
+    # ------------------------------------------------------------------ #
+    # read-side payloads
+
+    def cache_payload(self) -> dict[str, Any]:
+        """The ``GET /v1/cache`` body: residency + metrics snapshot."""
+        state = self.cache.export_state()
+        return {
+            "capacity": state["capacity"],
+            "used": self.cache.used,
+            "free": self.cache.free,
+            "residents": state["resident"],
+            "jobs": self.next_job,
+            "metrics": self.metrics.snapshot().as_dict(),
+        }
+
+    def config_payload(self) -> dict[str, Any]:
+        """The ``GET /v1/config`` body: the run's effective parameters."""
+        cfg = self.config
+        return {
+            "cache_size": cfg.cache_size,
+            "policy": cfg.policy,
+            "policy_name": self.policy.name,
+            "policy_kwargs": {
+                k: getattr(v, "value", v) for k, v in cfg.policy_kwargs.items()
+            },
+            "warmup": cfg.warmup,
+            "check_invariants": cfg.check_invariants,
+            "checkpoint_every": cfg.checkpoint_every,
+            "fsync": cfg.fsync,
+            "run_dir": str(cfg.run_dir),
+            "workload_files": len(self.sizes),
+            "fault_injection": cfg.fault is not None and cfg.fault.enabled,
+        }
+
+    def health_payload(self) -> dict[str, Any]:
+        """The ``GET /healthz`` body."""
+        return {
+            "status": "ok",
+            "policy": self.policy.name,
+            "jobs": self.next_job,
+            "resumed_from_job": self.resumed_from_job,
+            "checkpoints_written": self.checkpoints_written,
+        }
+
+    def prometheus(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text exposition)."""
+        return self.registry.to_prometheus()
+
+    def count_http_request(self, *, error: bool) -> None:
+        """Registry bookkeeping for the HTTP layer (one call per response)."""
+        self._http_requests.inc()
+        if error:
+            self._http_errors.inc()
+
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Flush and release every durable artifact (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.journal.close()
+        self._jsonl.flush(sync=self._strict)
+        self._sink.close()
+        if self._arrivals is not None and not self._arrivals.closed:
+            self._arrivals.flush()
+            if self._strict:
+                os.fsync(self._arrivals.fileno())
+            self._arrivals.close()
+
+    def __enter__(self) -> "CoordinatorState":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        return None

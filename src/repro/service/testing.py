@@ -1,0 +1,86 @@
+"""In-process coordinator hosting for tests and benchmarks.
+
+:func:`running_service` runs a :class:`CoordinatorService` on its own
+event loop in a background thread and yields the bound address, so a
+test (or the benchmark harness) can drive it synchronously with
+:func:`repro.service.loadgen.run_loadgen` from the main thread — no
+subprocess, no port races (the listener binds port 0).
+
+If an injected crash (``raise``/``torn`` mode) tears the server down
+mid-test, the exception is captured and re-raised on exit from the
+context manager — the in-process analogue of a nonzero exit status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ServiceError
+from repro.service.app import CoordinatorService
+from repro.service.state import CoordinatorState
+
+__all__ = ["RunningService", "running_service"]
+
+
+@dataclass
+class RunningService:
+    """Handle on a live in-thread coordinator."""
+
+    host: str
+    port: int
+    service: CoordinatorService
+
+
+@contextmanager
+def running_service(
+    state: CoordinatorState, *, host: str = "127.0.0.1"
+) -> Iterator[RunningService]:
+    """Serve ``state`` on an ephemeral port until the block exits."""
+    started = threading.Event()
+    box: dict = {}
+
+    def main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        service = CoordinatorService(state)
+
+        async def serve() -> None:
+            server = await service.start(host, 0)
+            box["port"] = server.sockets[0].getsockname()[1]
+            box["service"] = service
+            box["loop"] = loop
+            started.set()
+            await service.run(server)
+
+        try:
+            loop.run_until_complete(serve())
+        except BaseException as exc:  # noqa: B036  # repro: allow[RPR004] captured into box and re-raised in the caller's thread on context exit
+            box["error"] = exc
+            started.set()  # unblock a waiter if startup itself died
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=main, name="coordinator-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise ServiceError("coordinator service failed to start within 30s")
+    if "port" not in box:
+        thread.join(timeout=5)
+        raise box.get("error") or ServiceError("coordinator service died on startup")
+    try:
+        yield RunningService(host=host, port=box["port"], service=box["service"])
+    finally:
+        loop: asyncio.AbstractEventLoop = box["loop"]
+        service: CoordinatorService = box["service"]
+        try:
+            loop.call_soon_threadsafe(service.stop)
+        except RuntimeError:
+            pass  # loop already closed (server crashed mid-test)
+        thread.join(timeout=30)
+    error = box.get("error")
+    if error is not None:
+        raise error

@@ -3,6 +3,8 @@
 * :mod:`repro.sim.metrics` — hit/miss, byte hit/miss ratios, volumes.
 * :mod:`repro.sim.queueing` — admission queue with FCFS / SJF /
   highest-relative-value / aged-value disciplines (Fig. 9).
+* :mod:`repro.sim.coordinator` — the pure plan → decide → apply core one
+  request at a time (shared by simulator, durable runner and service).
 * :mod:`repro.sim.simulator` — the per-job service loop with uniform byte
   accounting across policies.
 * :mod:`repro.sim.events`, :mod:`repro.sim.engine` — a minimal discrete-
@@ -11,6 +13,7 @@
 * :mod:`repro.sim.runner` — parameter sweeps with seed replication.
 """
 
+from repro.sim.coordinator import CoordinatorCore, JobOutcome
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot
 from repro.sim.queueing import AdmissionQueue, QueueDiscipline
 from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_trace
@@ -19,6 +22,8 @@ from repro.sim.runner import SweepResult, run_replications, sweep
 from repro.sim.timeseries import WindowPoint, byte_miss_timeseries
 
 __all__ = [
+    "CoordinatorCore",
+    "JobOutcome",
     "MetricsCollector",
     "MetricsSnapshot",
     "AdmissionQueue",

@@ -22,10 +22,11 @@ from repro.cache.policy import ReplacementPolicy
 from repro.cache.registry import make_policy
 from repro.cache.state import CacheState
 from repro.core.request import Request
-from repro.errors import ConfigError, SimulationError, UnknownFileError
+from repro.errors import ConfigError
+from repro.sim.coordinator import CoordinatorCore
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot
 from repro.sim.queueing import AdmissionQueue, QueueDiscipline
-from repro.telemetry import FileAdmitted, JobArrived, current_recorder, use_recorder
+from repro.telemetry import current_recorder, use_recorder
 from repro.telemetry.recorder import TraceRecorder
 from repro.types import SizeBytes
 from repro.workload.trace import Trace
@@ -147,78 +148,23 @@ def service_request(
     config: SimulationConfig,
     rec: TraceRecorder,
 ) -> None:
-    """Service one job: the shared per-request body of the simulator.
+    """Service one job (compatibility shim over :class:`CoordinatorCore`).
 
-    Both :func:`simulate_trace` and the durable runner
-    (:mod:`repro.durability.runner`) drive this function, so a resumed
-    run executes byte-for-byte the same decision sequence — including
-    telemetry emission order — as an uninterrupted one.
+    The per-request body now lives in
+    :class:`repro.sim.coordinator.CoordinatorCore`, which the batch
+    simulator, the durable runner and the coordinator service all drive —
+    so every execution mode produces byte-for-byte the same decision
+    sequence, including telemetry emission order.  This wrapper builds a
+    transient core per call; loop drivers should hold one core instead.
     """
-    bundle = request.bundle
-    try:
-        requested = bundle.size_under(sizes)
-    except KeyError as exc:
-        raise UnknownFileError(
-            f"request {request.request_id} references unknown file "
-            f"{exc.args[0] if exc.args else '?'!r}"
-        ) from None
-    if rec.active:
-        rec.emit(
-            JobArrived(
-                job=job_index,
-                request_id=request.request_id,
-                n_files=len(bundle),
-                bytes_requested=requested,
-            )
-        )
-    if requested > cache.capacity:
-        metrics.record_unserviceable()
-        return
-    missing = cache.missing(bundle)
-    with rec.span("policy.on_request"):
-        decision = policy.on_request(bundle)
-
-    def _size(file_id) -> SizeBytes:
-        try:
-            return sizes[file_id]
-        except KeyError:
-            raise UnknownFileError(
-                f"file {file_id!r} is not in the size catalog"
-            ) from None
-
-    demand_bytes = sum(_size(f) for f in missing)
-    to_prefetch = {
-        f for f in decision.prefetch if f not in cache and f not in missing
-    }
-    prefetch_bytes = sum(_size(f) for f in to_prefetch)
-    needed = demand_bytes + prefetch_bytes
-    if cache.free < needed:
-        raise SimulationError(
-            f"policy {policy.name!r} left only {cache.free} free bytes "
-            f"but {needed} are needed"
-        )
-    # sorted: load order cannot change what ends up resident, but a
-    # reproducible order keeps the load counters' interleaving (and
-    # any future instrumentation of it) identical across processes
-    for f in sorted(missing):
-        cache.load(f, sizes[f])
-    for f in sorted(to_prefetch):
-        cache.load(f, sizes[f])
-    if rec.active:
-        for f in sorted(missing):
-            rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="demand"))
-        for f in sorted(to_prefetch):
-            rec.emit(FileAdmitted(file=str(f), bytes=sizes[f], cause="prefetch"))
-    hit = not missing
-    policy.on_serviced(bundle, frozenset(missing | to_prefetch), hit)
-    metrics.record_job(
-        requested_bytes=requested,
-        demand_loaded_bytes=demand_bytes,
-        prefetched_bytes=prefetch_bytes,
-        hit=hit,
-    )
-    if config.check_invariants:
-        cache.check_invariants()
+    CoordinatorCore(
+        cache=cache,
+        policy=policy,
+        sizes=sizes,
+        metrics=metrics,
+        recorder=rec,
+        check_invariants=config.check_invariants,
+    ).submit(job_index, request)
 
 
 def simulate_trace(
@@ -263,17 +209,16 @@ def simulate_trace(
         queue = None
         requests = iter(trace)
 
+    core = CoordinatorCore(
+        cache=cache,
+        policy=policy,
+        sizes=sizes,
+        metrics=metrics,
+        recorder=rec,
+        check_invariants=config.check_invariants,
+    )
     for job_index, request in enumerate(requests):
-        service_request(
-            job_index,
-            request,
-            cache=cache,
-            policy=policy,
-            sizes=sizes,
-            metrics=metrics,
-            config=config,
-            rec=rec,
-        )
+        core.submit(job_index, request)
 
     return SimulationResult(
         policy=policy.name,

@@ -48,6 +48,7 @@ from repro.telemetry.events import (
     validate_trace_file,
 )
 from repro.telemetry.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
     Counter,
     Gauge,
     Histogram,
@@ -98,6 +99,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     # profiling
     "span",
     "timed",

@@ -27,7 +27,24 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+#: the content type the text exposition format (0.0.4) must be served with
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the exposition format (0.0.4):
+    backslash and line feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, line feed."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 #: span timings: 1 µs .. 10 s, exponential
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = tuple(
@@ -283,16 +300,25 @@ class MetricsRegistry:
         return out
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (0.0.4), sorted by name."""
+        """Prometheus text exposition format (0.0.4), sorted by name.
+
+        Conformance: ``# HELP``/``# TYPE`` appear exactly once per metric
+        family (all of a histogram's ``_bucket``/``_sum``/``_count``
+        series share its one header), help strings and label values are
+        escaped per the format, and the payload is meant to be served as
+        :data:`PROMETHEUS_CONTENT_TYPE`.
+        """
         lines: list[str] = []
         for name in sorted(self._metrics):
             m = self._metrics[name]
             if m.help:
-                lines.append(f"# HELP {name} {m.help}")
+                lines.append(f"# HELP {name} {_escape_help(m.help)}")
             lines.append(f"# TYPE {name} {m.kind}")
             if isinstance(m, Histogram):
                 for le, c in m.bucket_counts():
-                    label = "+Inf" if math.isinf(le) else repr(le)
+                    label = _escape_label_value(
+                        "+Inf" if math.isinf(le) else repr(le)
+                    )
                     lines.append(f'{name}_bucket{{le="{label}"}} {c}')
                 lines.append(f"{name}_sum {m.sum!r}")
                 lines.append(f"{name}_count {m.count}")

@@ -206,13 +206,17 @@ def recorder_from_spec(spec: str) -> TraceRecorder:
     * ``jsonl:<path>`` — write a JSONL trace to ``<path>``;
     * ``ring`` / ``ring:<capacity>`` — in-memory buffer.
     """
-    kind, _, arg = spec.partition(":")
+    kind, sep, arg = spec.partition(":")
     kind = kind.strip().lower()
     if kind in ("null", "none", "off"):
+        if sep:
+            raise ConfigError(
+                f"telemetry spec {spec!r}: {kind!r} takes no argument"
+            )
         return TraceRecorder(NullSink(), profile=False)
     if kind == "jsonl":
         if not arg:
-            raise ConfigError("telemetry spec 'jsonl:' needs a path")
+            raise ConfigError(f"telemetry spec {spec!r} needs a path")
         return TraceRecorder(JsonlSink(arg))
     if kind == "ring":
         if arg:
@@ -220,7 +224,8 @@ def recorder_from_spec(spec: str) -> TraceRecorder:
                 capacity: int | None = int(arg)
             except ValueError:
                 raise ConfigError(
-                    f"telemetry ring capacity must be an int, got {arg!r}"
+                    f"telemetry spec {spec!r}: ring capacity must be an "
+                    f"int, got {arg!r}"
                 ) from None
         else:
             capacity = None

@@ -19,6 +19,7 @@ from repro.analysis.lint import (
     ALL_RULE_IDS,
     LintConfig,
     check_doc_references,
+    check_service_routes,
     check_event_schema,
     collect_files,
     format_json,
@@ -568,6 +569,45 @@ class TestDriftChecks:
 
     def test_live_docs_are_drift_free(self):
         assert check_doc_references() == []
+
+
+class TestServiceRouteDrift:
+    """RPR005: README endpoint list pinned to repro.service.app.ROUTES."""
+
+    ROUTES = (("POST", "/v1/jobs"), ("GET", "/healthz"))
+
+    def test_missing_endpoint_section_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text("No service docs here.\n")
+        findings = check_service_routes(root=tmp_path, routes=self.ROUTES)
+        assert len(findings) == 1
+        assert "documents no service endpoints" in findings[0].message
+
+    def test_undocumented_route_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text("Submit via `POST /v1/jobs`.\n")
+        findings = check_service_routes(root=tmp_path, routes=self.ROUTES)
+        assert any(
+            "'GET /healthz'" in f.message and "not documented" in f.message
+            for f in findings
+        )
+
+    def test_unknown_documented_endpoint_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "Use `POST /v1/jobs` and `GET /healthz`.\n"
+            "Also `DELETE /v1/cache` (which does not exist).\n"
+        )
+        findings = check_service_routes(root=tmp_path, routes=self.ROUTES)
+        assert len(findings) == 1
+        assert "'DELETE /v1/cache'" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_matching_docs_are_clean(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "| `POST /v1/jobs` | submit |\n| `GET /healthz` | liveness |\n"
+        )
+        assert check_service_routes(root=tmp_path, routes=self.ROUTES) == []
+
+    def test_live_readme_matches_route_table(self):
+        assert check_service_routes() == []
 
 
 class TestCli:

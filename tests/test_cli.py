@@ -15,6 +15,67 @@ class TestParser:
             build_parser().parse_args(["run", "fig99"])
 
 
+class TestErrorContract:
+    """--version, and the uniform error:/exit-2 shape for bad input."""
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-fbc {__version__}"
+
+    def test_unknown_subcommand_exits_2_with_error_prefix(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["frobnicate"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "error: " in err and "frobnicate" in err
+        assert "usage:" in err
+
+    def test_malformed_flag_exits_2_with_error_prefix(self, capsys):
+        cases = (
+            ["simulate", "--jobs", "not-a-number"],
+            ["serve", "wl.jsonl"],  # missing required --run-dir
+            ["loadgen", "wl.jsonl"],  # missing required --port
+            ["lint", "--format", "yaml", "x"],
+        )
+        for argv in cases:
+            with pytest.raises(SystemExit) as exc_info:
+                main(argv)
+            assert exc_info.value.code == 2, argv
+            err = capsys.readouterr().err
+            assert "error: " in err, argv
+
+    def test_runtime_repro_errors_share_the_shape(self, tmp_path, capsys):
+        """ReproError failures return 2 and print the same error: prefix."""
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["replay", missing]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_serve_without_workload_or_resume(self, tmp_path, capsys):
+        code = main(["serve", "--run-dir", str(tmp_path / "run")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ") and "--resume" in err
+
+    def test_loadgen_bad_start_job(self, tmp_path, capsys):
+        code = main(
+            [
+                "loadgen",
+                str(tmp_path / "wl.jsonl"),
+                "--port",
+                "1",
+                "--start-job",
+                "later",
+            ]
+        )
+        assert code == 2
+        assert "'later'" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -1,0 +1,178 @@
+"""Unit tests for the service's minimal HTTP/1.1 framing."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpRequest,
+    error_response,
+    json_response,
+    read_request,
+    read_response,
+)
+
+
+def _parse_request(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def _parse_response(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_response(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_request_with_body(self):
+        body = b'{"files":["f1"]}'
+        raw = (
+            b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = _parse_request(raw)
+        assert request.method == "POST"
+        assert request.target == "/v1/jobs"
+        assert request.headers["host"] == "x"
+        assert request.json() == {"files": ["f1"]}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse_request(b"") is None
+
+    def test_mid_header_close_raises(self):
+        with pytest.raises(ServiceError, match="mid-header"):
+            _parse_request(b"GET /healthz HTTP/1.1\r\nHost")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ServiceError, match="malformed request line"):
+            _parse_request(b"GETHTTP/1.1\r\n\r\n")
+
+    def test_unsupported_protocol(self):
+        with pytest.raises(ServiceError, match="unsupported protocol"):
+            _parse_request(b"GET / SPDY/99\r\n\r\n")
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ServiceError, match="malformed header"):
+            _parse_request(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n")
+
+    def test_oversized_header_block(self):
+        filler = b"X-Pad: " + b"a" * (MAX_HEADER_BYTES + 10) + b"\r\n"
+        with pytest.raises(ServiceError, match="exceeds"):
+            _parse_request(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+
+    def test_bad_content_length(self):
+        for value in (b"nope", b"-5"):
+            with pytest.raises(ServiceError, match="Content-Length"):
+                _parse_request(
+                    b"POST / HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+                )
+
+    def test_body_over_limit_rejected_without_reading(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(ServiceError, match="exceeds"):
+            _parse_request(raw)
+
+    def test_truncated_body(self):
+        with pytest.raises(ServiceError, match="mid-body"):
+            _parse_request(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_keep_alive_default_and_close(self):
+        request = HttpRequest("GET", "/", {}, b"")
+        assert request.keep_alive
+        request = HttpRequest("GET", "/", {"connection": "Close"}, b"")
+        assert not request.keep_alive
+
+    def test_invalid_json_body(self):
+        request = HttpRequest("POST", "/", {}, b"{nope")
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            request.json()
+        assert HttpRequest("POST", "/", {}, b"").json() is None
+
+
+class TestReadResponse:
+    def test_response_roundtrip(self):
+        body = b'{"ok":true}'
+        raw = (
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        response = _parse_response(raw)
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        assert response.json() == {"ok": True}
+
+    def test_eof_before_response(self):
+        with pytest.raises(ServiceError, match="before a response"):
+            _parse_response(b"")
+
+    def test_malformed_status(self):
+        with pytest.raises(ServiceError, match="malformed status"):
+            _parse_response(b"HTTP/1.1 abc OK\r\n\r\n")
+
+
+class TestSerialization:
+    def test_json_response_is_canonical(self):
+        response = json_response({"b": 1, "a": 2})
+        assert response.body == b'{"a":2,"b":1}'
+        assert response.status == 200
+        assert response.content_type == "application/json"
+
+    def test_error_response_shape(self):
+        response = error_response(404, "no route")
+        assert response.status == 404
+        assert json.loads(response.body) == {"error": "no route"}
+
+    def test_wire_roundtrip_over_socket(self):
+        """write_request/write_response over a real loopback socket."""
+        from repro.service.http import write_request, write_response
+
+        async def go():
+            server_seen = {}
+
+            async def handler(reader, writer):
+                request = await read_request(reader)
+                server_seen["request"] = request
+                write_response(
+                    writer, json_response({"echo": request.json()}),
+                    keep_alive=False,
+                )
+                await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            write_request(writer, "POST", "/v1/jobs", body=b'{"n":1}')
+            await writer.drain()
+            response = await read_response(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return server_seen["request"], response
+
+        request, response = asyncio.run(go())
+        assert request.method == "POST" and request.json() == {"n": 1}
+        assert response.status == 200
+        assert response.json() == {"echo": {"n": 1}}
+        assert response.headers["connection"] == "close"

@@ -242,6 +242,29 @@ class TestRecorder:
             with pytest.raises(ConfigError):
                 recorder_from_spec(bad)
 
+    def test_recorder_from_spec_rejects_trailing_junk(self):
+        """``null:`` / ``none:`` / ``off:`` take no argument — trailing
+        junk is a typo, not a silently inert recorder."""
+        for spec in ("null:junk", "none:", "off:jsonl"):
+            with pytest.raises(ConfigError, match="takes no argument"):
+                recorder_from_spec(spec)
+
+    def test_recorder_from_spec_errors_quote_offending_spec(self):
+        """Every malformed spec's error message quotes the full spec the
+        user typed, so the typo is visible in the error itself."""
+        cases = {
+            "jsonl:": "needs a path",
+            "ring:many": "must be an int",
+            "null:junk": "takes no argument",
+            "carrier-pigeon": "unknown telemetry spec",
+        }
+        for spec, fragment in cases.items():
+            with pytest.raises(ConfigError) as exc_info:
+                recorder_from_spec(spec)
+            message = str(exc_info.value)
+            assert repr(spec) in message
+            assert fragment in message
+
     def test_context_manager_closes_sink_on_error(self, tmp_path):
         """A JsonlSink is flushed to disk even when the traced block
         raises — the partial trace stays usable."""
@@ -310,6 +333,88 @@ class TestMetrics:
         a.merge_counters(b)
         assert a.counter("n_total").value == 3
         assert "g" not in a  # gauges are not merged
+
+
+class TestPrometheusConformance:
+    """Text exposition format 0.0.4: escaping, headers, parseability."""
+
+    def test_content_type_constant(self):
+        from repro.telemetry import PROMETHEUS_CONTENT_TYPE
+
+        assert PROMETHEUS_CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def test_help_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        original = 'jobs with a \\ backslash\nand a newline'
+        reg.counter("jobs_total", original).inc(1)
+        text = reg.to_prometheus()
+        help_line = next(
+            line for line in text.splitlines() if line.startswith("# HELP")
+        )
+        escaped = help_line.removeprefix("# HELP jobs_total ")
+        assert "\n" not in escaped
+        assert escaped == "jobs with a \\\\ backslash\\nand a newline"
+        # the format's unescape recovers the original text exactly
+        unescaped = escaped.replace("\\\\", "\x00").replace("\\n", "\n")
+        assert unescaped.replace("\x00", "\\") == original
+
+    def test_label_value_escaping(self):
+        from repro.telemetry.metrics import _escape_label_value
+
+        assert _escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_type_and_help_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs").inc(3)
+        reg.histogram("lat_seconds", "latency", buckets=(0.5, 2.5)).observe(1.0)
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert lines.count("# TYPE lat_seconds histogram") == 1
+        assert lines.count("# HELP lat_seconds latency") == 1
+        # bucket/sum/count series share the family header — no extra
+        # TYPE/HELP lines for the suffixed series
+        assert not any("TYPE lat_seconds_" in line for line in lines)
+        assert text.endswith("\n")
+
+    def test_exposition_parses_back(self):
+        """Round-trip: every sample line re-parses, histogram buckets
+        are cumulative and end at +Inf."""
+        import re
+
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs").inc(3)
+        reg.gauge("occupancy_bytes").set(12.5)
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.5, 2.5))
+        for v in (0.1, 1.0, 9.0):
+            h.observe(v)
+        sample_re = re.compile(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
+            r'(?:\{le="([^"]*)"\})?'            # optional le label
+            r" (-?[0-9.e+infINF]+)$"            # value
+        )
+        buckets: list[tuple[float, float]] = []
+        parsed = {}
+        for line in reg.to_prometheus().splitlines():
+            if line.startswith("#"):
+                continue
+            match = sample_re.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name, le, value = match.groups()
+            if le is not None:
+                buckets.append(
+                    (math.inf if le == "+Inf" else float(le), float(value))
+                )
+            else:
+                parsed[name] = float(value)
+        assert parsed["jobs_total"] == 3.0
+        assert parsed["occupancy_bytes"] == 12.5
+        assert parsed["lat_seconds_count"] == 3.0
+        assert parsed["lat_seconds_sum"] == pytest.approx(10.1)
+        assert buckets[-1][0] == math.inf and buckets[-1][1] == 3
+        counts = [c for _le, c in buckets]
+        assert counts == sorted(counts)  # cumulative
 
 
 class TestProfiling:
