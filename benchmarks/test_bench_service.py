@@ -5,7 +5,7 @@ almost negligible time"; the online coordinator adds HTTP framing, the
 write-ahead journal and the arrivals record on top of each decision.
 This benchmark replays the seeded bench workload over real loopback
 HTTP per policy and gates the record that lands in ``BENCH_core.json``
-(schema v4): every job must be serviced without error, the achieved
+(schema v5): every job must be serviced without error, the achieved
 decision quality must equal the batch simulator's exactly, and the
 service must sustain a sane throughput floor at smoke scale.
 """
@@ -34,9 +34,9 @@ def _bench_trace():
     )
 
 
-def test_bench_schema_is_v4():
-    """The service section is part of the v4 BENCH layout."""
-    assert BENCH_SCHEMA_VERSION == 4
+def test_bench_schema_is_v5():
+    """The service section is part of the v5 BENCH layout."""
+    assert BENCH_SCHEMA_VERSION == 5
 
 
 @pytest.mark.benchmark(group="service-throughput")

@@ -1,0 +1,58 @@
+"""Request-tracing overhead benchmark: the ≤5% ring contract.
+
+The span ring is on by default in the coordinator service, so its cost
+rides on every serviced job.  The contract: submitting the seeded bench
+workload with the default 256-entry ring costs at most 5% of jobs/sec
+throughput against the same run with tracing disabled (``debug_ring=0``
+— the :meth:`~repro.telemetry.tracing.RequestTracer.request` context
+manager degenerates to a no-op).  The paired-alternating min-estimator
+mirrors the durability benchmark's.
+"""
+
+import pytest
+
+from repro.experiments.bench import (
+    CACHE_IN_REQUESTS,
+    MAX_FILE_FRACTION,
+    POPULARITY,
+    tracing_overhead,
+)
+from repro.experiments.common import bundle_trace, get_scale
+
+
+def _bench_trace():
+    return bundle_trace(
+        get_scale("smoke"),
+        popularity=POPULARITY,
+        cache_in_requests=CACHE_IN_REQUESTS,
+        max_file_fraction=MAX_FILE_FRACTION,
+        seed=0,
+    )
+
+
+@pytest.mark.benchmark(group="tracing-overhead")
+def test_tracing_overhead_within_5_percent(benchmark):
+    trace = _bench_trace()
+    result = benchmark.pedantic(
+        tracing_overhead, args=(trace,), kwargs={"repeats": 7},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(result)
+    overhead = result["tracing_overhead"]
+    assert result["debug_ring"] == 256
+    assert result["baseline_jobs_per_sec"] > 0
+    assert result["traced_jobs_per_sec"] > 0
+    # the contract gates the code's marginal cost, not the machine's
+    # mood: on a shared box a noise phase can cover a whole measurement,
+    # so an over-threshold reading is re-measured before it fails
+    for _ in range(2):
+        if overhead <= 0.05:
+            break
+        overhead = min(
+            overhead, tracing_overhead(trace, repeats=7)["tracing_overhead"]
+        )
+    assert overhead <= 0.05, (
+        f"the request-tracing ring costs {overhead:.1%} of jobs/sec "
+        "throughput even in its best of three measurements, exceeding "
+        "the 5% contract over the tracing-disabled baseline"
+    )

@@ -51,6 +51,7 @@ DEFAULT_ALLOW: dict[str, tuple[str, ...]] = {
     "RPR001": (
         "*/telemetry/recorder.py",
         "*/telemetry/profiling.py",
+        "*/telemetry/tracing.py",
         "*/experiments/bench.py",
         "*/service/state.py",
         "*/service/loadgen.py",

@@ -107,8 +107,9 @@ class OptFileBundlePolicy(ReplacementPolicy):
                     hit=plan.request_hit,
                 )
             )
-        for f in plan.evict:
-            self.cache.evict(f)
+        with rec.span("cache.evict"):
+            for f in plan.evict:
+                self.cache.evict(f)
         # Commit (Algorithm 2 Step 4) immediately: the decision was taken
         # against the pre-record history either way, and committing here
         # keeps the history's resident view correct when a timed SRM

@@ -163,31 +163,32 @@ class PerFilePolicy(ReplacementPolicy):
         needed = self._needed_bytes(bundle)
         evicted: set[FileId] = set()
         pinned = cache.pinned_files()
-        while cache.free < needed:
-            exclude = bundle.files | pinned if pinned else bundle.files
-            victim = self._pick_victim(exclude)
-            if victim is None:
-                raise PolicyError(
-                    f"{self.name}: no evictable victim but {needed - cache.free} "
-                    "bytes still needed"
-                )
-            if victim in bundle:
-                raise PolicyError(
-                    f"{self.name}: attempted to evict requested file {victim!r}"
-                )
-            if rec.active:
-                # detail must be read before the bookkeeping hook drops it
-                rec.emit(
-                    FileEvicted(
-                        file=str(victim),
-                        bytes=self.sizes[victim],
-                        policy=self.name,
-                        detail=self._evict_detail(victim),
+        with rec.span("cache.evict"):
+            while cache.free < needed:
+                exclude = bundle.files | pinned if pinned else bundle.files
+                victim = self._pick_victim(exclude)
+                if victim is None:
+                    raise PolicyError(
+                        f"{self.name}: no evictable victim but "
+                        f"{needed - cache.free} bytes still needed"
                     )
-                )
-            cache.evict(victim)
-            evicted.add(victim)
-            self._note_evicted(victim)
+                if victim in bundle:
+                    raise PolicyError(
+                        f"{self.name}: attempted to evict requested file {victim!r}"
+                    )
+                if rec.active:
+                    # detail must be read before the bookkeeping hook drops it
+                    rec.emit(
+                        FileEvicted(
+                            file=str(victim),
+                            bytes=self.sizes[victim],
+                            policy=self.name,
+                            detail=self._evict_detail(victim),
+                        )
+                    )
+                cache.evict(victim)
+                evicted.add(victim)
+                self._note_evicted(victim)
         if rec.active:
             # Per-file policies never prefetch; loads is what the simulator
             # will admit for this bundle.  Emitting the same PlanComputed

@@ -23,9 +23,13 @@ Subcommands
 * ``lint``      — determinism & conformance linter (RPR001–RPR005) over
   Python source; non-zero exit on findings.
 * ``serve``     — run the online cache-coordinator HTTP service (durable
-  run directory, checkpoint/resume, chaos injection).
+  run directory, checkpoint/resume, chaos injection, request tracing
+  + debug endpoints, live SLO monitoring).
 * ``loadgen``   — replay a workload trace against a running coordinator,
-  reporting throughput, latency percentiles and byte-miss ratio.
+  reporting throughput, latency percentiles (client vs server split)
+  and byte-miss ratio.
+* ``slo``       — SLO report: query a live coordinator (``--port``) or
+  run the windowed anomaly detector over a finished telemetry trace.
 
 Argument errors (unknown subcommand, malformed flags) uniformly print
 ``error: <message>`` to stderr and exit with status 2; ``--version``
@@ -321,6 +325,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output path (default: <TELEMETRY_TRACE stem>.chrome.json)",
     )
+    p_chrome.add_argument(
+        "--spans",
+        action="store_true",
+        help="treat the input as a /v1/debug/requests JSON dump and "
+        "render its request span trees instead of a telemetry trace",
+    )
 
     p_lint = sub.add_parser(
         "lint",
@@ -520,6 +530,58 @@ def build_parser() -> argparse.ArgumentParser:
         "(surfaces as 'retries' in responses, never in the trace)",
     )
     p_serve.add_argument("--fault-seed", type=int, default=0)
+    p_serve.add_argument(
+        "--latency-spike-rate",
+        type=float,
+        default=0.0,
+        help="probability a staged file hits a simulated latency spike "
+        "(feeds the SLO latency signal only, never the trace)",
+    )
+    p_serve.add_argument(
+        "--latency-spike-factor",
+        type=float,
+        default=10.0,
+        help="multiplier a latency spike applies to the nominal staging "
+        "time",
+    )
+    p_serve.add_argument(
+        "--debug-ring",
+        type=int,
+        default=256,
+        help="request-tracing ring capacity behind /v1/debug/requests "
+        "(0 disables tracing; the decision trace is identical either way)",
+    )
+    p_serve.add_argument(
+        "--slow-threshold-ms",
+        type=float,
+        default=100.0,
+        help="requests at or over this server-side latency land in "
+        "/v1/debug/slow",
+    )
+    p_serve.add_argument(
+        "--profile-stream",
+        action="store_true",
+        help="append one JSON line per traced request to "
+        "<run-dir>/profile.jsonl (host timings, separate from trace.jsonl)",
+    )
+    p_serve.add_argument(
+        "--slo-window-jobs",
+        type=int,
+        default=50,
+        help="jobs per SLO evaluation window",
+    )
+    p_serve.add_argument(
+        "--slo-byte-miss-target",
+        type=float,
+        default=0.5,
+        help="byte-miss-ratio SLO target (burn rate = window value / target)",
+    )
+    p_serve.add_argument(
+        "--slo-latency-target-ms",
+        type=float,
+        default=50.0,
+        help="mean request-latency SLO target per window, in ms",
+    )
 
     p_load = sub.add_parser(
         "loadgen",
@@ -562,6 +624,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the full report as JSON instead of a summary",
+    )
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="SLO report: query a live coordinator (--port) or run the "
+        "windowed anomaly detector over a finished telemetry trace",
+    )
+    p_slo.add_argument(
+        "trace",
+        metavar="TELEMETRY_TRACE",
+        nargs="?",
+        default=None,
+        help="finished telemetry trace to analyse offline (omit with "
+        "--port to query a live server's /healthz SLO block)",
+    )
+    p_slo.add_argument("--host", default="127.0.0.1")
+    p_slo.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="query the coordinator listening on this port instead of "
+        "reading a trace file",
+    )
+    p_slo.add_argument(
+        "--window",
+        type=int,
+        default=9,
+        help="anomaly detector window (windows of trailing history)",
+    )
+    p_slo.add_argument(
+        "--threshold",
+        type=float,
+        default=3.5,
+        help="robust z-score threshold for flagging a window",
+    )
+    p_slo.add_argument(
+        "--byte-miss-target",
+        type=float,
+        default=0.5,
+        help="byte-miss-ratio target used for offline burn-rate reporting",
+    )
+    p_slo.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of a summary",
     )
     return parser
 
@@ -642,14 +749,27 @@ def _run_serve(args: argparse.Namespace) -> None:
     from repro.faults.crash import CrashSpec
     from repro.faults.spec import FaultSpec
     from repro.service import CoordinatorService, CoordinatorState, ServiceConfig
+    from repro.service.slo import SloConfig
 
     crash = (
         CrashSpec(at_mutation=args.crash_at, mode=args.crash_mode)
         if args.crash_at is not None
         else None
     )
+    slo = SloConfig(
+        window_jobs=args.slo_window_jobs,
+        byte_miss_target=args.slo_byte_miss_target,
+        latency_target_ms=args.slo_latency_target_ms,
+    )
     if args.resume:
-        state = CoordinatorState.resume(Path(args.run_dir), crash=crash)
+        state = CoordinatorState.resume(
+            Path(args.run_dir),
+            crash=crash,
+            debug_ring=args.debug_ring,
+            slow_threshold_ms=args.slow_threshold_ms,
+            profile_stream=args.profile_stream,
+            slo=slo,
+        )
         print(
             f"resumed from job {state.resumed_from_job} "
             f"({state.next_job} jobs already serviced)",
@@ -662,9 +782,12 @@ def _run_serve(args: argparse.Namespace) -> None:
             )
         fault = (
             FaultSpec(
-                seed=args.fault_seed, transfer_failure_rate=args.fault_rate
+                seed=args.fault_seed,
+                transfer_failure_rate=args.fault_rate,
+                latency_spike_rate=args.latency_spike_rate,
+                latency_spike_factor=args.latency_spike_factor,
             )
-            if args.fault_rate > 0
+            if args.fault_rate > 0 or args.latency_spike_rate > 0
             else None
         )
         state = CoordinatorState.create(
@@ -679,6 +802,10 @@ def _run_serve(args: argparse.Namespace) -> None:
                 fsync=args.fsync,
                 crash=crash,
                 fault=fault,
+                debug_ring=args.debug_ring,
+                slow_threshold_ms=args.slow_threshold_ms,
+                profile_stream=args.profile_stream,
+                slo=slo,
             )
         )
     service = CoordinatorService(state)
@@ -751,6 +878,103 @@ def _run_loadgen(args: argparse.Namespace) -> None:
         f"p99 {report.latency_p99_ms:.2f}, "
         f"max {report.latency_max_ms:.2f}"
     )
+    if report.server_mean_ms > 0:
+        print(
+            f"  server ms: p50 {report.server_p50_ms:.2f}, "
+            f"p99 {report.server_p99_ms:.2f}, mean {report.server_mean_ms:.2f} "
+            f"(queue {report.queue_wait_mean_ms:.2f}, "
+            f"plan {report.plan_mean_ms:.2f}, "
+            f"apply {report.apply_mean_ms:.2f}); "
+            f"net overhead mean {report.net_overhead_mean_ms:.2f}"
+        )
+
+
+def _run_slo(args: argparse.Namespace) -> None:
+    """Handler for ``repro-fbc slo`` (live server or finished trace)."""
+    import json
+
+    if (args.port is None) == (args.trace is None):
+        raise ConfigError(
+            "slo needs exactly one of --port (live server) or a "
+            "TELEMETRY_TRACE file (offline analysis)"
+        )
+    if args.port is not None:
+        import asyncio
+
+        from repro.service.loadgen import _request_json
+
+        health = asyncio.run(
+            _request_json(args.host, args.port, "GET", "/healthz")
+        )
+        slo = health.get("slo", {})
+        if args.json:
+            print(json.dumps(slo, indent=2, sort_keys=True))
+            return
+        alerting = slo.get("alerting", False)
+        print(
+            f"slo: {'ALERTING' if alerting else 'ok'} "
+            f"(window {slo.get('window_jobs')} jobs, "
+            f"{health.get('jobs')} jobs serviced)"
+        )
+        for name, sig in sorted(slo.get("signals", {}).items()):
+            state_txt = "ALERT" if sig.get("alert") else "ok"
+            print(
+                f"  {name}: {state_txt}, value {sig.get('value', 0.0):.4f} "
+                f"vs target {sig.get('target', 0.0):.4f} "
+                f"(burn rate {sig.get('burn_rate', 0.0):.2f}, "
+                f"robust z {sig.get('score', 0.0):.1f}, "
+                f"{sig.get('windows', 0)} windows)"
+            )
+        return
+
+    from repro.telemetry.forensics import TraceLog, window_anomalies
+
+    log = TraceLog.load(args.trace)
+    runs = log.windows()
+    anomalies = window_anomalies(
+        log, window=args.window, threshold=args.threshold
+    )
+    burn_windows = 0
+    total_windows = 0
+    for run in runs:
+        for w in run:
+            total_windows += 1
+            if w.byte_miss_ratio > args.byte_miss_target:
+                burn_windows += 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "trace": args.trace,
+                    "windows": total_windows,
+                    "byte_miss_target": args.byte_miss_target,
+                    "windows_over_target": burn_windows,
+                    "anomalies": [
+                        {
+                            "run": wa.run,
+                            "window_index": wa.window_index,
+                            "value": wa.anomaly.value,
+                            "median": wa.anomaly.median,
+                            "score": wa.anomaly.score,
+                        }
+                        for wa in anomalies
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return
+    print(
+        f"slo: {total_windows} windows, {burn_windows} over byte-miss "
+        f"target {args.byte_miss_target:g}, {len(anomalies)} anomalies"
+    )
+    for wa in anomalies:
+        a = wa.anomaly
+        print(
+            f"  run {wa.run} window {wa.window_index}: byte_miss_ratio "
+            f"{a.value:.4f} vs median {a.median:.4f} (robust z = {a.score:.1f})"
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1017,12 +1241,40 @@ def main(argv: Sequence[str] | None = None) -> int:
                 ).render()
             )
         elif args.command == "export-chrome":
+            import json as _json
             from pathlib import Path
 
-            from repro.telemetry.forensics import export_chrome
+            from repro.telemetry.forensics import export_chrome, spans_to_chrome
 
             out = args.out or str(Path(args.trace).with_suffix("")) + ".chrome.json"
-            n = export_chrome(args.trace, out)
+            if args.spans:
+                from repro.errors import TelemetryError
+
+                try:
+                    with open(args.trace, encoding="utf-8") as fh:
+                        requests = _json.load(fh)
+                except OSError as exc:
+                    raise TelemetryError(
+                        f"cannot read span dump {args.trace!r}: {exc}"
+                    ) from exc
+                except _json.JSONDecodeError as exc:
+                    raise TelemetryError(
+                        f"span dump {args.trace!r} is not valid JSON: {exc}"
+                    ) from exc
+                doc = spans_to_chrome(requests)
+                try:
+                    with open(out, "w", encoding="utf-8") as fh:
+                        _json.dump(
+                            doc, fh, separators=(",", ":"), sort_keys=True
+                        )
+                        fh.write("\n")
+                except OSError as exc:
+                    raise TelemetryError(
+                        f"cannot write Chrome trace {out!r}: {exc}"
+                    ) from exc
+                n = len(doc["traceEvents"])
+            else:
+                n = export_chrome(args.trace, out)
             print(f"wrote {n} Chrome trace events to {out}")
         elif args.command == "lint":
             from pathlib import Path
@@ -1119,6 +1371,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             _run_serve(args)
         elif args.command == "loadgen":
             _run_loadgen(args)
+        elif args.command == "slo":
+            _run_slo(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

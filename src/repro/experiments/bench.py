@@ -34,6 +34,11 @@ successive commits leave a machine-readable speed trail next to the code:
   client-observed p50/p99 request latency — the online system's answer
   to the same Section 1.2 "negligible decision time" claim.
 
+* **Tracing overhead** — the same jobs submitted directly to the
+  durable coordinator state with request tracing on (ring capacity 256,
+  span trees built per job) against tracing off (ring 0); the marginal
+  cost of the observability layer (contract: ≤ 5% in jobs/sec).
+
 The workloads are fully seeded, so numbers differ across machines but the
 *shape* (speedup ratios, relative policy costs) is reproducible.
 """
@@ -67,13 +72,14 @@ __all__ = [
     "warm_planner_timings",
     "telemetry_overhead",
     "durability_overhead",
+    "tracing_overhead",
     "service_throughput",
     "run_bench",
     "render_bench",
 ]
 
 #: Bump when the JSON layout changes incompatibly.
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 DEFAULT_POLICIES: tuple[str, ...] = ("optbundle", "landlord")
 
@@ -396,6 +402,105 @@ def durability_overhead(
 
 
 # --------------------------------------------------------------------- #
+# request-tracing overhead
+
+
+def tracing_overhead(
+    trace: Trace,
+    *,
+    policy: str = "optbundle",
+    cache_size: SizeBytes = CACHE_SIZE,
+    checkpoint_every: int = 100,
+    repeats: int = 5,
+) -> dict:
+    """Tracing-on vs tracing-off submission throughput on the coordinator.
+
+    Submits every job of ``trace`` directly to a fresh durable
+    :class:`~repro.service.state.CoordinatorState` (no HTTP — the
+    network would drown the signal), once with the request tracer
+    enabled (ring 256, a span tree grown per job) and once disabled
+    (ring 0, the :meth:`~repro.telemetry.tracing.RequestTracer.request`
+    context is a no-op).  Measurement protocol is
+    :func:`durability_overhead`'s: alternating back-to-back pairs, GC
+    paused, and the smaller of the per-side-minima and per-pair-median
+    estimators.  The contract gated in CI is ≤ 5% jobs/sec.
+    """
+    import gc
+    import tempfile
+
+    from repro.service import CoordinatorState, ServiceConfig
+
+    requests = list(trace)
+    with tempfile.TemporaryDirectory() as tmp:
+        workload = Path(tmp) / "workload.jsonl"
+        trace.dump(workload)
+        run_seq = [0]
+
+        def run_once(debug_ring: int) -> None:
+            run_seq[0] += 1
+            state = CoordinatorState.create(
+                ServiceConfig(
+                    workload=workload,
+                    cache_size=cache_size,
+                    run_dir=Path(tmp) / f"run_{run_seq[0]}",
+                    policy=policy,
+                    checkpoint_every=checkpoint_every,
+                    debug_ring=debug_ring,
+                )
+            )
+            try:
+                tracer = state.tracer
+                for r in requests:
+                    with tracer.request(tracer.next_read_id(), route="/v1/jobs"):
+                        state.submit(sorted(r.bundle.files), priority=r.priority)
+            finally:
+                state.close()
+
+        run_once(0)
+        run_once(256)
+        baseline_s = traced_s = float("inf")
+        ratios: list[float] = []
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            for i in range(repeats):
+                sides = [("baseline", 0), ("traced", 256)]
+                if i % 2:
+                    sides.reverse()
+                pair: dict[str, float] = {}
+                for label, ring in sides:
+                    t0 = time.perf_counter()
+                    run_once(ring)
+                    pair[label] = time.perf_counter() - t0
+                baseline_s = min(baseline_s, pair["baseline"])
+                traced_s = min(traced_s, pair["traced"])
+                if pair["traced"] > 0:
+                    ratios.append(1.0 - pair["baseline"] / pair["traced"])
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+    n = len(requests)
+    by_minima = 1.0 - baseline_s / traced_s if traced_s > 0 else 0.0
+    by_pairs = statistics.median(ratios) if ratios else 0.0
+    return {
+        "policy": policy,
+        "n_jobs": n,
+        "repeats": repeats,
+        "debug_ring": 256,
+        "checkpoint_every": checkpoint_every,
+        "baseline_s": baseline_s,
+        "traced_s": traced_s,
+        "baseline_jobs_per_sec": n / baseline_s if baseline_s > 0 else float("inf"),
+        "traced_jobs_per_sec": n / traced_s if traced_s > 0 else float("inf"),
+        "overhead_by_minima": by_minima,
+        "overhead_by_pair_median": by_pairs,
+        # the contract metric: fractional drop in jobs/sec throughput
+        "tracing_overhead": min(by_minima, by_pairs),
+    }
+
+
+# --------------------------------------------------------------------- #
 # coordinator-service throughput
 
 
@@ -487,6 +592,7 @@ def run_bench(
     ]
     telemetry_record = telemetry_overhead(trace)
     durability_record = durability_overhead(trace)
+    tracing_record = tracing_overhead(trace)
     service_records = service_throughput(trace, policies=policies)
     record = {
         "name": name,
@@ -507,6 +613,7 @@ def run_bench(
         "planner": planner_records,
         "telemetry": telemetry_record,
         "durability": durability_record,
+        "tracing": tracing_record,
         "service": service_records,
     }
     out_path = Path(out_dir) / f"BENCH_{name}.json"
@@ -583,6 +690,31 @@ def render_bench(record: dict) -> str:
                         r["byte_miss_ratio"],
                     ]
                     for r in svc
+                ],
+            )
+        )
+    trc = record.get("tracing")
+    if trc:
+        parts.append(
+            f"tracing overhead ({trc['policy']}, ring {trc['debug_ring']}, "
+            f"best of {trc['repeats']})"
+        )
+        parts.append(
+            render_table(
+                ["mode", "run [s]", "jobs/sec", "overhead"],
+                [
+                    [
+                        "ring 0",
+                        trc["baseline_s"],
+                        trc["baseline_jobs_per_sec"],
+                        0.0,
+                    ],
+                    [
+                        "ring 256",
+                        trc["traced_s"],
+                        trc["traced_jobs_per_sec"],
+                        trc["tracing_overhead"],
+                    ],
                 ],
             )
         )

@@ -32,6 +32,8 @@ from repro.service.http import (
 )
 from repro.service.state import CoordinatorState
 from repro.telemetry.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.telemetry.profiling import span_profile
+from repro.telemetry.tracing import REQUEST_ID_HEADER, RequestTrace
 
 __all__ = ["ROUTES", "CoordinatorService"]
 
@@ -41,11 +43,21 @@ ROUTES: tuple[tuple[str, str], ...] = (
     ("POST", "/v1/jobs"),
     ("GET", "/v1/cache"),
     ("GET", "/v1/config"),
+    ("GET", "/v1/debug/requests"),
+    ("GET", "/v1/debug/slow"),
+    ("GET", "/v1/debug/profile"),
     ("GET", "/healthz"),
     ("GET", "/metrics"),
 )
 
 _KNOWN_PATHS = frozenset(path for _method, path in ROUTES)
+_KNOWN_METHODS = frozenset(method for method, _path in ROUTES)
+
+#: bounded sentinel labels for metric series that must not explode in
+#: cardinality: unknown paths, unknown methods, and unparseable requests
+UNROUTABLE = "<unroutable>"
+UNPARSED = "<unparsed>"
+OTHER_METHOD = "<other>"
 
 
 class CoordinatorService:
@@ -106,15 +118,43 @@ class CoordinatorService:
                 try:
                     request = await read_request(reader)
                 except ServiceError as exc:
+                    # unparseable: there is no route to attribute the
+                    # exchange to, so it lands on the bounded sentinel
+                    # labels and the connection closes
                     response = error_response(400, str(exc))
-                    self.state.count_http_request(error=True)
+                    self.state.count_http_request(
+                        method=OTHER_METHOD, route=UNPARSED, status=400
+                    )
                     write_response(writer, response, keep_alive=False)
                     await writer.drain()
                     break
                 if request is None:
                     break
-                response = await self._dispatch(request)
-                self.state.count_http_request(error=response.status >= 400)
+                path = request.target.split("?", 1)[0]
+                route = path if path in _KNOWN_PATHS else UNROUTABLE
+                method = (
+                    request.method
+                    if request.method in _KNOWN_METHODS
+                    else OTHER_METHOD
+                )
+                tracer = self.state.tracer
+                with tracer.request(
+                    tracer.next_read_id(),
+                    route=route,
+                    client_id=request.headers.get(REQUEST_ID_HEADER.lower()),
+                ) as rt:
+                    response = await self._dispatch(request, rt)
+                    if rt is not None:
+                        rt.status = response.status
+                        response.headers.setdefault(
+                            REQUEST_ID_HEADER, rt.request_id
+                        )
+                self.state.count_http_request(
+                    method=method,
+                    route=route,
+                    status=response.status,
+                    duration_s=None if rt is None else rt.duration_s,
+                )
                 write_response(writer, response, keep_alive=request.keep_alive)
                 await writer.drain()
                 if not request.keep_alive:
@@ -134,8 +174,10 @@ class CoordinatorService:
             except (ConnectionError, OSError):
                 pass
 
-    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
-        path = request.target.split("?", 1)[0]
+    async def _dispatch(
+        self, request: HttpRequest, rt: RequestTrace | None
+    ) -> HttpResponse:
+        path, _, query = request.target.partition("?")
         if path not in _KNOWN_PATHS:
             return error_response(404, f"no route for {path!r}")
         if (request.method, path) not in ROUTES:
@@ -143,7 +185,18 @@ class CoordinatorService:
                 405, f"{request.method} not allowed on {path!r}"
             )
         if path == "/v1/jobs":
-            return await self._post_job(request)
+            return await self._post_job(request, rt)
+        if path == "/v1/debug/requests":
+            return json_response(self.state.tracer.payload())
+        if path == "/v1/debug/slow":
+            return self._debug_slow(query)
+        if path == "/v1/debug/profile":
+            return json_response(
+                {
+                    "requests_traced": self.state.tracer.requests_traced,
+                    "spans": span_profile(self.state.registry),
+                }
+            )
         async with self._lock:
             if path == "/v1/cache":
                 return json_response(self.state.cache_payload())
@@ -158,7 +211,40 @@ class CoordinatorService:
                 content_type=PROMETHEUS_CONTENT_TYPE,
             )
 
-    async def _post_job(self, request: HttpRequest) -> HttpResponse:
+    def _debug_slow(self, query: str) -> HttpResponse:
+        """``GET /v1/debug/slow[?threshold_ms=X]``."""
+        threshold_s: float | None = None
+        for pair in query.split("&"):
+            if not pair:
+                continue
+            name, _, value = pair.partition("=")
+            if name != "threshold_ms":
+                return error_response(400, f"unknown query parameter {name!r}")
+            try:
+                threshold_ms = float(value)
+            except ValueError:
+                return error_response(
+                    400, f"threshold_ms must be a number, got {value!r}"
+                )
+            if threshold_ms <= 0:
+                return error_response(
+                    400, f"threshold_ms must be positive, got {value!r}"
+                )
+            threshold_s = threshold_ms / 1e3
+        tracer = self.state.tracer
+        effective_s = (
+            tracer.slow_threshold_s if threshold_s is None else threshold_s
+        )
+        return json_response(
+            {
+                "threshold_ms": round(effective_s * 1e3, 3),
+                "requests": tracer.slow(threshold_s),
+            }
+        )
+
+    async def _post_job(
+        self, request: HttpRequest, rt: RequestTrace | None
+    ) -> HttpResponse:
         try:
             payload = request.json()
         except ServiceError as exc:
@@ -171,7 +257,12 @@ class CoordinatorService:
         priority = payload.get("priority", 1.0)
         if not isinstance(priority, (int, float)) or isinstance(priority, bool):
             return error_response(400, "'priority' must be a number")
-        async with self._lock:
+        # time the lock acquisition as queue.wait: under client
+        # concurrency this is where a request sits behind the
+        # single-writer decision loop
+        with self.state.recorder.span("queue.wait"):
+            await self._lock.acquire()
+        try:
             try:
                 result = self.state.submit(files, priority=float(priority))
             except InjectedCrashError as exc:
@@ -182,5 +273,16 @@ class CoordinatorService:
                 raise
             except ReproError as exc:
                 return error_response(400, str(exc))
+        finally:
+            self._lock.release()
         body: dict[str, Any] = result.as_dict()
+        if rt is not None:
+            # re-point the provisional read-side id at the job-derived
+            # one so /v1/debug/requests resolves the id the client sees
+            rt.request_id = result.request_id
+            rt.job = result.outcome.job
+            body["timing_ms"] = {
+                key.removesuffix("_s") + "_ms": round(value * 1e3, 3)
+                for key, value in rt.breakdown().items()
+            }
         return json_response(body)

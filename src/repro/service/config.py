@@ -24,6 +24,7 @@ from repro.durability.journal import DEFAULT_SEGMENT_BYTES
 from repro.errors import ConfigError
 from repro.faults.crash import CrashSpec
 from repro.faults.spec import FaultSpec
+from repro.service.slo import SloConfig
 
 __all__ = ["ServiceConfig"]
 
@@ -63,7 +64,21 @@ class ServiceConfig:
         demand load and surface as simulated retries in the response
         payload and the ``service_transfer_faults_total`` counter (they
         never enter the decision trace, so fault chaos does not break
-        differential trace comparison).
+        differential trace comparison).  Latency spikes add a simulated
+        stall to the SLO latency signal (again: metrics only).
+    debug_ring:
+        Capacity of the request-tracing ring behind ``/v1/debug/requests``
+        (0 disables request tracing entirely; the decision trace is
+        byte-identical either way).
+    slow_threshold_ms:
+        Requests at or over this server-side duration land in the
+        ``/v1/debug/slow`` ring.
+    profile_stream:
+        Also append one JSON line per traced request to
+        ``<run_dir>/profile.jsonl`` — host timings, a profiling artifact
+        deliberately separate from ``trace.jsonl``.
+    slo:
+        Online SLO engine knobs (:class:`~repro.service.slo.SloConfig`).
     """
 
     workload: Path
@@ -78,6 +93,10 @@ class ServiceConfig:
     max_segment_bytes: int = DEFAULT_SEGMENT_BYTES
     crash: CrashSpec | None = None
     fault: FaultSpec | None = None
+    debug_ring: int = 256
+    slow_threshold_ms: float = 100.0
+    profile_stream: bool = False
+    slo: SloConfig = field(default_factory=SloConfig)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workload", Path(self.workload))
@@ -88,6 +107,14 @@ class ServiceConfig:
             )
         if self.warmup < 0:
             raise ConfigError(f"warmup must be non-negative, got {self.warmup}")
+        if self.debug_ring < 0:
+            raise ConfigError(
+                f"debug_ring must be non-negative, got {self.debug_ring}"
+            )
+        if self.slow_threshold_ms <= 0:
+            raise ConfigError(
+                f"slow_threshold_ms must be positive, got {self.slow_threshold_ms}"
+            )
         if self.checkpoint_every < 1:
             raise ConfigError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"

@@ -182,8 +182,13 @@ def write_request(
     *,
     body: bytes = b"",
     content_type: str = "application/json",
+    headers: "dict[str, str] | None" = None,
 ) -> None:
-    """Serialize one keep-alive request onto ``writer`` (client side)."""
+    """Serialize one keep-alive request onto ``writer`` (client side).
+
+    ``headers`` adds extra request headers (e.g. the loadgen's
+    ``X-Repro-Request-Id`` correlation id) after the standard ones.
+    """
     head = (
         f"{method} {target} HTTP/1.1\r\n"
         f"Host: coordinator\r\n"
@@ -191,6 +196,8 @@ def write_request(
     )
     if body:
         head += f"Content-Type: {content_type}\r\n"
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
     writer.write(head.encode("latin-1") + b"\r\n" + body)
 
 

@@ -28,17 +28,11 @@ from typing import Any
 
 from repro.errors import ConfigError, ServiceError
 from repro.service.http import json_response, read_response, write_request
+from repro.telemetry.tracing import REQUEST_ID_HEADER
+from repro.utils.stats import percentile as _percentile
 from repro.workload.trace import Trace
 
 __all__ = ["LoadgenReport", "run_loadgen"]
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0 < q <= 100)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without floats
-    return sorted_values[int(rank) - 1]
 
 
 @dataclass(frozen=True)
@@ -61,6 +55,16 @@ class LoadgenReport:
     latency_p99_ms: float
     latency_mean_ms: float
     latency_max_ms: float
+    # client-vs-server latency split, correlated per request id from the
+    # ``timing_ms`` block of each response (zero when the server runs
+    # with tracing disabled — no breakdown to correlate)
+    server_p50_ms: float = 0.0
+    server_p99_ms: float = 0.0
+    server_mean_ms: float = 0.0
+    queue_wait_mean_ms: float = 0.0
+    plan_mean_ms: float = 0.0
+    apply_mean_ms: float = 0.0
+    net_overhead_mean_ms: float = 0.0
 
     @property
     def throughput_jobs_per_s(self) -> float:
@@ -97,6 +101,13 @@ class LoadgenReport:
             "latency_p99_ms": self.latency_p99_ms,
             "latency_mean_ms": self.latency_mean_ms,
             "latency_max_ms": self.latency_max_ms,
+            "server_p50_ms": self.server_p50_ms,
+            "server_p99_ms": self.server_p99_ms,
+            "server_mean_ms": self.server_mean_ms,
+            "queue_wait_mean_ms": self.queue_wait_mean_ms,
+            "plan_mean_ms": self.plan_mean_ms,
+            "apply_mean_ms": self.apply_mean_ms,
+            "net_overhead_mean_ms": self.net_overhead_mean_ms,
         }
 
 
@@ -113,10 +124,25 @@ class _Aggregator:
         self.bytes_requested = 0
         self.bytes_demand_loaded = 0
         self.bytes_prefetched = 0
+        # server-side breakdown (ms), one entry per response carrying a
+        # timing_ms block; net overhead is client latency minus server time
+        self.server_ms: list[float] = []
+        self.queue_wait_ms: list[float] = []
+        self.plan_ms: list[float] = []
+        self.apply_ms: list[float] = []
+        self.net_overhead_ms: list[float] = []
 
     def record(self, response_payload: dict[str, Any], latency_s: float) -> None:
         self.jobs += 1
         self.latencies.append(latency_s)
+        timing = response_payload.get("timing_ms")
+        if isinstance(timing, dict):
+            server_ms = float(timing.get("server_ms", 0.0))
+            self.server_ms.append(server_ms)
+            self.queue_wait_ms.append(float(timing.get("queue_wait_ms", 0.0)))
+            self.plan_ms.append(float(timing.get("plan_ms", 0.0)))
+            self.apply_ms.append(float(timing.get("apply_ms", 0.0)))
+            self.net_overhead_ms.append(max(0.0, latency_s * 1e3 - server_ms))
         outcome = response_payload.get("outcome", {})
         self.retries += int(response_payload.get("retries", 0))
         if outcome.get("unserviceable"):
@@ -179,7 +205,15 @@ async def _worker(
             body = json_response(jobs[i]).body
             t0 = time.perf_counter()
             try:
-                write_request(writer, "POST", "/v1/jobs", body=body)
+                # the correlation id is the job's list index — the server
+                # stores it as client_id next to its own arrival-derived id
+                write_request(
+                    writer,
+                    "POST",
+                    "/v1/jobs",
+                    body=body,
+                    headers={REQUEST_ID_HEADER: f"lg-{i:08d}"},
+                )
                 await writer.drain()
                 response = await read_response(reader)
             except (ServiceError, ConnectionError, OSError):
@@ -237,6 +271,11 @@ async def _run(
     duration = time.perf_counter() - t0
     lat = sorted(agg.latencies)
     mean = sum(lat) / len(lat) if lat else 0.0
+    server = sorted(agg.server_ms)
+
+    def _mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
     return LoadgenReport(
         jobs=agg.jobs,
         errors=agg.errors,
@@ -254,6 +293,13 @@ async def _run(
         latency_p99_ms=_percentile(lat, 99) * 1e3,
         latency_mean_ms=mean * 1e3,
         latency_max_ms=(lat[-1] if lat else 0.0) * 1e3,
+        server_p50_ms=_percentile(server, 50),
+        server_p99_ms=_percentile(server, 99),
+        server_mean_ms=_mean(agg.server_ms),
+        queue_wait_mean_ms=_mean(agg.queue_wait_ms),
+        plan_mean_ms=_mean(agg.plan_ms),
+        apply_mean_ms=_mean(agg.apply_ms),
+        net_overhead_mean_ms=_mean(agg.net_overhead_ms),
     )
 
 

@@ -1,0 +1,223 @@
+"""Live SLO monitoring for the coordinator service.
+
+The paper's headline quantity — byte miss ratio as the proxy for
+average retrieval cost — used to be computable only after the fact.
+:class:`SloMonitor` runs the forensics MAD detector
+(:class:`~repro.telemetry.forensics.anomaly.TrailingMadDetector`)
+*online*, inside :class:`~repro.service.state.CoordinatorState`: every
+serviced job feeds a window accumulator, every closed window yields one
+point per signal, and each point is judged against the trailing windows
+the same way ``repro-fbc analyze --anomalies`` judges a finished trace.
+
+Signals
+-------
+``byte_miss``
+    The window's byte-miss ratio (demand bytes loaded / bytes
+    requested) — deterministic, a pure function of the arrival
+    sequence.
+``latency``
+    The window's mean request latency in milliseconds — a host
+    observation (plus any fault-injected simulated stall), so it lives
+    in gauges and the health payload only, never the decision trace.
+
+Burn rate is the window value over its SLO target (the error-budget
+reading: > 1.0 means the budget is being spent faster than allowed).
+The alert gauge for a signal is 1 while the *latest* window is either
+anomalous against its trailing history or burning budget at > 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.sim.metrics import ratio_of
+from repro.telemetry.forensics.anomaly import TrailingMadDetector
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["SloConfig", "SloMonitor", "SLO_SIGNALS"]
+
+#: the signals the monitor tracks, in export order
+SLO_SIGNALS: tuple[str, ...] = ("byte_miss", "latency")
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Knobs of the online SLO engine.
+
+    ``window_jobs`` is the evaluation granularity (one detector point
+    per window).  The targets define the error budget: byte-miss ratio
+    above ``byte_miss_target``, or mean latency above
+    ``latency_target_ms``, burns budget at rate > 1.  Detector knobs
+    mirror :func:`~repro.telemetry.forensics.anomaly.detect_anomalies`.
+    """
+
+    window_jobs: int = 50
+    byte_miss_target: float = 0.5
+    latency_target_ms: float = 50.0
+    detector_window: int = 9
+    threshold: float = 3.5
+    min_history: int = 5
+    min_mad: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.window_jobs < 1:
+            raise ConfigError(
+                f"window_jobs must be >= 1, got {self.window_jobs}"
+            )
+        if not 0.0 < self.byte_miss_target <= 1.0:
+            raise ConfigError(
+                f"byte_miss_target must be in (0, 1], got {self.byte_miss_target}"
+            )
+        if self.latency_target_ms <= 0:
+            raise ConfigError(
+                f"latency_target_ms must be positive, got {self.latency_target_ms}"
+            )
+        # detector knobs are validated by TrailingMadDetector itself
+
+
+class _Signal:
+    """One monitored series: detector + gauges + last-window snapshot."""
+
+    __slots__ = ("name", "target", "detector", "alert", "windows", "value", "score")
+
+    def __init__(self, name: str, target: float, config: SloConfig):
+        self.name = name
+        self.target = target
+        self.detector = TrailingMadDetector(
+            window=config.detector_window,
+            threshold=config.threshold,
+            min_history=config.min_history,
+            min_mad=config.min_mad,
+        )
+        self.alert = False
+        self.windows = 0
+        self.value = 0.0
+        self.score = 0.0
+
+    @property
+    def burn_rate(self) -> float:
+        return ratio_of(self.value, self.target)
+
+    def roll(self, value: float) -> bool:
+        """Absorb one window value; returns the new alert state."""
+        self.score = self.detector.score(value)
+        anomaly = self.detector.update(value)
+        self.value = value
+        self.windows += 1
+        self.alert = anomaly is not None or self.burn_rate > 1.0
+        return self.alert
+
+
+class SloMonitor:
+    """Windowed online SLO evaluation over one service's job stream.
+
+    Construct with the service's registry; call :meth:`observe` once per
+    serviced job.  Gauges (``service_slo_burn_rate``,
+    ``service_slo_alert``, ``service_slo_score``,
+    ``service_slo_window_value``) and counters
+    (``service_slo_windows_total``, ``service_slo_alerts_total``) are
+    exported per signal on ``/metrics``; :meth:`payload` feeds
+    ``/healthz``.
+    """
+
+    def __init__(self, registry: MetricsRegistry, config: SloConfig | None = None):
+        self.config = config or SloConfig()
+        self._signals = {
+            "byte_miss": _Signal("byte_miss", self.config.byte_miss_target, self.config),
+            "latency": _Signal("latency", self.config.latency_target_ms, self.config),
+        }
+        self._jobs = 0
+        self._bytes_requested = 0
+        self._bytes_missed = 0
+        self._latency_sum_s = 0.0
+        self._burn = registry.gauge_family(
+            "service_slo_burn_rate",
+            "last window's value over its SLO target (>1 burns budget)",
+            ("signal",),
+        )
+        self._alert = registry.gauge_family(
+            "service_slo_alert",
+            "1 while the latest window is anomalous or over budget",
+            ("signal",),
+        )
+        self._score = registry.gauge_family(
+            "service_slo_score",
+            "robust z-score of the latest window against its trailing history",
+            ("signal",),
+        )
+        self._value = registry.gauge_family(
+            "service_slo_window_value",
+            "the latest completed window's raw signal value",
+            ("signal",),
+        )
+        self._windows_total = registry.counter(
+            "service_slo_windows_total", "completed SLO evaluation windows"
+        )
+        self._alerts_total = registry.counter_family(
+            "service_slo_alerts_total",
+            "windows that entered the alert state",
+            ("signal",),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def observe(
+        self,
+        *,
+        requested_bytes: int,
+        demand_bytes: int,
+        latency_s: float,
+    ) -> None:
+        """Fold one serviced job in; rolls the window when it fills."""
+        self._jobs += 1
+        self._bytes_requested += requested_bytes
+        self._bytes_missed += demand_bytes
+        self._latency_sum_s += latency_s
+        if self._jobs >= self.config.window_jobs:
+            self._roll()
+
+    def _roll(self) -> None:
+        values = {
+            "byte_miss": ratio_of(self._bytes_missed, self._bytes_requested),
+            "latency": (self._latency_sum_s / self._jobs) * 1e3,
+        }
+        self._jobs = 0
+        self._bytes_requested = 0
+        self._bytes_missed = 0
+        self._latency_sum_s = 0.0
+        self._windows_total.inc()
+        for name, value in values.items():
+            signal = self._signals[name]
+            alerted = signal.roll(value)
+            self._burn.labels(signal=name).set(signal.burn_rate)
+            self._alert.labels(signal=name).set(int(alerted))
+            self._score.labels(signal=name).set(signal.score)
+            self._value.labels(signal=name).set(value)
+            if alerted:
+                self._alerts_total.labels(signal=name).inc()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def alerting(self) -> bool:
+        return any(s.alert for s in self._signals.values())
+
+    def payload(self) -> dict[str, Any]:
+        """The SLO block of the ``/healthz`` body."""
+        return {
+            "window_jobs": self.config.window_jobs,
+            "alerting": self.alerting,
+            "signals": {
+                name: {
+                    "alert": s.alert,
+                    "windows": s.windows,
+                    "value": s.value,
+                    "target": s.target,
+                    "burn_rate": s.burn_rate,
+                    "score": s.score,
+                }
+                for name, s in self._signals.items()
+            },
+        }

@@ -68,15 +68,21 @@ from repro.faults.crash import CrashInjector, CrashSpec
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultSpec
 from repro.service.config import ServiceConfig
+from repro.service.slo import SloConfig, SloMonitor
 from repro.sim.coordinator import CoordinatorCore, JobOutcome
 from repro.sim.metrics import MetricsCollector
 from repro.sim.simulator import SimulationConfig
 from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.telemetry.recorder import TraceRecorder, use_recorder
 from repro.telemetry.sinks import JsonlSink
+from repro.telemetry.tracing import RequestTracer, request_id_for_job
 from repro.workload.trace import Trace
 
 __all__ = ["CoordinatorState", "JobResult"]
+
+#: simulated per-file staging time a fault-injected latency spike
+#: multiplies; feeds the SLO latency signal only (never the trace)
+NOMINAL_STAGE_SECONDS = 1e-3
 
 
 class JobResult:
@@ -87,23 +93,31 @@ class JobResult:
     response carries the same ``PlanComputed``/``FileAdmitted``/
     ``FileEvicted`` rationale payloads the trace does.  ``retries`` is
     the number of injected transfer faults absorbed while "staging" the
-    job's loads (0 without a fault spec).
+    job's loads (0 without a fault spec).  ``request_id`` is the
+    deterministic tracing id (``req-<job:08d>``) that resolves to this
+    job's span tree under ``/v1/debug/requests``.
     """
 
-    __slots__ = ("outcome", "events", "retries")
+    __slots__ = ("outcome", "events", "retries", "request_id")
 
     def __init__(
-        self, outcome: JobOutcome, events: list[dict[str, Any]], retries: int
+        self,
+        outcome: JobOutcome,
+        events: list[dict[str, Any]],
+        retries: int,
+        request_id: str,
     ):
         self.outcome = outcome
         self.events = events
         self.retries = retries
+        self.request_id = request_id
 
     def as_dict(self) -> dict[str, Any]:
         return {
             "outcome": self.outcome.as_dict(),
             "events": self.events,
             "retries": self.retries,
+            "request_id": self.request_id,
         }
 
 
@@ -205,20 +219,40 @@ class CoordinatorState:
         self.run_dir = config.run_dir
         self.sizes = workload.catalog.as_dict()
         self.registry = MetricsRegistry()
-        self._http_requests = self.registry.counter(
-            "service_http_requests_total", "HTTP requests handled"
+        self._http_requests = self.registry.counter_family(
+            "service_http_requests_total",
+            "HTTP requests handled",
+            labelnames=("method", "route", "status"),
         )
         self._http_errors = self.registry.counter(
             "service_http_errors_total", "HTTP error responses (4xx/5xx)"
         )
-        self._decision_seconds = self.registry.histogram(
-            "service_decision_seconds",
-            "wall-clock latency of one job decision (submit to journal commit)",
+        self._http_seconds = self.registry.histogram_family(
+            "service_http_request_seconds",
+            "server-side wall-clock latency of one HTTP exchange",
+            labelnames=("method", "route"),
             buckets=DEFAULT_LATENCY_BUCKETS,
         )
+        self._decision_seconds = self.registry.histogram_family(
+            "service_decision_seconds",
+            "wall-clock latency of one job decision (submit to journal commit)",
+            labelnames=("policy",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        ).labels(policy=config.policy)
         self._transfer_faults = self.registry.counter(
             "service_transfer_faults_total",
             "injected transfer faults absorbed as staging retries",
+        )
+        self.slo = SloMonitor(self.registry, config.slo)
+        self._profile_fh: IO[str] | None = None
+        if config.profile_stream:
+            self._profile_fh = open(
+                self.run_dir / "profile.jsonl", "a", encoding="utf-8"
+            )
+        self.tracer = RequestTracer(
+            config.debug_ring,
+            slow_threshold_s=config.slow_threshold_ms / 1e3,
+            profile_stream=self._profile_fh,
         )
 
         trace_path = self.run_dir / "trace.jsonl"
@@ -335,6 +369,10 @@ class CoordinatorState:
         *,
         crash: CrashSpec | None = None,
         verify: bool = True,
+        debug_ring: int = 256,
+        slow_threshold_ms: float = 100.0,
+        profile_stream: bool = False,
+        slo: "SloConfig | None" = None,
     ) -> "CoordinatorState":
         """Recover an interrupted service run and make it serveable again.
 
@@ -343,6 +381,10 @@ class CoordinatorState:
         bytes; ``verify`` additionally reconstructs the stitched trace
         and checks it against the live cache.  ``crash`` arms a *new*
         crash injection for the resumed service (chaos sweeps).
+        Observability knobs (``debug_ring``/``slow_threshold_ms``/
+        ``profile_stream``/``slo``) are not part of the durable manifest
+        — they describe *this* process, not the run — so the resuming
+        caller supplies them afresh.
         """
         run_dir = Path(run_dir)
         doc = _load_service_manifest(run_dir)
@@ -362,6 +404,10 @@ class CoordinatorState:
             max_segment_bytes=int(dur["max_segment_bytes"]),
             crash=crash,
             fault=fault,
+            debug_ring=debug_ring,
+            slow_threshold_ms=slow_threshold_ms,
+            profile_stream=profile_stream,
+            **({} if slo is None else {"slo": slo}),
         )
         workload = Trace.load(run_dir / "workload.jsonl")
 
@@ -535,20 +581,40 @@ class CoordinatorState:
                 oracle_base=self._oracle_base,
             )
             self._replayed += 1
-        self.journal.append(frame, encoded=encoded)
-        if self._crash is not None:
-            self._crash.tick(torn_hook=lambda: _append_torn_frame(self.journal))
-        if (job_index + 1) % self.config.checkpoint_every == 0:
-            self._checkpoint(job_index + 1)
+        with self.recorder.span("journal.commit"):
+            self.journal.append(frame, encoded=encoded)
+            if self._crash is not None:
+                self._crash.tick(torn_hook=lambda: _append_torn_frame(self.journal))
+            if (job_index + 1) % self.config.checkpoint_every == 0:
+                self._checkpoint(job_index + 1)
         retries = 0
+        stall_s = 0.0
         if self._faults is not None:
-            for _ in outcome.loaded:
-                if self._faults.transfer_fault("service") is not None:
-                    retries += 1
-            if retries:
-                self._transfer_faults.inc(retries)
-        self._decision_seconds.observe(time.perf_counter() - t0)
-        return JobResult(outcome, [json.loads(line) for line in captured], retries)
+            with self.recorder.span("srm.stage"):
+                for _ in outcome.loaded:
+                    if self._faults.transfer_fault("service") is not None:
+                        retries += 1
+                    # a latency spike stretches the nominal staging time;
+                    # the simulated stall feeds the SLO latency signal only
+                    # (never the trace, never the host-timing histogram)
+                    stall_s += (
+                        self._faults.latency_spike("service") - 1.0
+                    ) * NOMINAL_STAGE_SECONDS
+                if retries:
+                    self._transfer_faults.inc(retries)
+        elapsed = time.perf_counter() - t0
+        self._decision_seconds.observe(elapsed)
+        self.slo.observe(
+            requested_bytes=outcome.requested_bytes,
+            demand_bytes=outcome.demand_bytes,
+            latency_s=elapsed + stall_s,
+        )
+        return JobResult(
+            outcome,
+            [json.loads(line) for line in captured],
+            retries,
+            request_id_for_job(job_index),
+        )
 
     def _checkpoint(self, job: int) -> None:
         self._jsonl.flush(sync=self._strict)
@@ -611,17 +677,39 @@ class CoordinatorState:
             "jobs": self.next_job,
             "resumed_from_job": self.resumed_from_job,
             "checkpoints_written": self.checkpoints_written,
+            "slo": self.slo.payload(),
+            "requests_traced": self.tracer.requests_traced,
         }
 
     def prometheus(self) -> str:
         """The ``GET /metrics`` body (Prometheus text exposition)."""
         return self.registry.to_prometheus()
 
-    def count_http_request(self, *, error: bool) -> None:
-        """Registry bookkeeping for the HTTP layer (one call per response)."""
-        self._http_requests.inc()
-        if error:
+    def count_http_request(
+        self,
+        *,
+        method: str,
+        route: str,
+        status: int,
+        duration_s: float | None = None,
+    ) -> None:
+        """Registry bookkeeping for the HTTP layer (one call per response).
+
+        ``route`` must come from the bounded route vocabulary (a known
+        path, ``"<unroutable>"`` or ``"<unparsed>"``) so label
+        cardinality stays finite.  ``duration_s`` is the server-side
+        exchange latency measured by the request tracer; ``None`` (ring
+        disabled) skips the latency histogram.
+        """
+        self._http_requests.labels(
+            method=method, route=route, status=str(status)
+        ).inc()
+        if status >= 400:
             self._http_errors.inc()
+        if duration_s is not None:
+            self._http_seconds.labels(method=method, route=route).observe(
+                duration_s
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -633,6 +721,8 @@ class CoordinatorState:
         self.journal.close()
         self._jsonl.flush(sync=self._strict)
         self._sink.close()
+        if self._profile_fh is not None and not self._profile_fh.closed:
+            self._profile_fh.close()
         if self._arrivals is not None and not self._arrivals.closed:
             self._arrivals.flush()
             if self._strict:

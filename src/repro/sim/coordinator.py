@@ -170,40 +170,45 @@ class CoordinatorCore:
                 demand_bytes=0,
                 prefetch_bytes=0,
             )
-        missing = cache.missing(bundle)
-        with rec.span("policy.on_request"):
-            decision = self.policy.on_request(bundle)
+        # span structure mirrors the request-tracing tree: core.plan wraps
+        # the policy's decision (policy.on_request and any cache.evict
+        # nested inside it), cache.admit wraps applying the loads
+        with rec.span("core.plan"):
+            missing = cache.missing(bundle)
+            with rec.span("policy.on_request"):
+                decision = self.policy.on_request(bundle)
 
-        loads = sorted(missing)
-        demand_bytes = sum(self._size(f) for f in loads)
-        prefetches = sorted(
-            f for f in decision.prefetch if f not in cache and f not in missing
-        )
-        prefetch_bytes = sum(self._size(f) for f in prefetches)
-        needed = demand_bytes + prefetch_bytes
-        if cache.free < needed:
-            raise SimulationError(
-                f"policy {self.policy.name!r} left only {cache.free} free "
-                f"bytes but {needed} are needed"
+            loads = sorted(missing)
+            demand_bytes = sum(self._size(f) for f in loads)
+            prefetches = sorted(
+                f for f in decision.prefetch if f not in cache and f not in missing
             )
-        # sorted: load order cannot change what ends up resident, but a
-        # reproducible order keeps the load counters' interleaving (and
-        # any future instrumentation of it) identical across processes
-        for f in loads:
-            cache.load(f, self.sizes[f])
-        for f in prefetches:
-            cache.load(f, self.sizes[f])
-        if rec.active:
+            prefetch_bytes = sum(self._size(f) for f in prefetches)
+            needed = demand_bytes + prefetch_bytes
+            if cache.free < needed:
+                raise SimulationError(
+                    f"policy {self.policy.name!r} left only {cache.free} free "
+                    f"bytes but {needed} are needed"
+                )
+        with rec.span("cache.admit"):
+            # sorted: load order cannot change what ends up resident, but a
+            # reproducible order keeps the load counters' interleaving (and
+            # any future instrumentation of it) identical across processes
             for f in loads:
-                rec.emit(
-                    FileAdmitted(file=str(f), bytes=self.sizes[f], cause="demand")
-                )
+                cache.load(f, self.sizes[f])
             for f in prefetches:
-                rec.emit(
-                    FileAdmitted(
-                        file=str(f), bytes=self.sizes[f], cause="prefetch"
+                cache.load(f, self.sizes[f])
+            if rec.active:
+                for f in loads:
+                    rec.emit(
+                        FileAdmitted(file=str(f), bytes=self.sizes[f], cause="demand")
                     )
-                )
+                for f in prefetches:
+                    rec.emit(
+                        FileAdmitted(
+                            file=str(f), bytes=self.sizes[f], cause="prefetch"
+                        )
+                    )
         hit = not missing
         self.policy.on_serviced(bundle, frozenset(missing | set(prefetches)), hit)
         self.metrics.record_job(

@@ -17,6 +17,10 @@ Three cooperating pieces:
   (:mod:`repro.telemetry.profiling`) time the hot paths (planning,
   selection, ``on_request``, SRM staging) into span histograms, kept out
   of the deterministic event stream by design.
+* **Request tracing** — :mod:`repro.telemetry.tracing` assembles the
+  same spans into per-request causal trees under deterministic request
+  IDs (derived from arrival sequence, never the clock), retained in a
+  bounded ring for the service's ``/v1/debug/*`` endpoints.
 * **Forensics** — :mod:`repro.telemetry.forensics` consumes recorded
   traces after the fact: indexed reading (:class:`TraceLog`),
   cache-state reconstruction with invariant checks, cross-policy
@@ -52,9 +56,18 @@ from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricsFamily,
     MetricsRegistry,
 )
 from repro.telemetry.profiling import span, span_profile, timed
+from repro.telemetry.tracing import (
+    REQUEST_ID_HEADER,
+    RequestTrace,
+    RequestTracer,
+    SpanNode,
+    active_request,
+    request_id_for_job,
+)
 from repro.telemetry.recorder import (
     NULL_RECORDER,
     TraceRecorder,
@@ -98,10 +111,18 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsFamily",
     "MetricsRegistry",
     "PROMETHEUS_CONTENT_TYPE",
     # profiling
     "span",
     "timed",
     "span_profile",
+    # request tracing
+    "REQUEST_ID_HEADER",
+    "RequestTrace",
+    "RequestTracer",
+    "SpanNode",
+    "active_request",
+    "request_id_for_job",
 ]

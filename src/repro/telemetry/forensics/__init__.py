@@ -30,12 +30,17 @@ CLI entry points: ``repro-fbc analyze``, ``diff-traces``,
 
 from repro.telemetry.forensics.anomaly import (
     Anomaly,
+    TrailingMadDetector,
     WindowAnomaly,
     detect_anomalies,
     window_anomalies,
 )
 from repro.telemetry.forensics.diff import Divergence, TraceDiff, diff_traces
-from repro.telemetry.forensics.export import export_chrome, to_chrome_trace
+from repro.telemetry.forensics.export import (
+    export_chrome,
+    spans_to_chrome,
+    to_chrome_trace,
+)
 from repro.telemetry.forensics.reconstruct import (
     InvariantViolation,
     ReconstructionReport,
@@ -70,8 +75,10 @@ __all__ = [
     "detect_anomalies",
     "window_anomalies",
     "Anomaly",
+    "TrailingMadDetector",
     "WindowAnomaly",
     # export
     "to_chrome_trace",
+    "spans_to_chrome",
     "export_chrome",
 ]

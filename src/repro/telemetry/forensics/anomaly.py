@@ -21,13 +21,20 @@ already contains it.
 from __future__ import annotations
 
 import statistics
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.errors import ConfigError
 from repro.telemetry.forensics.tracelog import TraceLog
 
-__all__ = ["detect_anomalies", "window_anomalies", "Anomaly", "WindowAnomaly"]
+__all__ = [
+    "detect_anomalies",
+    "window_anomalies",
+    "Anomaly",
+    "TrailingMadDetector",
+    "WindowAnomaly",
+]
 
 #: scale factor making MAD consistent with stddev for normal data
 _MAD_K = 0.6745
@@ -54,6 +61,69 @@ class WindowAnomaly:
     anomaly: Anomaly
 
 
+class TrailingMadDetector:
+    """The trailing median+MAD detector as an online, point-at-a-time class.
+
+    :func:`detect_anomalies` (offline, whole series) and the service's
+    live SLO engine (online, one window at a time) share this exact
+    arithmetic — feed values through :meth:`update` and get back an
+    :class:`Anomaly` (or ``None``) judged against the up-to-``window``
+    *preceding* points.  The first ``min_history`` points are never
+    flagged (no baseline to judge against); ``min_mad`` floors the scale
+    so a perfectly flat history does not turn any infinitesimal wiggle
+    into an "anomaly" of infinite score.
+    """
+
+    __slots__ = ("window", "threshold", "min_history", "min_mad", "_history", "_seen")
+
+    def __init__(
+        self,
+        *,
+        window: int = 9,
+        threshold: float = 3.5,
+        min_history: int = 5,
+        min_mad: float = 1e-9,
+    ):
+        if window < 2:
+            raise ConfigError(f"window must be >= 2, got {window}")
+        if min_history < 2:
+            raise ConfigError(f"min_history must be >= 2, got {min_history}")
+        if threshold <= 0:
+            raise ConfigError(f"threshold must be > 0, got {threshold}")
+        if min_mad <= 0:
+            raise ConfigError(f"min_mad must be > 0, got {min_mad}")
+        self.window = window
+        self.threshold = threshold
+        self.min_history = min_history
+        self.min_mad = min_mad
+        self._history: deque[float] = deque(maxlen=window)
+        self._seen = 0
+
+    def score(self, x: float) -> float:
+        """The robust z-score ``x`` *would* get against the current history."""
+        if self._seen < self.min_history:
+            return 0.0
+        med = statistics.median(self._history)
+        mad = statistics.median(abs(h - med) for h in self._history)
+        return _MAD_K * abs(x - med) / max(mad, self.min_mad)
+
+    def update(self, x: float) -> Anomaly | None:
+        """Judge one point against the trailing history, then absorb it."""
+        x = float(x)
+        anomaly: Anomaly | None = None
+        if self._seen >= self.min_history:
+            med = statistics.median(self._history)
+            mad = statistics.median(abs(h - med) for h in self._history)
+            score = _MAD_K * abs(x - med) / max(mad, self.min_mad)
+            if score > self.threshold:
+                anomaly = Anomaly(
+                    index=self._seen, value=x, median=med, mad=mad, score=score
+                )
+        self._history.append(x)
+        self._seen += 1
+        return anomaly
+
+
 def detect_anomalies(
     values: Iterable[float],
     *,
@@ -67,35 +137,19 @@ def detect_anomalies(
     For each point, the baseline is the median of the up-to-``window``
     *preceding* points and the scale is their MAD; the point is flagged
     when ``0.6745 * |x - median| / max(MAD, min_mad)`` exceeds
-    ``threshold``.  The first ``min_history`` points are never flagged
-    (no baseline to judge against).  ``min_mad`` floors the scale so a
-    perfectly flat history (MAD = 0) does not turn any infinitesimal
-    wiggle into an "anomaly" of infinite score — with the floor, a flat
-    history still flags only genuine jumps.
+    ``threshold``.  Offline face of :class:`TrailingMadDetector`.
     """
-    if window < 2:
-        raise ConfigError(f"window must be >= 2, got {window}")
-    if min_history < 2:
-        raise ConfigError(f"min_history must be >= 2, got {min_history}")
-    if threshold <= 0:
-        raise ConfigError(f"threshold must be > 0, got {threshold}")
-    if min_mad <= 0:
-        raise ConfigError(f"min_mad must be > 0, got {min_mad}")
-
-    series = [float(v) for v in values]
+    detector = TrailingMadDetector(
+        window=window,
+        threshold=threshold,
+        min_history=min_history,
+        min_mad=min_mad,
+    )
     anomalies: list[Anomaly] = []
-    for i, x in enumerate(series):
-        if i < min_history:
-            continue
-        history: Sequence[float] = series[max(0, i - window) : i]
-        med = statistics.median(history)
-        mad = statistics.median(abs(h - med) for h in history)
-        scale = max(mad, min_mad)
-        score = _MAD_K * abs(x - med) / scale
-        if score > threshold:
-            anomalies.append(
-                Anomaly(index=i, value=x, median=med, mad=mad, score=score)
-            )
+    for v in values:
+        found = detector.update(float(v))
+        if found is not None:
+            anomalies.append(found)
     return anomalies
 
 

@@ -45,7 +45,7 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.forensics.tracelog import TraceLog
 
-__all__ = ["to_chrome_trace", "export_chrome"]
+__all__ = ["to_chrome_trace", "export_chrome", "spans_to_chrome"]
 
 #: track (thread) ids within each segment's process
 _TID_JOBS = 1
@@ -263,6 +263,109 @@ def to_chrome_trace(log: TraceLog) -> dict[str, Any]:
             "events": len(log),
             "segments": len(segments),
         },
+    }
+
+
+def _emit_span(
+    span: dict[str, Any],
+    events: list[dict[str, Any]],
+    *,
+    offset_us: float,
+    tid: int,
+    bound_us: float,
+    args: dict[str, Any] | None = None,
+) -> None:
+    """Emit one span (and its children) as nested "X" slices.
+
+    ``bound_us`` is the parent's absolute end time: the 0.1µs rounding
+    of exported offsets can push a child fractionally past its parent,
+    which Chrome renders as a mis-nested flat slice, so children are
+    clamped inside it.
+    """
+    ts = offset_us + float(span.get("start_us", 0.0))
+    ts = min(max(ts, offset_us), bound_us)
+    dur = min(max(float(span.get("duration_us", 0.0)), 0.0), bound_us - ts)
+    record = _base(str(span.get("name", "?")), "X", ts, 1, tid, "span")
+    record["dur"] = dur
+    if args:
+        record["args"] = args
+    events.append(record)
+    for child in span.get("children", ()):
+        _emit_span(child, events, offset_us=ts, tid=tid, bound_us=ts + dur)
+
+
+def spans_to_chrome(
+    requests: "list[dict[str, Any]] | dict[str, Any]",
+) -> dict[str, Any]:
+    """Convert ``/v1/debug/requests`` span trees into Chrome trace JSON.
+
+    Accepts the endpoint's whole body (the ``requests`` key is used) or
+    the request list itself.  Each request becomes a thread whose name
+    is its request id, with the span tree rendered as nested duration
+    slices; requests are laid end to end on a shared clock since their
+    host start times are not exported (offsets are per-request).
+    """
+    if isinstance(requests, dict):
+        requests = requests.get("requests", [])
+    if not isinstance(requests, list):
+        raise TelemetryError(
+            "spans_to_chrome expects a request list or a /v1/debug/requests body"
+        )
+    events: list[dict[str, Any]] = []
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0.0,
+            "pid": 1,
+            "tid": 0,
+            "cat": "__metadata",
+            "args": {"name": "coordinator requests"},
+        }
+    )
+    cursor = 0.0
+    for idx, req in enumerate(requests):
+        if not isinstance(req, dict) or not isinstance(req.get("spans"), dict):
+            raise TelemetryError(
+                f"request entry {idx} has no span tree (expected 'spans' dict)"
+            )
+        tid = idx + 1
+        label = str(req.get("request_id", f"request {idx}"))
+        route = req.get("route")
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0.0,
+                "pid": 1,
+                "tid": tid,
+                "cat": "__metadata",
+                "args": {"name": f"{label} {route}" if route else label},
+            }
+        )
+        root = req["spans"]
+        root_dur = max(float(root.get("duration_us", 0.0)), 0.0)
+        _emit_span(
+            root,
+            events,
+            offset_us=cursor,
+            tid=tid,
+            bound_us=cursor + root_dur,
+            args={
+                "request_id": req.get("request_id"),
+                "route": route,
+                "client_id": req.get("client_id"),
+                "job": req.get("job"),
+                "status": req.get("status"),
+                "breakdown_ms": req.get("breakdown_ms"),
+            },
+        )
+        # 1µs of slack keeps consecutive requests visually separate
+        cursor += root_dur + 1.0
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"requests": len(requests)},
     }
 
 

@@ -9,7 +9,15 @@ numbers out of a registry).
 
 Histograms track count/sum/min/max plus cumulative bucket counts, which
 is what the profiling spans need (mean and tail latency) and what the
-Prometheus format expects.
+Prometheus format expects; :meth:`Histogram.quantile` estimates
+percentiles from the fixed bucket bounds (linear interpolation within
+the winning bucket, clamped to the observed min/max).
+
+Labelled families (:meth:`MetricsRegistry.counter_family` and friends)
+hold one child metric per label-value tuple under one ``HELP``/``TYPE``
+header — the service uses them for per-route/per-status request
+accounting.  Label values must come from *bounded* sets (route tables,
+status codes, policy names), never request content.
 """
 
 from __future__ import annotations
@@ -24,14 +32,19 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricsFamily",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
+    "EXPORTED_QUANTILES",
     "PROMETHEUS_CONTENT_TYPE",
 ]
 
 #: the content type the text exposition format (0.0.4) must be served with
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: the quantiles every histogram exposes in its JSON / Prometheus views
+EXPORTED_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
 
 
 def _escape_help(text: str) -> str:
@@ -217,17 +230,109 @@ class Histogram:
         out.append((math.inf, self._n))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0 < q <= 1) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank —
+        the Prometheus ``histogram_quantile`` estimator — with two
+        refinements the tracked min/max make possible: the first
+        populated bucket interpolates from the observed minimum (not an
+        assumed 0), the overflow bucket from the last bound to the
+        observed maximum, and the result is clamped to ``[min, max]``.
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise TelemetryError(
+                f"histogram {self.name!r}: quantile must be in (0, 1], got {q}"
+            )
+        if self._n == 0:
+            return 0.0
+        target = q * self._n
+        cum = 0
+        first_populated = True
+        for i, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            lo = self._min if first_populated else self.buckets[i - 1]
+            hi = self._max if i == len(self.buckets) else min(self.buckets[i], self._max)
+            first_populated = False
+            if cum + count >= target:
+                frac = (target - cum) / count
+                value = lo + (hi - lo) * frac
+                return min(max(value, self._min), self._max)
+            cum += count
+        return self._max
+
+
+def _check_label_name(name: str) -> str:
+    if not name or name == "le" or not all(c.isalnum() or c == "_" for c in name):
+        raise TelemetryError(f"invalid label name {name!r}")
+    return name
+
+
+class MetricsFamily:
+    """A named group of child metrics keyed by label values.
+
+    One ``HELP``/``TYPE`` header in the exposition, one child
+    counter/gauge/histogram per distinct label-value tuple.  Children are
+    created on first :meth:`labels` call; label values must come from
+    bounded sets (route tables, status classes) so cardinality stays
+    fixed.
+    """
+
+    __slots__ = ("name", "help", "labelnames", "_cls", "_kwargs", "_children")
+
+    def __init__(self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs):
+        self.name = _check_name(name)
+        self.help = help
+        if not labelnames:
+            raise TelemetryError(f"family {name!r} needs at least one label")
+        self.labelnames = tuple(_check_label_name(n) for n in labelnames)
+        self._cls = cls
+        self._kwargs = kwargs
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._cls.kind
+
+    def labels(self, **labels: str) -> Any:
+        """The child metric for one label-value tuple (get-or-create)."""
+        if set(labels) != set(self.labelnames):
+            raise TelemetryError(
+                f"family {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._cls(self.name, self.help, **self._kwargs)
+            self._children[key] = child
+        return child
+
+    def children(self) -> list[tuple[dict[str, str], Any]]:
+        """``(labels, metric)`` pairs, sorted by label values."""
+        return [
+            (dict(zip(self.labelnames, key)), self._children[key])
+            for key in sorted(self._children)
+        ]
+
 
 class MetricsRegistry:
     """Get-or-create store of named metrics with uniform exporters."""
 
     def __init__(self) -> None:
         self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+        self._families: dict[str, MetricsFamily] = {}
 
     # ------------------------------------------------------------------ #
     # registration
 
     def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        if name in self._families:
+            raise TelemetryError(
+                f"metric {name!r} already registered as a labelled family"
+            )
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -238,6 +343,25 @@ class MetricsRegistry:
         metric = cls(name, help, **kwargs)
         self._metrics[name] = metric
         return metric
+
+    def _get_or_create_family(
+        self, cls, name: str, help: str, labelnames: Sequence[str], **kwargs
+    ) -> MetricsFamily:
+        if name in self._metrics:
+            raise TelemetryError(
+                f"metric {name!r} already registered as a plain {self._metrics[name].kind}"
+            )
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != cls.kind or existing.labelnames != tuple(labelnames):
+                raise TelemetryError(
+                    f"family {name!r} already registered as {existing.kind}"
+                    f"{list(existing.labelnames)}"
+                )
+            return existing
+        family = MetricsFamily(cls, name, help, labelnames, **kwargs)
+        self._families[name] = family
+        return family
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -253,6 +377,27 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, buckets=buckets)
 
+    def counter_family(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricsFamily:
+        return self._get_or_create_family(Counter, name, help, labelnames)
+
+    def gauge_family(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricsFamily:
+        return self._get_or_create_family(Gauge, name, help, labelnames)
+
+    def histogram_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricsFamily:
+        return self._get_or_create_family(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
     # ------------------------------------------------------------------ #
     # access
 
@@ -262,68 +407,159 @@ class MetricsRegistry:
         except KeyError:
             raise TelemetryError(f"no metric named {name!r}") from None
 
+    def family(self, name: str) -> MetricsFamily:
+        try:
+            return self._families[name]
+        except KeyError:
+            raise TelemetryError(f"no metric family named {name!r}") from None
+
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        return sorted([*self._metrics, *self._families])
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return name in self._metrics or name in self._families
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        return len(self._metrics) + len(self._families)
 
     def __iter__(self) -> Iterable[str]:
-        return iter(sorted(self._metrics))
+        return iter(self.names())
 
     # ------------------------------------------------------------------ #
     # exporters
 
+    @staticmethod
+    def _histogram_dict(m: Histogram) -> dict:
+        out: dict[str, Any] = {
+            "type": m.kind,
+            "count": m.count,
+            "sum": m.sum,
+            "mean": m.mean,
+            "min": m.min,
+            "max": m.max,
+            "buckets": [
+                ["+Inf" if math.isinf(le) else le, c]
+                for le, c in m.bucket_counts()
+            ],
+        }
+        for q in EXPORTED_QUANTILES:
+            out[f"p{round(q * 100)}"] = m.quantile(q)
+        return out
+
     def as_dict(self) -> dict[str, dict]:
-        """JSON-ready snapshot of every metric, sorted by name."""
+        """JSON-ready snapshot of every metric and family, sorted by name."""
         out: dict[str, dict] = {}
-        for name in sorted(self._metrics):
-            m = self._metrics[name]
-            if isinstance(m, Histogram):
+        for name in self.names():
+            family = self._families.get(name)
+            if family is not None:
                 out[name] = {
-                    "type": m.kind,
-                    "count": m.count,
-                    "sum": m.sum,
-                    "mean": m.mean,
-                    "min": m.min,
-                    "max": m.max,
-                    "buckets": [
-                        ["+Inf" if math.isinf(le) else le, c]
-                        for le, c in m.bucket_counts()
+                    "type": family.kind,
+                    "labelnames": list(family.labelnames),
+                    "series": [
+                        {
+                            "labels": labels,
+                            **(
+                                self._histogram_dict(child)
+                                if isinstance(child, Histogram)
+                                else {"type": child.kind, "value": child.value}
+                            ),
+                        }
+                        for labels, child in family.children()
                     ],
                 }
+                continue
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                out[name] = self._histogram_dict(m)
             else:
                 out[name] = {"type": m.kind, "value": m.value}
         return out
+
+    @staticmethod
+    def _label_string(labels: Mapping[str, str]) -> str:
+        if not labels:
+            return ""
+        inner = ",".join(
+            f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()
+        )
+        return "{" + inner + "}"
+
+    @classmethod
+    def _sample_lines(
+        cls, name: str, m: "Counter | Gauge | Histogram", labels: Mapping[str, str]
+    ) -> list[str]:
+        lines: list[str] = []
+        if isinstance(m, Histogram):
+            for le, c in m.bucket_counts():
+                bound = _escape_label_value("+Inf" if math.isinf(le) else repr(le))
+                merged = dict(labels)
+                le_part = f'le="{bound}"'
+                if merged:
+                    joined = cls._label_string(merged)[1:-1] + "," + le_part
+                else:
+                    joined = le_part
+                lines.append(f"{name}_bucket{{{joined}}} {c}")
+            suffix = cls._label_string(labels)
+            lines.append(f"{name}_sum{suffix} {m.sum!r}")
+            lines.append(f"{name}_count{suffix} {m.count}")
+        else:
+            lines.append(f"{name}{cls._label_string(labels)} {m.value!r}")
+        return lines
+
+    @classmethod
+    def _quantile_lines(
+        cls, name: str, m: Histogram, labels: Mapping[str, str]
+    ) -> list[str]:
+        """Bucket-estimated quantile gauges for one populated histogram."""
+        lines: list[str] = []
+        for q in EXPORTED_QUANTILES:
+            merged = dict(labels)
+            merged["quantile"] = repr(q)
+            lines.append(
+                f"{name}_quantile{cls._label_string(merged)} {m.quantile(q)!r}"
+            )
+        return lines
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (0.0.4), sorted by name.
 
         Conformance: ``# HELP``/``# TYPE`` appear exactly once per metric
         family (all of a histogram's ``_bucket``/``_sum``/``_count``
-        series share its one header), help strings and label values are
-        escaped per the format, and the payload is meant to be served as
+        series share its one header; a labelled family's children share
+        one header too), help strings and label values are escaped per
+        the format, and the payload is meant to be served as
         :data:`PROMETHEUS_CONTENT_TYPE`.
+
+        Every populated histogram additionally exposes its bucket
+        quantile estimates as a companion ``<name>_quantile`` gauge
+        family (labelled ``quantile="0.5"|"0.95"|"0.99"``).
         """
         lines: list[str] = []
-        for name in sorted(self._metrics):
+        for name in self.names():
+            family = self._families.get(name)
+            if family is not None:
+                if family.help:
+                    lines.append(f"# HELP {name} {_escape_help(family.help)}")
+                lines.append(f"# TYPE {name} {family.kind}")
+                quantiles: list[str] = []
+                for labels, child in family.children():
+                    lines.extend(self._sample_lines(name, child, labels))
+                    if isinstance(child, Histogram) and child.count:
+                        quantiles.extend(
+                            self._quantile_lines(name, child, labels)
+                        )
+                if quantiles:
+                    lines.append(f"# TYPE {name}_quantile gauge")
+                    lines.extend(quantiles)
+                continue
             m = self._metrics[name]
             if m.help:
                 lines.append(f"# HELP {name} {_escape_help(m.help)}")
             lines.append(f"# TYPE {name} {m.kind}")
-            if isinstance(m, Histogram):
-                for le, c in m.bucket_counts():
-                    label = _escape_label_value(
-                        "+Inf" if math.isinf(le) else repr(le)
-                    )
-                    lines.append(f'{name}_bucket{{le="{label}"}} {c}')
-                lines.append(f"{name}_sum {m.sum!r}")
-                lines.append(f"{name}_count {m.count}")
-            else:
-                lines.append(f"{name} {m.value!r}")
+            lines.extend(self._sample_lines(name, m, {}))
+            if isinstance(m, Histogram) and m.count:
+                lines.append(f"# TYPE {name}_quantile gauge")
+                lines.extend(self._quantile_lines(name, m, {}))
         return "\n".join(lines) + ("\n" if lines else "")
 
     def merge_counters(self, other: "MetricsRegistry | Mapping[str, dict]") -> None:

@@ -48,8 +48,9 @@ def timed(name: str) -> Callable[[_F], _F]:
 def span_profile(registry) -> list[dict]:
     """Tabulate the ``span_*_seconds`` histograms of a registry.
 
-    Returns one row per span: name, call count, mean/max seconds —
-    the summary ``repro-fbc trace`` prints.
+    Returns one row per span: name, call count, mean/max seconds plus
+    the bucket-estimated p50/p95/p99 — the summary ``repro-fbc trace``
+    prints and ``GET /v1/debug/profile`` serves.
     """
     rows: list[dict] = []
     for name in registry.names():
@@ -61,6 +62,9 @@ def span_profile(registry) -> list[dict]:
                 "span": name[len("span_") : -len("_seconds")],
                 "calls": hist.count,
                 "mean_s": hist.mean,
+                "p50_s": hist.quantile(0.5),
+                "p95_s": hist.quantile(0.95),
+                "p99_s": hist.quantile(0.99),
                 "max_s": hist.max,
                 "total_s": hist.sum,
             }

@@ -37,6 +37,7 @@ from repro.errors import ConfigError
 from repro.telemetry.events import TraceEvent
 from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
 from repro.telemetry.sinks import JsonlSink, NullSink, RingSink, TraceSink
+from repro.telemetry.tracing import active_request
 
 __all__ = [
     "TraceRecorder",
@@ -63,20 +64,35 @@ _NOOP_SPAN = _NoopSpan()
 
 
 class _Span:
-    """Times one ``with`` block into a registry histogram."""
+    """Times one ``with`` block into a registry histogram.
 
-    __slots__ = ("_hist", "_t0")
+    When a request trace is open in this context (the coordinator
+    service's tracing layer), the span additionally grows that request's
+    causal tree — same clock readings, two consumers.  Host timings end
+    up in the registry and the request ring only, never the event trace.
+    """
 
-    def __init__(self, hist):
+    __slots__ = ("_hist", "_name", "_t0", "_request", "_node")
+
+    def __init__(self, hist, name: str):
         self._hist = hist
+        self._name = name
         self._t0 = 0.0
+        self._request = None
+        self._node = None
 
     def __enter__(self) -> "_Span":
+        self._request = active_request()
         self._t0 = time.perf_counter()
+        if self._request is not None:
+            self._node = self._request.begin_span(self._name, self._t0)
         return self
 
     def __exit__(self, *exc) -> None:
-        self._hist.observe(time.perf_counter() - self._t0)
+        end = time.perf_counter()
+        self._hist.observe(end - self._t0)
+        if self._request is not None and self._node is not None:
+            self._request.end_span(self._node, end)
         return None
 
 
@@ -173,7 +189,7 @@ class TraceRecorder:
             f"duration of {name}",
             buckets=DEFAULT_LATENCY_BUCKETS,
         )
-        return _Span(hist)
+        return _Span(hist, name)
 
 
 #: the inert default recorder: inactive sink, no profiling

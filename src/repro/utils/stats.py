@@ -8,7 +8,29 @@ from typing import Iterable, Sequence
 
 from repro.errors import ConfigError
 
-__all__ = ["RunningStats", "mean_confidence_interval", "summarize", "Summary"]
+__all__ = [
+    "RunningStats",
+    "mean_confidence_interval",
+    "percentile",
+    "summarize",
+    "Summary",
+]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample (0 < q <= 100).
+
+    The one percentile definition the package uses for raw samples
+    (loadgen latency reports, bench latency tables); bucketed estimates
+    come from :meth:`repro.telemetry.metrics.Histogram.quantile` instead.
+    Returns 0.0 for an empty sample.
+    """
+    if not 0.0 < q <= 100.0:
+        raise ConfigError(f"percentile q must be in (0, 100], got {q}")
+    if not sorted_values:
+        return 0.0
+    rank = max(1, -(-len(sorted_values) * q // 100))  # ceil without floats
+    return sorted_values[int(rank) - 1]
 
 
 class RunningStats:

@@ -176,3 +176,63 @@ class TestSerialization:
         assert response.status == 200
         assert response.json() == {"echo": {"n": 1}}
         assert response.headers["connection"] == "close"
+
+
+class TestMalformedRequestAgainstService:
+    def test_garbage_request_gets_400_close_and_one_error_count(self, tmp_path):
+        """An unparseable request on a live coordinator: the server
+        answers 400 with ``Connection: close``, actually closes the
+        socket, and counts the exchange exactly once — on the bounded
+        ``<unparsed>`` sentinel labels, never a per-garbage series."""
+        import socket
+
+        from repro.service import CoordinatorState, ServiceConfig
+        from repro.service.testing import running_service
+        from repro.types import MB
+        from repro.workload.generator import WorkloadSpec, generate_trace
+
+        trace = generate_trace(
+            WorkloadSpec(
+                cache_size=32 * MB,
+                n_files=20,
+                n_request_types=10,
+                n_jobs=10,
+                popularity="zipf",
+                max_file_fraction=0.05,
+                max_bundle_fraction=0.25,
+                seed=5,
+            )
+        )
+        workload = tmp_path / "w.jsonl"
+        trace.dump(workload)
+        state = CoordinatorState.create(
+            ServiceConfig(
+                workload=workload,
+                cache_size=32 * MB,
+                run_dir=tmp_path / "run",
+                policy="landlord",
+                checkpoint_every=5,
+            )
+        )
+        with running_service(state) as svc:
+            with socket.create_connection(
+                ("127.0.0.1", svc.port), timeout=10
+            ) as sock:
+                sock.sendall(b"NOT-AN-HTTP-REQUEST\r\n\r\n")
+                data = b""
+                while True:  # drain until the server closes (EOF)
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+        head = data.decode("latin-1")
+        assert head.startswith("HTTP/1.1 400 ")
+        assert "connection: close" in head.lower()
+        assert state.registry.get("service_http_errors_total").value == 1
+        family = state.registry.family("service_http_requests_total")
+        assert [
+            (labels, child.value) for labels, child in family.children()
+        ] == [
+            ({"method": "<other>", "route": "<unparsed>", "status": "400"}, 1)
+        ]
+        state.close()

@@ -1,0 +1,299 @@
+"""Live SLO monitoring: window mechanics, alert semantics, acceptance.
+
+The headline contract: with a seeded ``FaultSpec`` injecting staging
+latency spikes, the ``latency`` signal's alert flips within **one SLO
+window** of the spike onset — and the decision trace stays byte-identical
+to a spike-free run's, because SLO inputs (host timings, simulated
+stalls) never enter the deterministic event stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.spec import FaultSpec
+from repro.service import CoordinatorState, ServiceConfig
+from repro.service.slo import SLO_SIGNALS, SloConfig, SloMonitor
+from repro.service.testing import running_service
+from repro.telemetry.metrics import MetricsRegistry
+from repro.types import MB
+from repro.workload.generator import WorkloadSpec, generate_trace
+
+CACHE = 32 * MB
+POLICY = "landlord"
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        WorkloadSpec(
+            cache_size=CACHE,
+            n_files=60,
+            n_request_types=30,
+            n_jobs=60,
+            popularity="zipf",
+            max_file_fraction=0.05,
+            max_bundle_fraction=0.25,
+            seed=31,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def workload_path(trace, tmp_path_factory):
+    path = tmp_path_factory.mktemp("slo") / "workload.jsonl"
+    trace.dump(path)
+    return path
+
+
+def _config(workload_path, run_dir, **kw) -> ServiceConfig:
+    return ServiceConfig(
+        workload=workload_path,
+        cache_size=CACHE,
+        run_dir=run_dir,
+        policy=POLICY,
+        checkpoint_every=25,
+        **kw,
+    )
+
+
+class TestSloConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="window_jobs"):
+            SloConfig(window_jobs=0)
+        with pytest.raises(ConfigError, match="byte_miss_target"):
+            SloConfig(byte_miss_target=0.0)
+        with pytest.raises(ConfigError, match="byte_miss_target"):
+            SloConfig(byte_miss_target=1.5)
+        with pytest.raises(ConfigError, match="latency_target_ms"):
+            SloConfig(latency_target_ms=0.0)
+
+    def test_defaults_are_sane(self):
+        config = SloConfig()
+        assert config.window_jobs == 50
+        assert 0.0 < config.byte_miss_target <= 1.0
+
+
+class TestSloMonitor:
+    def _monitor(self, **kw):
+        registry = MetricsRegistry()
+        defaults = dict(
+            window_jobs=5,
+            byte_miss_target=0.5,
+            latency_target_ms=10.0,
+            min_history=3,
+        )
+        defaults.update(kw)
+        return registry, SloMonitor(registry, SloConfig(**defaults))
+
+    def _feed_window(self, monitor, *, miss=0.2, latency_ms=1.0):
+        for _ in range(monitor.config.window_jobs):
+            monitor.observe(
+                requested_bytes=100,
+                demand_bytes=int(miss * 100),
+                latency_s=latency_ms / 1e3,
+            )
+
+    def test_window_rolls_only_when_full(self):
+        registry, monitor = self._monitor()
+        for _ in range(4):
+            monitor.observe(requested_bytes=10, demand_bytes=5, latency_s=0.001)
+        assert registry.get("service_slo_windows_total").value == 0
+        assert all(
+            s["windows"] == 0 for s in monitor.payload()["signals"].values()
+        )
+        monitor.observe(requested_bytes=10, demand_bytes=5, latency_s=0.001)
+        assert registry.get("service_slo_windows_total").value == 1
+        payload = monitor.payload()
+        assert set(payload["signals"]) == set(SLO_SIGNALS)
+        assert payload["signals"]["byte_miss"]["value"] == pytest.approx(0.5)
+        assert payload["signals"]["latency"]["value"] == pytest.approx(1.0)
+
+    def test_burn_rate_over_one_alerts(self):
+        _registry, monitor = self._monitor(latency_target_ms=2.0)
+        self._feed_window(monitor, miss=0.2, latency_ms=8.0)
+        latency = monitor.payload()["signals"]["latency"]
+        assert latency["burn_rate"] == pytest.approx(4.0)
+        assert latency["alert"] is True
+        byte_miss = monitor.payload()["signals"]["byte_miss"]
+        assert byte_miss["burn_rate"] == pytest.approx(0.4)
+        assert byte_miss["alert"] is False
+        assert monitor.alerting
+
+    def test_mad_anomaly_alerts_below_budget(self):
+        """A latency step change alerts even while under the target."""
+        _registry, monitor = self._monitor(latency_target_ms=1000.0)
+        for _ in range(6):
+            self._feed_window(monitor, latency_ms=1.0)
+        assert not monitor.alerting
+        self._feed_window(monitor, latency_ms=50.0)  # still ≪ 1000 ms
+        latency = monitor.payload()["signals"]["latency"]
+        assert latency["burn_rate"] < 1.0
+        assert latency["alert"] is True
+        assert latency["score"] > monitor.config.threshold
+
+    def test_alert_clears_when_signal_recovers(self):
+        _registry, monitor = self._monitor(latency_target_ms=2.0)
+        self._feed_window(monitor, latency_ms=8.0)
+        assert monitor.alerting
+        for _ in range(8):
+            self._feed_window(monitor, latency_ms=1.0)
+        assert not monitor.alerting
+
+    def test_prometheus_export_carries_all_signal_series(self):
+        registry, monitor = self._monitor(latency_target_ms=2.0)
+        self._feed_window(monitor, latency_ms=8.0)
+        text = registry.to_prometheus()
+        for signal in SLO_SIGNALS:
+            assert f'service_slo_burn_rate{{signal="{signal}"}}' in text
+            assert f'service_slo_alert{{signal="{signal}"}}' in text
+            assert f'service_slo_score{{signal="{signal}"}}' in text
+            assert f'service_slo_window_value{{signal="{signal}"}}' in text
+        assert 'service_slo_alerts_total{signal="latency"} 1' in text
+        assert "service_slo_windows_total 1" in text
+
+
+class TestSloAcceptance:
+    WINDOW = 10
+
+    def _drive(self, trace, workload_path, run_dir, **kw):
+        state = CoordinatorState.create(
+            _config(
+                workload_path,
+                run_dir,
+                slo=SloConfig(window_jobs=self.WINDOW, latency_target_ms=5.0),
+                **kw,
+            )
+        )
+        try:
+            for request in trace:
+                state.submit(
+                    sorted(request.bundle.files), priority=request.priority
+                )
+            return state.slo.payload()
+        finally:
+            state.close()
+
+    def test_latency_spike_flips_alert_within_one_window(
+        self, trace, workload_path, tmp_path
+    ):
+        """Acceptance: seeded spikes (10× on every load, ~9 ms per file)
+        push windowed mean latency past the 5 ms target in the very
+        first window — and never touch the decision trace."""
+        clean = self._drive(trace, workload_path, tmp_path / "clean")
+        assert clean["alerting"] is False
+        assert clean["signals"]["latency"]["alert"] is False
+
+        spiked = self._drive(
+            trace,
+            workload_path,
+            tmp_path / "spiked",
+            fault=FaultSpec(
+                seed=7, latency_spike_rate=1.0, latency_spike_factor=10.0
+            ),
+        )
+        latency = spiked["signals"]["latency"]
+        assert latency["alert"] is True
+        assert latency["burn_rate"] > 1.0
+        assert latency["windows"] == len(list(trace)) // self.WINDOW
+        # the spike costs time, not bytes: byte_miss agrees across runs
+        assert spiked["signals"]["byte_miss"]["value"] == pytest.approx(
+            clean["signals"]["byte_miss"]["value"]
+        )
+        assert (tmp_path / "spiked" / "trace.jsonl").read_bytes() == (
+            tmp_path / "clean" / "trace.jsonl"
+        ).read_bytes()
+
+    def test_healthz_exposes_slo_block(self, trace, workload_path, tmp_path):
+        state = CoordinatorState.create(
+            _config(
+                workload_path,
+                tmp_path / "r",
+                slo=SloConfig(window_jobs=2, latency_target_ms=5.0),
+            )
+        )
+        files = sorted(state.sizes)
+        with running_service(state) as svc:
+            conn = http.client.HTTPConnection("127.0.0.1", svc.port, timeout=10)
+            try:
+                for i in range(4):
+                    conn.request(
+                        "POST",
+                        "/v1/jobs",
+                        body=json.dumps({"files": files[i : i + 2]}),
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    assert response.status == 200
+                conn.request("GET", "/healthz")
+                health = json.loads(conn.getresponse().read())
+            finally:
+                conn.close()
+        slo = health["slo"]
+        assert slo["window_jobs"] == 2
+        assert set(slo["signals"]) == set(SLO_SIGNALS)
+        assert slo["signals"]["byte_miss"]["windows"] == 2
+
+
+class TestCliSlo:
+    def test_live_mode_reads_healthz(
+        self, trace, workload_path, tmp_path, capsys
+    ):
+        from repro.cli import _run_slo
+
+        state = CoordinatorState.create(
+            _config(
+                workload_path,
+                tmp_path / "r",
+                slo=SloConfig(window_jobs=2, latency_target_ms=5.0),
+            )
+        )
+        files = sorted(state.sizes)
+        with running_service(state) as svc:
+            conn = http.client.HTTPConnection("127.0.0.1", svc.port, timeout=10)
+            try:
+                for i in range(4):
+                    conn.request(
+                        "POST",
+                        "/v1/jobs",
+                        body=json.dumps({"files": files[i : i + 2]}),
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    assert response.status == 200
+            finally:
+                conn.close()
+            _run_slo(
+                argparse.Namespace(
+                    port=svc.port,
+                    host="127.0.0.1",
+                    trace=None,
+                    json=False,
+                )
+            )
+            text = capsys.readouterr().out
+            assert "slo:" in text
+            assert "byte_miss:" in text and "latency:" in text
+            _run_slo(
+                argparse.Namespace(
+                    port=svc.port, host="127.0.0.1", trace=None, json=True
+                )
+            )
+            doc = json.loads(capsys.readouterr().out)
+            assert set(doc["signals"]) == set(SLO_SIGNALS)
+
+    def test_requires_exactly_one_source(self):
+        from repro.cli import _run_slo
+
+        for port, trace_arg in ((None, None), (1234, "t.jsonl")):
+            with pytest.raises(ConfigError, match="exactly one"):
+                _run_slo(
+                    argparse.Namespace(
+                        port=port, host="127.0.0.1", trace=trace_arg, json=False
+                    )
+                )

@@ -374,8 +374,11 @@ class TestPrometheusConformance:
         assert lines.count("# TYPE lat_seconds histogram") == 1
         assert lines.count("# HELP lat_seconds latency") == 1
         # bucket/sum/count series share the family header — no extra
-        # TYPE/HELP lines for the suffixed series
-        assert not any("TYPE lat_seconds_" in line for line in lines)
+        # TYPE/HELP lines for the suffixed series.  The estimated-quantile
+        # companion is its own gauge family (one header of its own).
+        suffixed = [line for line in lines if "TYPE lat_seconds_" in line]
+        assert suffixed == ["# TYPE lat_seconds_quantile gauge"]
+        assert lines.count("# TYPE lat_seconds_quantile gauge") == 1
         assert text.endswith("\n")
 
     def test_exposition_parses_back(self):
@@ -390,22 +393,28 @@ class TestPrometheusConformance:
         for v in (0.1, 1.0, 9.0):
             h.observe(v)
         sample_re = re.compile(
-            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"      # metric name
-            r'(?:\{le="([^"]*)"\})?'            # optional le label
-            r" (-?[0-9.e+infINF]+)$"            # value
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"              # metric name
+            r'(?:\{(le|quantile)="([^"]*)"\})?'         # optional le/quantile
+            r" (-?[0-9.e+infINF]+)$"                    # value
         )
         buckets: list[tuple[float, float]] = []
+        quantiles: dict[float, float] = {}
         parsed = {}
         for line in reg.to_prometheus().splitlines():
             if line.startswith("#"):
                 continue
             match = sample_re.match(line)
             assert match, f"unparseable sample line: {line!r}"
-            name, le, value = match.groups()
-            if le is not None:
+            name, label, label_value, value = match.groups()
+            if label == "le":
                 buckets.append(
-                    (math.inf if le == "+Inf" else float(le), float(value))
+                    (
+                        math.inf if label_value == "+Inf" else float(label_value),
+                        float(value),
+                    )
                 )
+            elif label == "quantile":
+                quantiles[float(label_value)] = float(value)
             else:
                 parsed[name] = float(value)
         assert parsed["jobs_total"] == 3.0
@@ -415,6 +424,11 @@ class TestPrometheusConformance:
         assert buckets[-1][0] == math.inf and buckets[-1][1] == 3
         counts = [c for _le, c in buckets]
         assert counts == sorted(counts)  # cumulative
+        # the quantile companion gauges cover the exported quantiles and
+        # stay within the observed value range
+        assert set(quantiles) == {0.5, 0.95, 0.99}
+        for q_value in quantiles.values():
+            assert 0.1 <= q_value <= 9.0
 
 
 class TestProfiling:
