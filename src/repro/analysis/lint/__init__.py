@@ -13,6 +13,7 @@ from repro.analysis.lint.drift import (
     check_doc_references,
     check_drift,
     check_event_schema,
+    check_rule_docs,
     check_service_routes,
 )
 from repro.analysis.lint.framework import Finding, Rule, SourceModule
@@ -31,6 +32,7 @@ __all__ = [
     "check_doc_references",
     "check_drift",
     "check_event_schema",
+    "check_rule_docs",
     "check_service_routes",
     "collect_files",
     "format_json",

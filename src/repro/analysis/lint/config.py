@@ -22,24 +22,49 @@ from fnmatch import fnmatch
 
 from repro.errors import LintError
 
-__all__ = ["LintConfig", "DEFAULT_FOCUS", "DEFAULT_ALLOW", "ALL_RULE_IDS"]
+__all__ = [
+    "LintConfig",
+    "DEFAULT_FOCUS",
+    "DEFAULT_ALLOW",
+    "DEFAULT_EFFECT_ALLOW",
+    "ALL_RULE_IDS",
+]
 
-#: every rule id the linter knows, in report order (RPR900 is the
-#: meta-rule flagging suppressions that carry no justification text)
+#: every rule id the linter knows, in report order (RPR101–103 are the
+#: whole-program effect rules; RPR900 is the meta-rule flagging
+#: suppressions that carry no justification text)
 ALL_RULE_IDS: tuple[str, ...] = (
     "RPR001",
     "RPR002",
     "RPR003",
     "RPR004",
     "RPR005",
+    "RPR101",
+    "RPR102",
+    "RPR103",
     "RPR900",
 )
 
-#: rule id -> patterns a file must match for the rule to apply at all
+#: rule id -> patterns a file must match for the rule to apply at all.
+#: The interprocedural rules anchor on ``*/repro/...`` so that test
+#: fixtures living under ``tmp/cache/mod.py`` do not accidentally become
+#: declared-pure roots — whole-program contracts attach to the package,
+#: not to any directory that happens to share a name.
 DEFAULT_FOCUS: dict[str, tuple[str, ...]] = {
     # set/dict iteration order only becomes a determinism hazard where it
     # can tie-break an eviction or selection decision
     "RPR003": ("*/cache/*", "*/core/*", "*/sim/*"),
+    # declared-pure roots: the planning core, every cache policy, and the
+    # shared coordinator that drives all three execution modes
+    "RPR101": (
+        "*/repro/core/*",
+        "*/repro/cache/*",
+        "*/repro/sim/coordinator.py",
+    ),
+    # async-safety only concerns coroutine code in the online service
+    "RPR102": ("*/repro/service/*",),
+    # the commit-order protocol binds the durable execution paths
+    "RPR103": ("*/repro/durability/*", "*/repro/service/state.py"),
 }
 
 #: rule id -> patterns exempting a file from the rule
@@ -61,6 +86,28 @@ DEFAULT_ALLOW: dict[str, tuple[str, ...]] = {
     "RPR002": (
         "*/cache/registry.py",
         "*/utils/rng.py",
+    ),
+}
+
+#: rule id -> patterns exempting an *effect origin site* (the file where
+#: the effect is actually performed) rather than the flagged file.  This
+#: is the interprocedural twin of ``DEFAULT_ALLOW``: a pure root may
+#: reach a telemetry span (host timings feed metric histograms, never
+#: the event trace) without breaking its contract, and the service's
+#: async handlers intentionally perform their durable writes
+#: synchronously under the coordinator lock — the single-writer design
+#: PR 7 adopted — so blocking effects originating in the durability
+#: layer are sanctioned for RPR102.
+DEFAULT_EFFECT_ALLOW: dict[str, tuple[str, ...]] = {
+    "RPR101": (
+        "*/repro/telemetry/*",
+        "*/repro/cache/registry.py",
+        "*/repro/utils/rng.py",
+    ),
+    "RPR102": (
+        "*/repro/durability/*",
+        "*/repro/service/state.py",
+        "*/repro/telemetry/*",
     ),
 }
 
@@ -91,6 +138,9 @@ class LintConfig:
     )
     allow: dict[str, tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_ALLOW)
+    )
+    effect_allow: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_EFFECT_ALLOW)
     )
 
     def __post_init__(self) -> None:
@@ -128,4 +178,12 @@ class LintConfig:
             return False
         return not any(
             fnmatch(display_path, p) for p in self.allow.get(rule_id, ())
+        )
+
+    def origin_allowed(self, rule_id: str, origin_path: str) -> bool:
+        """Whether an effect *originating* at ``origin_path`` is sanctioned
+        for ``rule_id`` (interprocedural rules only)."""
+        return any(
+            fnmatch(origin_path, p)
+            for p in self.effect_allow.get(rule_id, ())
         )

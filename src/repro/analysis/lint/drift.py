@@ -15,6 +15,11 @@ artifacts that must stay in lock-step but live in different places.
 * ``repro.service.app.ROUTES`` vs. the README endpoint list: the
   coordinator's documented HTTP surface must match the route table in
   both directions.
+* ``ALL_RULE_IDS`` vs. the rule tables in README.md and EXPERIMENTS.md:
+  every rule the linter enforces must have a row in both documents, and
+  every documented ``| RPRxxx |`` row must name a rule that exists — a
+  new rule shipped without documentation (or a stale row after a rule
+  is retired) is drift.
 
 All comparisons accept injected mappings so tests can demonstrate that a
 removed event field is caught without mutating the live modules.
@@ -35,6 +40,7 @@ __all__ = [
     "check_event_schema",
     "check_doc_references",
     "check_checkpoint_schema",
+    "check_rule_docs",
     "check_service_routes",
 ]
 
@@ -359,11 +365,66 @@ def check_service_routes(
     return out
 
 
+#: a rule-table row: ``| RPR001 | ... |``
+_RULE_ROW_RE = re.compile(r"^\|\s*(RPR\d{3})\s*\|")
+
+
+def check_rule_docs(
+    root: Path | None = None,
+    rule_ids: "tuple[str, ...] | None" = None,
+) -> list[Finding]:
+    """The README/EXPERIMENTS rule tables vs. ``ALL_RULE_IDS``.
+
+    Both documents carry a table with one ``| RPRxxx | ... |`` row per
+    lint rule.  Every rule the linter enforces must be documented in
+    each file that has such a table, and every documented row must name
+    a rule that exists.  Docs absent on disk (installed wheel) skip the
+    check rather than fail it.
+    """
+    if rule_ids is None:
+        from repro.analysis.lint.config import ALL_RULE_IDS
+
+        rule_ids = ALL_RULE_IDS
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parents[2]
+
+    out: list[Finding] = []
+    rows: dict[str, dict[str, int]] = {}
+    for name, lineno, line in _doc_lines(root):
+        match = _RULE_ROW_RE.match(line)
+        if match:
+            rows.setdefault(name, {}).setdefault(match.group(1), lineno)
+
+    for name, documented in sorted(rows.items()):
+        for rule in sorted(set(documented) - set(rule_ids)):
+            out.append(
+                _finding(
+                    name,
+                    documented[rule],
+                    f"documented lint rule {rule!r} does not exist — the "
+                    "rule table has drifted from ALL_RULE_IDS",
+                )
+            )
+        for rule in sorted(set(rule_ids) - set(documented)):
+            out.append(
+                _finding(
+                    name,
+                    1,
+                    f"lint rule {rule!r} is enforced but has no row in "
+                    f"{name}'s rule table — document what it checks",
+                )
+            )
+    return out
+
+
 def check_drift(root: Path | None = None) -> list[Finding]:
     """All RPR005 checks against the live artifacts."""
     return (
         check_event_schema()
         + check_doc_references(root=root)
         + check_checkpoint_schema(root=root)
+        + check_rule_docs(root=root)
         + check_service_routes(root=root)
     )

@@ -1,0 +1,412 @@
+"""Effect inference over the project call graph.
+
+Every function node in a :class:`~repro.analysis.lint.callgraph
+.CallGraph` is labelled with the set of *effects* transitively reachable
+from it.  An effect is not just a tag: each one is an
+:class:`EffectOrigin` carrying the exact file, line, and call text where
+the effect is performed, so interprocedural findings can print a full
+witness call chain from the flagged root down to the offending call.
+
+Tracked effects:
+
+``wall_clock``
+    host-time reads (``time.time``/``perf_counter``/…, ``datetime.now``)
+    — the same table RPR001 uses, shared from :mod:`.rules`.
+``rng``
+    non-replayable randomness: OS-entropy generators, the hidden
+    module-level ``random`` / legacy ``numpy.random`` globals, and
+    *unseeded* generator construction.  A literal-seeded
+    ``default_rng(0)`` is deterministic and carries no effect (its
+    hygiene is RPR002's file-local concern).
+``filesystem``
+    ``open``/``os.fsync``/``os.replace``/… plus ``.write``/``.flush``
+    method calls on receivers statically typed as ``IO[...]``.
+``network``
+    synchronous socket / urllib / http.client APIs.  asyncio's own
+    networking (``open_connection``, ``start_server``) is event-loop
+    native and deliberately untracked.
+``process``
+    ``subprocess.*``, ``os.system``/``popen``/``exec*``/``spawn*``.
+``sleep``
+    ``time.sleep`` — the canonical event-loop blocker.
+``global_state``
+    a ``global`` declaration (module-state mutation from a function).
+
+The blocking subset relevant to async-safety (RPR102) is
+:data:`BLOCKING_EFFECTS`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+import ast
+
+from repro.analysis.lint.callgraph import CallGraph
+from repro.analysis.lint.rules import _CLOCK_CALLS
+
+__all__ = [
+    "EFFECT_MAP_VERSION",
+    "ALL_EFFECTS",
+    "BLOCKING_EFFECTS",
+    "EffectOrigin",
+    "EffectAnalysis",
+    "rng_effect",
+    "witness_chain",
+    "build_effect_map",
+]
+
+#: schema version of the ``--effects`` JSON document
+EFFECT_MAP_VERSION = 1
+
+ALL_EFFECTS: tuple[str, ...] = (
+    "wall_clock",
+    "rng",
+    "filesystem",
+    "network",
+    "process",
+    "sleep",
+    "global_state",
+)
+
+#: effects that block an event loop when performed from a coroutine
+BLOCKING_EFFECTS = frozenset({"filesystem", "network", "process", "sleep"})
+
+# ------------------------------------------------------------------ #
+# intrinsic tables (imported by callgraph extraction)
+
+CLOCK_CALLS = _CLOCK_CALLS
+
+SLEEP_CALLS = frozenset({"time.sleep"})
+
+FS_CALLS = frozenset(
+    {
+        "open",
+        "io.open",
+        "os.fsync",
+        "os.fdatasync",
+        "os.open",
+        "os.fdopen",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.makedirs",
+        "os.mkdir",
+        "os.rmdir",
+        "os.truncate",
+        "os.ftruncate",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.move",
+        "shutil.rmtree",
+        "tempfile.mkstemp",
+        "tempfile.mkdtemp",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryDirectory",
+    }
+)
+
+#: method tails that are filesystem I/O *only* on IO-typed receivers
+#: (callgraph checks the receiver annotation before consulting this)
+FS_METHODS = frozenset(
+    {"write", "writelines", "flush", "read", "readline", "readlines",
+     "seek", "truncate", "close"}
+)
+
+#: unambiguous pathlib-style method tails — filesystem on any receiver
+FS_PATH_METHODS = frozenset(
+    {"write_text", "write_bytes", "read_text", "read_bytes"}
+)
+
+NETWORK_CALLS = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "socket.create_server",
+        "socket.getaddrinfo",
+        "urllib.request.urlopen",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+    }
+)
+
+PROCESS_PREFIXES: tuple[str, ...] = (
+    "subprocess",
+    "os.system",
+    "os.popen",
+    "os.execv",
+    "os.execve",
+    "os.execvp",
+    "os.spawnl",
+    "os.spawnv",
+    "multiprocessing.Process",
+)
+
+#: module-level ``random.*`` functions driven by the hidden global RNG
+_RANDOM_GLOBAL_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+    }
+)
+
+#: legacy numpy global-state API (``numpy.random.rand`` et al.)
+_NP_LEGACY_FUNCS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "seed",
+    }
+)
+
+_ALWAYS_RNG = frozenset(
+    {
+        "random.SystemRandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+        "os.urandom",
+        "uuid.uuid4",
+    }
+)
+
+_SEEDABLE_CTORS = frozenset({"random.Random", "numpy.random.default_rng"})
+
+
+def rng_effect(qualified: str, node: ast.Call) -> str | None:
+    """``"rng"`` when the resolved call is a non-replayable RNG source."""
+    if qualified in _ALWAYS_RNG:
+        return "rng"
+    if qualified in _SEEDABLE_CTORS:
+        # unseeded construction draws OS entropy; any argument is
+        # treated as an explicit (replayable) seed
+        return "rng" if not node.args and not node.keywords else None
+    head, _, tail = qualified.rpartition(".")
+    if head == "random" and tail in _RANDOM_GLOBAL_FUNCS:
+        return "rng"
+    if head == "numpy.random" and tail in _NP_LEGACY_FUNCS:
+        return "rng"
+    return None
+
+
+# ------------------------------------------------------------------ #
+# inference
+
+
+@dataclass(frozen=True, order=True)
+class EffectOrigin:
+    """The concrete site where an effect is performed.
+
+    Ordering is lexicographic over the fields, giving deterministic
+    output everywhere origin sets are sorted.
+    """
+
+    effect: str
+    path: str
+    line: int
+    call: str
+    owner: str  #: function id whose body performs the effect
+
+
+class EffectAnalysis:
+    """Fixpoint propagation of effect origins over the call graph.
+
+    ``effects[fid]`` is the frozenset of every :class:`EffectOrigin`
+    reachable from function ``fid`` — its own intrinsic sites, those of
+    everything it calls (transitively, through virtual dispatch and edge
+    hints), and those of its nested functions (closures run in the
+    parent's dynamic extent for our purposes).
+    """
+
+    def __init__(self, graph: CallGraph):
+        self.graph = graph
+        self.effects: dict[str, frozenset[EffectOrigin]] = {}
+        self._edges: dict[str, tuple[str, ...]] = {}
+        self._run()
+
+    def _run(self) -> None:
+        graph = self.graph
+        sets: dict[str, set[EffectOrigin]] = {}
+        edges: dict[str, set[str]] = {}
+        for fid in graph.functions:
+            fn = graph.functions[fid]
+            sets[fid] = {
+                EffectOrigin(
+                    effect=eff, path=fn.path, line=line, call=call, owner=fid
+                )
+                for (eff, line, call) in fn.intrinsic
+            }
+            edges[fid] = {callee for (callee, _, _) in graph.edges.get(fid, ())}
+        # nested defs: fold the child into the parent
+        for fid, fn in graph.functions.items():
+            if fn.parent is not None and fn.parent in edges:
+                edges[fn.parent].add(fid)
+        self._edges = {fid: tuple(sorted(out)) for fid, out in edges.items()}
+
+        changed = True
+        while changed:
+            changed = False
+            for fid in sorted(sets):
+                acc = sets[fid]
+                before = len(acc)
+                for callee in edges[fid]:
+                    callee_set = sets.get(callee)
+                    if callee_set:
+                        acc |= callee_set
+                if len(acc) != before:
+                    changed = True
+        self.effects = {fid: frozenset(s) for fid, s in sets.items()}
+
+    # -------------------------------------------------------------- #
+
+    def effect_names(self, fid: str) -> tuple[str, ...]:
+        return tuple(sorted({o.effect for o in self.effects.get(fid, ())}))
+
+    def origins(
+        self, fid: str, effects: Iterable[str] | None = None
+    ) -> tuple[EffectOrigin, ...]:
+        wanted = None if effects is None else set(effects)
+        return tuple(
+            sorted(
+                o
+                for o in self.effects.get(fid, ())
+                if wanted is None or o.effect in wanted
+            )
+        )
+
+    def successors(self, fid: str) -> tuple[str, ...]:
+        """Outgoing edges including the nested-def fold (deterministic)."""
+        return self._edges.get(fid, ())
+
+
+def witness_chain(
+    graph: CallGraph, analysis: EffectAnalysis, root: str, origin: EffectOrigin
+) -> tuple[str, ...]:
+    """Shortest call chain from ``root`` to the origin's owning function.
+
+    Returns human-readable hop strings; the last entry is always the
+    effect site itself.  BFS over deterministically-sorted successors, so
+    the same tree yields the same witness in every run and process count.
+    """
+    target = origin.owner
+    parent: dict[str, str | None] = {root: None}
+    if root != target:
+        queue: deque[str] = deque([root])
+        while queue:
+            fid = queue.popleft()
+            if fid == target:
+                break
+            for succ in analysis.successors(fid):
+                if succ not in parent:
+                    parent[succ] = fid
+                    queue.append(succ)
+    chain: list[str] = []
+    if target in parent:
+        # reconstruct root → target
+        path: list[str] = []
+        cursor: str | None = target
+        while cursor is not None:
+            path.append(cursor)
+            cursor = parent[cursor]
+        path.reverse()
+        for caller, callee in zip(path, path[1:]):
+            line, call = _edge_site(graph, caller, callee)
+            loc = graph.functions[caller].path
+            chain.append(f"{caller} ({loc}:{line}) calls {call}")
+    site = f"{origin.owner} performs {origin.call} "
+    site += f"[{origin.effect}] at {origin.path}:{origin.line}"
+    chain.append(site)
+    return tuple(chain)
+
+
+def _edge_site(graph: CallGraph, caller: str, callee: str) -> tuple[int, str]:
+    """Earliest call site realising the ``caller → callee`` edge."""
+    best: tuple[int, str] | None = None
+    for target, line, call in graph.edges.get(caller, ()):
+        if target == callee and (best is None or line < best[0]):
+            best = (line, call)
+    if best is not None:
+        return best
+    # nested-def fold: the child has no explicit call site
+    child = graph.functions.get(callee)
+    if child is not None and child.parent == caller:
+        return (child.line, f"<nested def {child.qualname.rsplit('.', 1)[-1]}>")
+    return (graph.functions[caller].line, f"<edge to {callee}>")
+
+
+# ------------------------------------------------------------------ #
+# effect map
+
+
+def build_effect_map(
+    graph: CallGraph, analysis: EffectAnalysis
+) -> dict[str, object]:
+    """The versioned ``--effects`` JSON document (deterministic)."""
+    functions: dict[str, dict[str, object]] = {}
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        names = analysis.effect_names(fid)
+        entry: dict[str, object] = {
+            "path": fn.path,
+            "line": fn.line,
+            "async": fn.is_async,
+            "effects": list(names),
+        }
+        if names:
+            entry["origins"] = [
+                {
+                    "effect": o.effect,
+                    "path": o.path,
+                    "line": o.line,
+                    "call": o.call,
+                    "owner": o.owner,
+                }
+                for o in analysis.origins(fid)
+            ]
+        functions[fid] = entry
+    unresolved = [
+        u.as_dict()
+        for u in sorted(
+            graph.unresolved, key=lambda u: (u.path, u.line, u.call)
+        )
+    ]
+    return {
+        "version": EFFECT_MAP_VERSION,
+        "functions": functions,
+        "unresolved": unresolved,
+    }

@@ -50,7 +50,15 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    Interprocedural findings (RPR101+) additionally carry a ``witness``
+    call chain — hop-by-hop strings from the flagged function down to
+    the offending effect site — so a report is actionable without
+    re-running the analysis.  File-local findings leave it empty, and an
+    empty witness is omitted from :meth:`as_dict` to keep the JSON
+    report shape of version 1 unchanged for them.
+    """
 
     rule: str  #: rule id, e.g. ``"RPR003"``
     severity: str  #: ``"error"`` or ``"warning"``
@@ -58,12 +66,13 @@ class Finding:
     line: int  #: 1-based line number
     col: int  #: 0-based column offset
     message: str
+    witness: tuple[str, ...] = ()  #: call chain for interprocedural rules
 
     def sort_key(self) -> tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.rule)
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "rule": self.rule,
             "severity": self.severity,
             "path": self.path,
@@ -71,12 +80,19 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+        if self.witness:
+            out["witness"] = list(self.witness)
+        return out
 
     def render(self) -> str:
-        return (
+        head = (
             f"{self.path}:{self.line}:{self.col + 1}: "
             f"{self.rule} [{self.severity}] {self.message}"
         )
+        if not self.witness:
+            return head
+        hops = "\n".join(f"      {hop}" for hop in self.witness)
+        return f"{head}\n    witness:\n{hops}"
 
 
 @dataclass(frozen=True)

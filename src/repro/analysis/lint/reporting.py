@@ -10,6 +10,11 @@ so downstream tooling may parse it::
       "findings": [{"rule": ..., "severity": ..., "path": ...,
                     "line": ..., "col": ..., "message": ...}, ...]
     }
+
+Interprocedural findings (RPR101–103) additionally carry a ``witness``
+key — the call chain from the flagged function to the effect site — in
+JSON, and indented ``witness:`` continuation lines in text.  File-local
+findings keep the exact version-1 key set.
 """
 
 from __future__ import annotations

@@ -4,8 +4,18 @@
 tests.  It accepts files and directories (directories are walked
 recursively for ``*.py``, skipping ``__pycache__`` and hidden dirs),
 runs every enabled AST rule on every file, applies inline suppressions,
-appends the repo-level RPR005 drift findings, and returns a
+runs the whole-program effect rules (RPR101–103) over the project call
+graph, appends the repo-level RPR005 drift findings, and returns a
 deterministically sorted finding list.
+
+The per-file stage is embarrassingly parallel: ``jobs > 1`` fans file
+parsing and AST-rule checking out to a process pool.  Each worker
+returns a picklable :class:`FileLintResult` — surviving findings, the
+file's call-graph :class:`~repro.analysis.lint.callgraph.ModuleSummary`,
+and a precomputed *suppression coverage* map — so the parent can link
+the call graph and apply suppressions to interprocedural findings
+without re-reading any source.  Files are dispatched and merged in
+sorted path order, making parallel output byte-identical to serial.
 
 Operator errors — a path that does not exist, source that is not UTF-8
 or does not parse — raise :class:`~repro.errors.LintError` (the CLI turns
@@ -15,18 +25,27 @@ as data, never raised.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import concurrent.futures
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.lint.callgraph import CallGraph, ModuleSummary, extract_module
 from repro.analysis.lint.config import LintConfig
 from repro.analysis.lint.drift import RULE_ID as DRIFT_RULE_ID
 from repro.analysis.lint.drift import check_drift
-from repro.analysis.lint.framework import Finding, Rule, SourceModule
+from repro.analysis.lint.effects import EffectAnalysis, build_effect_map
+from repro.analysis.lint.framework import (
+    Finding,
+    Rule,
+    SourceModule,
+    Suppression,
+)
+from repro.analysis.lint.iprules import IP_RULES, InterproceduralRule
 from repro.analysis.lint.rules import AST_RULES
 from repro.errors import LintError
 
-__all__ = ["LintResult", "collect_files", "lint_paths"]
+__all__ = ["LintResult", "FileLintResult", "collect_files", "lint_paths"]
 
 #: id of the meta-rule enforcing justified suppressions
 SUPPRESSION_RULE_ID = "RPR900"
@@ -39,10 +58,26 @@ class LintResult:
     findings: tuple[Finding, ...]
     files_checked: int
     suppressed: int  #: findings silenced by inline ``# repro: allow[...]``
+    effect_map: dict[str, object] | None = None  #: ``--effects`` document
 
     @property
     def ok(self) -> bool:
         return not self.findings
+
+
+@dataclass
+class FileLintResult:
+    """Everything one worker produces for one file (picklable)."""
+
+    display_path: str
+    findings: tuple[Finding, ...]  #: post-suppression AST-rule findings
+    suppressed: int
+    #: line → suppressions covering that line (own line plus the first
+    #: code line below a comment-block suppression) — lets the parent
+    #: apply ``# repro: allow[...]`` to interprocedural findings without
+    #: holding the source text
+    coverage: dict[int, tuple[Suppression, ...]] = field(default_factory=dict)
+    summary: ModuleSummary | None = None
 
 
 def collect_files(paths: Sequence[str | Path]) -> list[Path]:
@@ -96,37 +131,131 @@ def _suppression_findings(module: SourceModule) -> Iterable[Finding]:
             )
 
 
+def _suppression_coverage(
+    module: SourceModule,
+) -> dict[int, tuple[Suppression, ...]]:
+    """Lines each suppression covers, mirroring ``SourceModule.suppressed``.
+
+    A suppression covers its own line; when it sits on a comment-only
+    line, it also covers the first code line below the contiguous
+    comment block (multi-line justifications included).
+    """
+    coverage: dict[int, list[Suppression]] = {}
+    total_lines = len(module.text.splitlines())
+    for supp in module.suppressions.values():
+        coverage.setdefault(supp.line, []).append(supp)
+        if module._is_comment_line(supp.line):
+            below = supp.line + 1
+            while module._is_comment_line(below):
+                below += 1
+            if below <= total_lines:
+                coverage.setdefault(below, []).append(supp)
+    return {line: tuple(supps) for line, supps in coverage.items()}
+
+
+def _covered(result: FileLintResult, finding: Finding) -> bool:
+    return any(
+        finding.rule in supp.rules
+        for supp in result.coverage.get(finding.line, ())
+    )
+
+
+def _lint_one_file(
+    args: tuple[str, LintConfig, tuple[Rule, ...], bool],
+) -> FileLintResult:
+    """Worker: parse one file, run AST rules, pre-apply suppressions.
+
+    Takes a single argument tuple so ``ProcessPoolExecutor.map`` can
+    dispatch it directly; everything in and out is picklable.
+    """
+    path_str, config, active_rules, need_summary = args
+    path = Path(path_str)
+    module = SourceModule.load(path, path.as_posix())
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in active_rules:
+        if not config.rule_applies(rule.id, module.display_path):
+            continue
+        for finding in rule.check(module, config):
+            if module.suppressed(finding) is not None:
+                suppressed += 1
+            else:
+                findings.append(finding)
+    if config.rule_enabled(SUPPRESSION_RULE_ID):
+        findings.extend(_suppression_findings(module))
+    return FileLintResult(
+        display_path=module.display_path,
+        findings=tuple(findings),
+        suppressed=suppressed,
+        coverage=_suppression_coverage(module),
+        summary=extract_module(module) if need_summary else None,
+    )
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     config: LintConfig | None = None,
     *,
     rules: Sequence[Rule] | None = None,
+    ip_rules: Sequence[InterproceduralRule] | None = None,
     drift_root: Path | None = None,
+    jobs: int = 1,
+    collect_effects: bool = False,
 ) -> LintResult:
     """Lint files/directories and return every surviving finding.
 
-    ``rules`` overrides the shipped AST rule set (tests use this);
-    ``drift_root`` pins the repository root the RPR005 doc checks read.
+    ``rules`` / ``ip_rules`` override the shipped rule sets (tests use
+    this); ``drift_root`` pins the repository root the RPR005 doc checks
+    read; ``jobs > 1`` parallelises the per-file stage with output
+    identical to serial; ``collect_effects`` attaches the versioned
+    effect map to the result even when no rule fires.
     """
     if config is None:
         config = LintConfig()
+    if jobs < 1:
+        raise LintError(f"--jobs must be >= 1, got {jobs}")
     active_rules = AST_RULES if rules is None else tuple(rules)
+    active_ip_rules = IP_RULES if ip_rules is None else tuple(ip_rules)
+
+    files = collect_files(paths)
+    want_graph = collect_effects or any(
+        config.rule_enabled(rule.id) for rule in active_ip_rules
+    )
+    work = [
+        (path.as_posix(), config, active_rules, want_graph) for path in files
+    ]
+    if jobs == 1 or len(files) <= 1:
+        per_file = [_lint_one_file(item) for item in work]
+    else:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(files))
+        ) as pool:
+            # map() preserves input order → deterministic merge
+            per_file = list(pool.map(_lint_one_file, work, chunksize=4))
 
     findings: list[Finding] = []
     suppressed = 0
-    files = collect_files(paths)
-    for path in files:
-        module = SourceModule.load(path, path.as_posix())
-        for rule in active_rules:
-            if not config.rule_applies(rule.id, module.display_path):
+    for result in per_file:
+        findings.extend(result.findings)
+        suppressed += result.suppressed
+
+    effect_map: dict[str, object] | None = None
+    if want_graph and per_file:
+        summaries = [r.summary for r in per_file if r.summary is not None]
+        graph = CallGraph(summaries)
+        analysis = EffectAnalysis(graph)
+        by_path = {r.display_path: r for r in per_file}
+        for rule in active_ip_rules:
+            if not config.rule_enabled(rule.id):
                 continue
-            for finding in rule.check(module, config):
-                if module.suppressed(finding) is not None:
+            for finding in rule.check(graph, analysis, config):
+                holder = by_path.get(finding.path)
+                if holder is not None and _covered(holder, finding):
                     suppressed += 1
                 else:
                     findings.append(finding)
-        if config.rule_enabled(SUPPRESSION_RULE_ID):
-            findings.extend(_suppression_findings(module))
+        if collect_effects:
+            effect_map = build_effect_map(graph, analysis)
 
     if config.rule_enabled(DRIFT_RULE_ID) and files:
         findings.extend(check_drift(root=drift_root))
@@ -136,4 +265,5 @@ def lint_paths(
         findings=tuple(findings),
         files_checked=len(files),
         suppressed=suppressed,
+        effect_map=effect_map,
     )

@@ -365,6 +365,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULE",
         help="repeatable; skip these rule ids",
     )
+    p_lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallelise per-file checking over N processes "
+        "(output is identical to serial)",
+    )
+    p_lint.add_argument(
+        "--effects",
+        default=None,
+        metavar="PATH",
+        help="write the whole-program effect map (versioned JSON: "
+        "per-function effect sets + unresolved dynamic calls) to PATH",
+    )
 
     p_cmp = sub.add_parser(
         "compare", help="paired statistical comparison of two policies"
@@ -1286,15 +1301,31 @@ def main(argv: Sequence[str] | None = None) -> int:
                 format_text,
                 lint_paths,
             )
+            from repro.errors import LintError
 
             paths = args.paths or [Path(repro.__file__).parent]
             result = lint_paths(
-                paths, LintConfig.from_cli(args.select, args.ignore)
+                paths,
+                LintConfig.from_cli(args.select, args.ignore),
+                jobs=args.jobs,
+                collect_effects=args.effects is not None,
             )
             formatter = format_json if args.fmt == "json" else format_text
             print(
                 formatter(result.findings, files_checked=result.files_checked)
             )
+            if args.effects is not None:
+                import json as _json
+
+                effects_out = Path(args.effects)
+                try:
+                    effects_out.write_text(
+                        _json.dumps(result.effect_map, indent=2) + "\n"
+                    )
+                except OSError as exc:
+                    raise LintError(
+                        f"cannot write effect map {args.effects!r}: {exc}"
+                    ) from exc
             if not result.ok:
                 return 1
         elif args.command == "compare":

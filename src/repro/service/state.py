@@ -732,6 +732,6 @@ class CoordinatorState:
     def __enter__(self) -> "CoordinatorState":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
         return None

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import dataclass, fields
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.errors import TraceTruncatedWarning, TraceValidationError
@@ -342,7 +343,7 @@ def warn_torn_tail(path: Any, lineno: int, byte_offset: int, reason: str) -> Non
     )
 
 
-def validate_trace_file(path) -> int:
+def validate_trace_file(path: str | Path) -> int:
     """Validate every line of a JSONL trace; return the event count.
 
     Also checks that ``seq`` is a contiguous 0-based sequence, which any

@@ -12,6 +12,7 @@ from __future__ import annotations
 import functools
 from typing import Callable, TypeVar
 
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.recorder import current_recorder
 
 __all__ = ["span", "timed", "span_profile"]
@@ -45,14 +46,14 @@ def timed(name: str) -> Callable[[_F], _F]:
     return decorate
 
 
-def span_profile(registry) -> list[dict]:
+def span_profile(registry: MetricsRegistry) -> list[dict[str, object]]:
     """Tabulate the ``span_*_seconds`` histograms of a registry.
 
     Returns one row per span: name, call count, mean/max seconds plus
     the bucket-estimated p50/p95/p99 — the summary ``repro-fbc trace``
     prints and ``GET /v1/debug/profile`` serves.
     """
-    rows: list[dict] = []
+    rows: list[dict[str, object]] = []
     for name in registry.names():
         if not (name.startswith("span_") and name.endswith("_seconds")):
             continue

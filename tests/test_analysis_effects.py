@@ -1,0 +1,766 @@
+"""Tests for the whole-program effect analysis (call graph, effect
+inference, RPR101–103) and the parallel lint runner.
+
+Fixture trees are written under ``tmp_path/repro/...`` because the
+interprocedural rules anchor their focus patterns on the package
+directory — a fixture outside a ``repro`` tree is deliberately out of
+scope for them (that anchoring is itself asserted below).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import LintConfig, format_json, format_text, lint_paths
+from repro.analysis.lint.callgraph import (
+    CallGraph,
+    extract_module,
+    module_name_for,
+)
+from repro.analysis.lint.effects import (
+    EFFECT_MAP_VERSION,
+    EffectAnalysis,
+    build_effect_map,
+)
+from repro.analysis.lint.framework import SourceModule
+from repro.analysis.lint.iprules import CommitProtocol, CommitOrderRule
+from repro.cli import main
+from repro.errors import LintError
+
+NO_DRIFT = LintConfig(ignore=frozenset({"RPR005"}))
+
+
+def write_tree(tmp_path, files):
+    """Write ``{relpath: source}`` fixtures; returns the tree root."""
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def build_graph(tmp_path, files, **kwargs):
+    root = write_tree(tmp_path, files)
+    summaries = [
+        extract_module(SourceModule.load(p))
+        for p in sorted(root.rglob("*.py"))
+    ]
+    graph = CallGraph(summaries, **kwargs)
+    return graph, EffectAnalysis(graph)
+
+
+def rule_ids(result):
+    return [f.rule for f in result.findings]
+
+
+# --------------------------------------------------------------------- #
+# call-graph construction
+
+
+class TestModuleNames:
+    def test_repro_anchored(self):
+        assert (
+            module_name_for("src/repro/cache/lru.py") == "repro.cache.lru"
+        )
+        assert (
+            module_name_for("/abs/tmp/repro/core/x.py") == "repro.core.x"
+        )
+
+    def test_init_drops_segment(self):
+        assert module_name_for("src/repro/cache/__init__.py") == "repro.cache"
+
+    def test_non_package_path_keeps_relative_shape(self):
+        assert module_name_for("scripts/tool.py") == "scripts.tool"
+
+
+class TestCallGraphEdges:
+    def test_direct_call_chain(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                def leaf():
+                    return time.time()
+                def root():
+                    return leaf()
+                """,
+            },
+        )
+        assert analysis.effect_names("repro.core.a.root") == ("wall_clock",)
+
+    def test_cross_module_call(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/util.py": """\
+                import time
+                def now():
+                    return time.time()
+                """,
+                "repro/core/plan.py": """\
+                from repro.core.util import now
+                def plan():
+                    return now()
+                """,
+            },
+        )
+        assert analysis.effect_names("repro.core.plan.plan") == ("wall_clock",)
+
+    def test_decorated_function_gets_decorator_edge(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                def stamp(fn):
+                    time.time()
+                    return fn
+                @stamp
+                def decorated():
+                    return 1
+                """,
+            },
+        )
+        assert "wall_clock" in analysis.effect_names("repro.core.a.decorated")
+
+    def test_closure_effects_fold_into_parent(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                def outer():
+                    def inner():
+                        return time.time()
+                    return inner
+                """,
+            },
+        )
+        assert "wall_clock" in analysis.effect_names("repro.core.a.outer")
+
+    def test_lambda_body_walked_inline(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                def holder():
+                    f = lambda: time.time()
+                    return f
+                """,
+            },
+        )
+        assert "wall_clock" in analysis.effect_names("repro.core.a.holder")
+
+    def test_functools_partial_charges_target(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import functools
+                import time
+                def slow(x):
+                    time.sleep(x)
+                def build():
+                    return functools.partial(slow, 3)
+                """,
+            },
+        )
+        assert "sleep" in analysis.effect_names("repro.core.a.build")
+
+    def test_method_call_via_annotated_receiver(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                class Clock:
+                    def read(self):
+                        return time.time()
+                def use(c: Clock):
+                    return c.read()
+                """,
+            },
+        )
+        assert analysis.effect_names("repro.core.a.use") == ("wall_clock",)
+
+    def test_virtual_dispatch_reaches_subclass_override(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/cache/base.py": """\
+                class Policy:
+                    def on_request(self, job):
+                        return None
+                """,
+                "repro/cache/noisy.py": """\
+                import random
+                from repro.cache.base import Policy
+                class NoisyPolicy(Policy):
+                    def on_request(self, job):
+                        return random.random()
+                """,
+                "repro/sim/drive.py": """\
+                from repro.cache.base import Policy
+                def drive(policy: Policy, job):
+                    return policy.on_request(job)
+                """,
+            },
+        )
+        # the base-typed call site must also reach the override's effect
+        assert "rng" in analysis.effect_names("repro.sim.drive.drive")
+
+    def test_edge_hints_wire_registry_dispatch(self, tmp_path):
+        files = {
+            "repro/cache/impl.py": """\
+            import random
+            class Impl:
+                def __init__(self):
+                    self.r = random.random()
+            """,
+            "repro/cache/registry.py": """\
+            REGISTRY = {}
+            def make(name):
+                cls = REGISTRY[name]
+                return cls()
+            """,
+        }
+        hints = {"repro.cache.registry.make": ("repro.cache.*.__init__",)}
+        graph, analysis = build_graph(tmp_path, files, edge_hints=hints)
+        assert "rng" in analysis.effect_names("repro.cache.registry.make")
+        # without hints the dynamic cls() cannot be followed
+        graph2, analysis2 = build_graph(
+            tmp_path / "second", files, edge_hints={}
+        )
+        assert analysis2.effect_names("repro.cache.registry.make") == ()
+
+    def test_dynamic_calls_degrade_to_warning_never_crash(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                HANDLERS = {}
+                def run(name, fn):
+                    HANDLERS[name]()
+                    getattr(fn, "go")()
+                    fn()
+                """,
+            },
+        )
+        reasons = {u.reason for u in graph.unresolved}
+        assert len(graph.unresolved) >= 3
+        assert "dynamic callee expression" in reasons
+        assert "call through a function-valued local" in reasons
+
+    def test_executor_hop_cuts_the_edge(self, tmp_path):
+        graph, analysis = build_graph(
+            tmp_path,
+            {
+                "repro/service/bg.py": """\
+                import asyncio
+                import time
+                def blocking():
+                    time.sleep(5)
+                async def handler():
+                    await asyncio.to_thread(blocking)
+                """,
+            },
+        )
+        assert (
+            analysis.effect_names("repro.service.bg.handler") == ()
+        )
+
+
+# --------------------------------------------------------------------- #
+# the interprocedural rules, end to end through lint_paths
+
+
+class TestPurityContracts:
+    def test_seeded_violation_has_witness_chain(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/planner.py": """\
+                import time
+                def _now():
+                    return time.time()
+                def plan(jobs):
+                    return [_now() for _ in jobs]
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        purity = [f for f in result.findings if f.rule == "RPR101"]
+        assert purity, rule_ids(result)
+        flagged = next(f for f in purity if "'plan'" in f.message)
+        assert "wall_clock" in flagged.message
+        # the witness walks root → helper → effect site
+        assert len(flagged.witness) == 2
+        assert "calls _now" in flagged.witness[0]
+        assert "time.time()" in flagged.witness[1]
+
+    def test_clean_pure_tree(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/planner.py": """\
+                def plan(jobs):
+                    return sorted(jobs)
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert rule_ids(result) == []
+
+    def test_fixture_outside_repro_tree_not_a_pure_root(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "cache/mod.py": """\
+                import random
+                def helper():
+                    return random.random()
+                def root():
+                    return helper()
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        # RPR002 still fires file-locally; RPR101 must not adopt the dir
+        assert "RPR101" not in rule_ids(result)
+
+    def test_allowlisted_origin_is_sanctioned(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/telemetry/probe.py": """\
+                import time
+                def span_time():
+                    return time.perf_counter()
+                """,
+                "repro/core/planner.py": """\
+                from repro.telemetry.probe import span_time
+                def plan(jobs):
+                    span_time()
+                    return jobs
+                """,
+            },
+        )
+        config = LintConfig(
+            ignore=frozenset({"RPR005", "RPR001"}),
+            allow={"RPR001": ("*",)},
+        )
+        result = lint_paths([tmp_path], config)
+        assert "RPR101" not in rule_ids(result)
+
+    def test_rng_reachable_from_policy_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/cache/policy_x.py": """\
+                import random
+                class TiePolicy:
+                    def score(self, item):
+                        return random.random()
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert "RPR101" in rule_ids(result)
+
+
+class TestAsyncSafety:
+    def test_blocking_sleep_in_async_handler(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/service/handlers.py": """\
+                import time
+                def _work():
+                    time.sleep(1)
+                async def handle(req):
+                    _work()
+                    return req
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        async_findings = [f for f in result.findings if f.rule == "RPR102"]
+        assert len(async_findings) == 1
+        finding = async_findings[0]
+        assert "'handle'" in finding.message
+        assert "sleep" in finding.message
+        assert any("time.sleep()" in hop for hop in finding.witness)
+
+    def test_sync_function_in_service_not_flagged(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/service/sync.py": """\
+                import time
+                def blocking_is_fine_here():
+                    time.sleep(1)
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert "RPR102" not in rule_ids(result)
+
+    def test_executor_hop_is_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/service/bg.py": """\
+                import asyncio
+                import time
+                def blocking():
+                    time.sleep(5)
+                async def handler():
+                    await asyncio.to_thread(blocking)
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert "RPR102" not in rule_ids(result)
+
+
+COMMIT_FIXTURE_OK = """\
+def write_checkpoint(frame):
+    pass
+def run(core, journal, frames):
+    for frame in frames:
+        core.submit(frame)
+        journal.append(frame)
+        write_checkpoint(frame)
+"""
+
+COMMIT_FIXTURE_REORDERED = """\
+def write_checkpoint(frame):
+    pass
+def run(core, journal, frame):
+    core.submit(frame)
+    write_checkpoint(frame)
+    journal.append(frame)
+"""
+
+
+class TestCommitOrder:
+    def test_reordered_commit_flagged_with_witness(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"repro/durability/writer.py": COMMIT_FIXTURE_REORDERED},
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        order = [f for f in result.findings if f.rule == "RPR103"]
+        assert len(order) == 1
+        finding = order[0]
+        assert "journal-frame" in finding.message
+        assert "checkpoint" in finding.message
+        assert finding.line == 6  # anchored at the out-of-order call
+        assert any("out of order" in hop for hop in finding.witness)
+
+    def test_protocol_order_clean(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {"repro/durability/writer.py": COMMIT_FIXTURE_OK},
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert "RPR103" not in rule_ids(result)
+
+    def test_loop_body_is_its_own_region(self, tmp_path):
+        # checkpoint at the end of one iteration precedes the next
+        # iteration's trace op in line order — legal, the protocol
+        # restarts per iteration, and a post-loop flush is equally fine
+        write_tree(
+            tmp_path,
+            {
+                "repro/durability/writer.py": """\
+                def write_checkpoint(frame):
+                    pass
+                def run(core, journal, frames, sink):
+                    sink.prepare()
+                    for frame in frames:
+                        core.submit(frame)
+                        journal.append(frame)
+                        write_checkpoint(frame)
+                    sink.flush()
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert "RPR103" not in rule_ids(result)
+
+    def test_transitive_stage_through_helper(self, tmp_path):
+        # the checkpoint happens inside a helper; calling the helper
+        # before the journal append is still a protocol violation
+        write_tree(
+            tmp_path,
+            {
+                "repro/durability/writer.py": """\
+                def write_checkpoint(frame):
+                    pass
+                def _finish(frame):
+                    write_checkpoint(frame)
+                def run(core, journal, frame):
+                    core.submit(frame)
+                    _finish(frame)
+                    journal.append(frame)
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT)
+        order = [f for f in result.findings if f.rule == "RPR103"]
+        assert len(order) == 1
+        assert "transitively reaches" not in order[0].message or True
+        assert "journal-frame" in order[0].message
+
+    def test_injectable_protocol(self, tmp_path):
+        protocol = CommitProtocol(
+            stages=(
+                ("alpha", ("*do_alpha",)),
+                ("beta", ("*do_beta",)),
+            )
+        )
+        write_tree(
+            tmp_path,
+            {
+                "repro/durability/custom.py": """\
+                def go(x):
+                    x.do_beta()
+                    x.do_alpha()
+                """,
+            },
+        )
+        result = lint_paths(
+            [tmp_path],
+            NO_DRIFT,
+            ip_rules=(CommitOrderRule(protocol),),
+        )
+        order = [f for f in result.findings if f.rule == "RPR103"]
+        assert len(order) == 1
+        assert "'alpha'" in order[0].message
+
+
+# --------------------------------------------------------------------- #
+# suppressions and RPR900 interplay
+
+
+class TestSuppressionInterplay:
+    def test_justified_suppression_silences_rpr101(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                # repro: allow[RPR101, RPR001] documented tie-break clock
+                def stamp():
+                    return time.time()
+                """,
+            },
+        )
+        config = LintConfig(ignore=frozenset({"RPR005", "RPR001"}))
+        result = lint_paths([tmp_path], config)
+        assert "RPR101" not in rule_ids(result)
+        assert result.suppressed >= 1
+
+    def test_bare_suppression_of_new_rule_is_rpr900(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/a.py": """\
+                import time
+                # repro: allow[RPR101, RPR001]
+                def stamp():
+                    return time.time()
+                """,
+            },
+        )
+        config = LintConfig(ignore=frozenset({"RPR005", "RPR001"}))
+        result = lint_paths([tmp_path], config)
+        assert rule_ids(result) == ["RPR900"]
+
+    def test_unknown_rule_id_still_rejected(self):
+        with pytest.raises(LintError):
+            LintConfig(select=frozenset({"RPR101", "RPR999"}))
+
+
+# --------------------------------------------------------------------- #
+# parallel runner
+
+
+PARALLEL_TREE = {
+    "repro/core/planner.py": """\
+    import time
+    def plan(jobs):
+        return time.time()
+    """,
+    "repro/service/handlers.py": """\
+    import time
+    async def handle(req):
+        time.sleep(1)
+    """,
+    "repro/durability/writer.py": COMMIT_FIXTURE_REORDERED,
+    "repro/cache/clean.py": """\
+    def untouched(x):
+        return x
+    """,
+}
+
+
+class TestParallelRunner:
+    def test_parallel_output_identical_to_serial(self, tmp_path):
+        write_tree(tmp_path, PARALLEL_TREE)
+        serial = lint_paths([tmp_path], NO_DRIFT, jobs=1)
+        parallel = lint_paths([tmp_path], NO_DRIFT, jobs=3)
+        assert serial.findings == parallel.findings
+        assert serial.suppressed == parallel.suppressed
+        assert serial.files_checked == parallel.files_checked
+        assert format_text(
+            serial.findings, files_checked=serial.files_checked
+        ) == format_text(
+            parallel.findings, files_checked=parallel.files_checked
+        )
+
+    def test_invalid_jobs_rejected(self, tmp_path):
+        write_tree(tmp_path, {"repro/core/a.py": "x = 1\n"})
+        with pytest.raises(LintError):
+            lint_paths([tmp_path], NO_DRIFT, jobs=0)
+
+
+# --------------------------------------------------------------------- #
+# the effect map and reporting
+
+
+class TestEffectMap:
+    def test_versioned_shape(self, tmp_path):
+        write_tree(tmp_path, PARALLEL_TREE)
+        result = lint_paths([tmp_path], NO_DRIFT, collect_effects=True)
+        doc = result.effect_map
+        assert doc is not None
+        assert doc["version"] == EFFECT_MAP_VERSION
+        plan = doc["functions"]["repro.core.planner.plan"]
+        assert plan["effects"] == ["wall_clock"]
+        assert plan["origins"][0]["call"] == "time.time()"
+        handle = doc["functions"]["repro.service.handlers.handle"]
+        assert handle["async"] is True
+        assert "sleep" in handle["effects"]
+
+    def test_map_json_serialisable_and_deterministic(self, tmp_path):
+        write_tree(tmp_path, PARALLEL_TREE)
+        first = lint_paths([tmp_path], NO_DRIFT, collect_effects=True)
+        second = lint_paths([tmp_path], NO_DRIFT, collect_effects=True, jobs=2)
+        assert json.dumps(first.effect_map) == json.dumps(second.effect_map)
+
+    def test_unresolved_calls_surface_in_map(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/dyn.py": """\
+                TABLE = {}
+                def run(name):
+                    TABLE[name]()
+                """,
+            },
+        )
+        result = lint_paths([tmp_path], NO_DRIFT, collect_effects=True)
+        unresolved = result.effect_map["unresolved"]
+        assert any(u["call"] == "TABLE[name]" for u in unresolved)
+
+    def test_no_map_unless_requested(self, tmp_path):
+        write_tree(tmp_path, {"repro/core/a.py": "x = 1\n"})
+        result = lint_paths([tmp_path], NO_DRIFT)
+        assert result.effect_map is None
+
+
+class TestWitnessReporting:
+    def _result(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/core/planner.py": """\
+                import time
+                def _now():
+                    return time.time()
+                def plan(jobs):
+                    return _now()
+                """,
+            },
+        )
+        config = LintConfig(ignore=frozenset({"RPR005", "RPR001"}))
+        return lint_paths([tmp_path], config)
+
+    def test_text_report_renders_chain(self, tmp_path):
+        result = self._result(tmp_path)
+        text = format_text(
+            result.findings, files_checked=result.files_checked
+        )
+        assert "witness:" in text
+        assert "calls _now" in text
+        assert "time.time()" in text
+
+    def test_json_report_carries_witness_key(self, tmp_path):
+        result = self._result(tmp_path)
+        doc = json.loads(
+            format_json(result.findings, files_checked=result.files_checked)
+        )
+        flagged = [f for f in doc["findings"] if f["rule"] == "RPR101"]
+        assert flagged
+        chain = next(
+            f["witness"] for f in flagged if "'plan'" in f["message"]
+        )
+        assert len(chain) == 2
+        # file-local findings must keep the exact version-1 key set
+        for f in doc["findings"]:
+            if f["rule"] != "RPR101":
+                assert "witness" not in f
+
+
+# --------------------------------------------------------------------- #
+# CLI integration
+
+
+class TestCli:
+    def test_jobs_and_effects_flags(self, tmp_path, capsys):
+        write_tree(tmp_path, {"repro/core/a.py": "def f(x):\n    return x\n"})
+        out = tmp_path / "effects.json"
+        code = main(
+            [
+                "lint",
+                str(tmp_path),
+                "--ignore",
+                "RPR005",
+                "--jobs",
+                "2",
+                "--effects",
+                str(out),
+            ]
+        )
+        assert code in (0, None)
+        doc = json.loads(out.read_text())
+        assert doc["version"] == EFFECT_MAP_VERSION
+        assert "repro.core.a.f" in doc["functions"]
+
+    def test_violation_exit_code_with_effects(self, tmp_path, capsys):
+        write_tree(
+            tmp_path,
+            {
+                "repro/service/h.py": """\
+                import time
+                async def handle(req):
+                    time.sleep(1)
+                """,
+            },
+        )
+        out = tmp_path / "effects.json"
+        code = main(
+            ["lint", str(tmp_path), "--ignore", "RPR005",
+             "--effects", str(out)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "RPR102" in captured.out
+        assert "witness:" in captured.out
+        assert out.exists()  # the map is written even on findings

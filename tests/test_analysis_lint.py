@@ -19,6 +19,7 @@ from repro.analysis.lint import (
     ALL_RULE_IDS,
     LintConfig,
     check_doc_references,
+    check_rule_docs,
     check_service_routes,
     check_event_schema,
     collect_files,
@@ -608,6 +609,33 @@ class TestServiceRouteDrift:
 
     def test_live_readme_matches_route_table(self):
         assert check_service_routes() == []
+
+    def test_missing_rule_row_flagged(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "| rule | checks |\n|---|---|\n| RPR001 | clocks |\n"
+        )
+        findings = check_rule_docs(
+            root=tmp_path, rule_ids=("RPR001", "RPR101")
+        )
+        assert len(findings) == 1
+        assert "'RPR101'" in findings[0].message
+        assert "no row" in findings[0].message
+
+    def test_stale_rule_row_flagged(self, tmp_path):
+        (tmp_path / "EXPERIMENTS.md").write_text(
+            "| RPR001 | clocks |\n| RPR777 | retired |\n"
+        )
+        findings = check_rule_docs(root=tmp_path, rule_ids=("RPR001",))
+        assert len(findings) == 1
+        assert "'RPR777'" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_docs_without_rule_tables_skipped(self, tmp_path):
+        (tmp_path / "README.md").write_text("no tables here\n")
+        assert check_rule_docs(root=tmp_path, rule_ids=("RPR001",)) == []
+
+    def test_live_docs_cover_every_rule(self):
+        assert check_rule_docs() == []
 
 
 class TestCli:
